@@ -1,0 +1,78 @@
+"""PERF-ML: throughput of the ML substrate the workloads run on.
+
+These are not figures from the paper; they document the cost profile of the
+learners and vectorizers so the real-workload numbers in EXPERIMENTS.md can be
+interpreted (e.g. how much of a Census iteration is vectorization vs training).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.census import CensusConfig, generate_census_dataset
+from repro.datagen.news import NewsConfig, generate_news_dataset
+from repro.dsl.ie_operators import SyntheticNewsSource, Tokenizer, TokenShapeExtractor
+from repro.ml.linear import LogisticRegression
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.ml.perceptron import StructuredPerceptron
+from repro.ml.vectorizer import DictVectorizer
+
+
+@pytest.fixture(scope="module")
+def census_features():
+    dataset = generate_census_dataset(CensusConfig(n_train=3000, n_test=500, seed=1))
+    rows = [
+        {
+            "age": float(record["age"]),
+            "hours": float(record["hours_per_week"]),
+            f"occ={record['occupation']}": 1.0,
+            f"edu={record['education']}": 1.0,
+            f"ms={record['marital_status']}": 1.0,
+        }
+        for record in dataset.train
+    ]
+    labels = dataset.train.column("target")
+    return rows, labels
+
+
+def test_dict_vectorizer_throughput(benchmark, census_features):
+    rows, _labels = census_features
+    matrix = benchmark(lambda: DictVectorizer().fit_transform(rows))
+    assert matrix.shape[0] == len(rows)
+
+
+def test_logistic_regression_training(benchmark, census_features):
+    rows, labels = census_features
+    from repro.ml.scaler import StandardScaler
+
+    matrix = StandardScaler().fit_transform(DictVectorizer().fit_transform(rows))
+
+    model = benchmark(lambda: LogisticRegression(reg_param=0.01, max_iter=100).fit(matrix, labels))
+    accuracy = float(np.mean(model.predict(matrix) == np.asarray(labels)))
+    assert accuracy > 0.7
+
+
+def test_naive_bayes_training(benchmark, census_features):
+    rows, labels = census_features
+    matrix = DictVectorizer().fit_transform(rows)
+    model = benchmark(lambda: BernoulliNaiveBayes().fit(matrix, labels))
+    assert len(model.predict(matrix[:10])) == 10
+
+
+def test_structured_perceptron_training(benchmark):
+    config = NewsConfig(n_train_docs=60, n_test_docs=10, sentences_per_doc=4, seed=3)
+    corpus = Tokenizer("docs").apply({"docs": SyntheticNewsSource(config).apply({})})
+    features = TokenShapeExtractor("corpus").apply({"corpus": corpus})
+    tags = [sentence.tags for sentence in corpus.train]
+
+    model = benchmark.pedantic(
+        lambda: StructuredPerceptron(epochs=3, seed=0).fit(features.train, tags), rounds=3, iterations=1
+    )
+    assert model.tags_ is not None
+
+
+def test_tokenization_throughput(benchmark):
+    dataset = generate_news_dataset(NewsConfig(n_train_docs=150, n_test_docs=30, sentences_per_doc=6, seed=4))
+    corpus = benchmark(lambda: Tokenizer("docs").apply({"docs": dataset}))
+    assert corpus.n_tokens() > 1000

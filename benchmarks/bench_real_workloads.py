@@ -1,0 +1,69 @@
+"""End-to-end real-engine comparison at laptop scale (small data, real operators).
+
+The figure benchmarks replay paper-scale costs through the simulator; this
+module runs the *actual* operators over the synthetic datasets under each
+strategy, demonstrating that the same qualitative ordering (HELIX below the
+never-reuse systems, post-processing iterations nearly free) holds when every
+cost is measured rather than modeled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.strategies import HELIX, HELIX_UNOPTIMIZED, KEYSTONEML
+from repro.bench.harness import run_real_comparison
+from repro.bench.reporting import format_table
+from repro.datagen.census import CensusConfig
+from repro.datagen.news import NewsConfig
+from repro.workloads.census_workload import census_workload
+from repro.workloads.ie_workload import ie_workload
+
+CENSUS_DATA = CensusConfig(n_train=1500, n_test=300, seed=11)
+NEWS_DATA = NewsConfig(n_train_docs=60, n_test_docs=15, sentences_per_doc=5, seed=11)
+
+
+def test_real_census_workload_comparison(benchmark, tmp_path_factory, write_result):
+    workload = census_workload(CENSUS_DATA)
+
+    def run():
+        root = str(tmp_path_factory.mktemp("real_census"))
+        return run_real_comparison(workload, [HELIX, KEYSTONEML, HELIX_UNOPTIMIZED], workspace_root=root)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("real_census_cumulative_runtime", result.render())
+
+    benchmark.extra_info["keystoneml_over_helix"] = round(result.speedup_over("keystoneml"), 2)
+    assert result.cumulative("helix") < result.cumulative("keystoneml")
+    assert result.cumulative("helix") < result.cumulative("helix_unopt")
+
+    # Accuracy is identical across systems: reuse must not change results.
+    def final_accuracy(system):
+        metrics = result.metrics(system)[-1]
+        return next(value for key, value in metrics.items() if key.endswith("test_accuracy"))
+
+    assert final_accuracy("helix") == pytest.approx(final_accuracy("keystoneml"), abs=1e-9)
+
+
+def test_real_ie_workload_helix_profile(benchmark, tmp_path_factory, write_result):
+    workload = ie_workload(NEWS_DATA, n_iterations=6)
+
+    def run():
+        root = str(tmp_path_factory.mktemp("real_ie"))
+        return run_real_comparison(workload, [HELIX, HELIX_UNOPTIMIZED], workspace_root=root)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    reports = result.reports_by_system["helix"]
+    rows = [
+        {
+            "iteration": report.iteration + 1,
+            "category": report.change_category,
+            "helix_runtime_s": round(report.total_runtime, 3),
+            "unopt_runtime_s": round(result.reports_by_system["helix_unopt"][report.iteration].total_runtime, 3),
+            "reuse": round(report.reuse_fraction(), 2),
+        }
+        for report in reports
+    ]
+    write_result("real_ie_iteration_profile", format_table(rows))
+    assert result.cumulative("helix") < result.cumulative("helix_unopt")

@@ -1,0 +1,86 @@
+"""Ablation ABL-RECOMP: exact (project-selection) reuse plans vs heuristics.
+
+Two questions the paper's design raises:
+
+1. How much cumulative runtime does the *exact* recomputation plan save over a
+   per-node greedy heuristic and over the trivial policies, on the evaluation
+   workloads?
+2. Is the exact algorithm fast enough to run before every iteration (it is
+   PTIME via max-flow; this measures the constant factors).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.strategies import HELIX, HELIX_GREEDY, HELIX_UNOPTIMIZED
+from repro.bench.harness import run_simulated_comparison
+from repro.bench.reporting import format_table
+from repro.execution.simulator import SimNode, sim_dag
+from repro.graph.dag import Dag
+from repro.optimizer.cost_model import NodeCosts
+from repro.optimizer.recomputation import greedy_plan, optimal_plan, plan_cost
+from repro.workloads.simulated import census_sim_workload, ie_sim_workload, sim_defaults
+
+
+def test_recomputation_policy_ablation_on_workloads(benchmark, write_result):
+    """Cumulative runtime of optimal vs greedy vs no-reuse on both workloads."""
+
+    def run():
+        rows = []
+        for name, iterations in (("census", census_sim_workload()), ("ie", ie_sim_workload())):
+            result = run_simulated_comparison(
+                f"ablation_{name}", iterations, [HELIX, HELIX_GREEDY, HELIX_UNOPTIMIZED], defaults=sim_defaults()
+            )
+            for system, total in result.cumulative_by_system().items():
+                rows.append({"workload": name, "system": system, "cumulative_s": round(total, 1)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    write_result("ablation_recomputation_policies", format_table(rows))
+
+    totals = {(row["workload"], row["system"]): row["cumulative_s"] for row in rows}
+    for workload in ("census", "ie"):
+        assert totals[(workload, "helix")] <= totals[(workload, "helix_greedy")] + 1e-6
+        assert totals[(workload, "helix")] < totals[(workload, "helix_unopt")]
+
+
+def random_layered_instance(n_layers, width, seed=0):
+    """A layered DAG shaped like a wide ML pipeline, with random costs."""
+    rng = np.random.default_rng(seed)
+    dag = Dag(f"layered_{n_layers}x{width}")
+    costs = {}
+    previous_layer = []
+    for layer in range(n_layers):
+        current_layer = []
+        for column in range(width):
+            name = f"l{layer}c{column}"
+            dag.add_node(name)
+            costs[name] = NodeCosts(
+                compute_cost=float(rng.integers(1, 60)),
+                load_cost=float(rng.integers(1, 60)),
+                materialized=bool(rng.random() < 0.6),
+            )
+            for parent in previous_layer:
+                if rng.random() < 0.5:
+                    dag.add_edge(parent, name)
+            current_layer.append(name)
+        previous_layer = current_layer
+    outputs = previous_layer
+    return dag, costs, outputs
+
+
+@pytest.mark.parametrize("n_layers,width", [(5, 4), (10, 8), (20, 12)])
+def test_optimal_planner_scales_polynomially(benchmark, n_layers, width):
+    dag, costs, outputs = random_layered_instance(n_layers, width, seed=n_layers * 100 + width)
+    states = benchmark(lambda: optimal_plan(dag, costs, outputs))
+    assert len(states) == len(dag)
+    # Sanity: the exact plan is never worse than greedy on the same instance.
+    assert plan_cost(states, costs) <= plan_cost(greedy_plan(dag, costs, outputs), costs) + 1e-6
+
+
+def test_greedy_planner_baseline_speed(benchmark):
+    dag, costs, outputs = random_layered_instance(10, 8, seed=7)
+    states = benchmark(lambda: greedy_plan(dag, costs, outputs))
+    assert len(states) == len(dag)

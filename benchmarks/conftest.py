@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure/table benchmark both (a) measures its runtime via
+pytest-benchmark and (b) regenerates the corresponding report table, printing
+it and writing it under ``benchmarks/results/`` so the numbers can be compared
+against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write (and echo) a named report produced by a benchmark."""
+
+    def _write(name: str, text: str) -> str:
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+        return path
+
+    return _write

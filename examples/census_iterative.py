@@ -1,0 +1,71 @@
+"""Census application: the full 10-iteration human-in-the-loop session from the paper.
+
+Replays the Figure 2(b) workload — alternating data-pre-processing (purple),
+ML (orange), and post-processing (green) changes — under HELIX and under the
+unoptimized baseline, printing the per-iteration and cumulative runtimes plus
+the metric trend across versions (the data behind the demo's Metrics tab).
+
+Run with:  python examples/census_iterative.py [--iterations N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+from repro import HELIX, HELIX_UNOPTIMIZED, HelixSession
+from repro.bench.reporting import cumulative_table, format_table
+from repro.datagen.census import CensusConfig
+from repro.versioning.diff import compare_versions, render_comparison
+from repro.workloads.census_workload import census_workload
+
+
+def run_system(strategy, workload, workspace):
+    session = HelixSession(workspace=workspace, strategy=strategy)
+    runtimes = []
+    for spec in workload:
+        result = session.run(spec.build(), description=spec.description, change_category=spec.category)
+        runtimes.append(result.runtime)
+    return session, runtimes
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=10, help="number of workflow iterations to replay")
+    parser.add_argument("--train-rows", type=int, default=1500, help="synthetic training-set size")
+    args = parser.parse_args()
+
+    data = CensusConfig(n_train=args.train_rows, n_test=max(100, args.train_rows // 5), seed=11)
+    workload = census_workload(data, n_iterations=args.iterations)
+    root = tempfile.mkdtemp(prefix="helix_census_")
+
+    print(f"Replaying {len(workload)} Census iterations on {args.train_rows} synthetic rows...\n")
+    helix_session, helix_runtimes = run_system(HELIX, workload, f"{root}/helix")
+    unopt_session, unopt_runtimes = run_system(HELIX_UNOPTIMIZED, workload, f"{root}/unopt")
+
+    rows = cumulative_table(
+        {"helix": helix_runtimes, "unoptimized": unopt_runtimes},
+        categories=workload.categories(),
+        descriptions=[spec.description for spec in workload],
+    )
+    print(format_table(rows, columns=["iteration", "category", "description", "helix_iter", "helix_cum", "unoptimized_cum"]))
+
+    total_helix = sum(helix_runtimes)
+    total_unopt = sum(unopt_runtimes)
+    print(f"\ncumulative runtime: helix={total_helix:.2f}s, unoptimized={total_unopt:.2f}s "
+          f"({total_unopt / total_helix:.1f}x reduction)")
+
+    print("\n== metric trend across versions (Metrics tab) ==")
+    tracker = helix_session.metrics()
+    metric = "test_accuracy" if "test_accuracy" in tracker.metric_names() else tracker.metric_names()[0]
+    print(tracker.ascii_plot(metric))
+    best = tracker.best(metric)
+    print(f"\nbest version by {metric}: v{best.version_id} ({best.description})")
+
+    print("\n== comparing the last two versions (Versions tab) ==")
+    versions = helix_session.versions
+    print(render_comparison(compare_versions(versions.get(len(versions) - 1), versions.latest())))
+
+
+if __name__ == "__main__":
+    main()

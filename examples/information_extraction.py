@@ -1,0 +1,66 @@
+"""Information extraction application: person-mention extraction from news articles.
+
+The paper's second demo application is a structured-prediction pipeline over
+unstructured text: tokenize -> token-level feature extraction -> structured
+perceptron -> span evaluation -> mention formatting.  This example runs a
+short iterative session on the synthetic news corpus, showing how feature
+engineering (purple) and model (orange) iterations reuse the expensive
+tokenization and feature extraction stages, and prints the mentions the final
+model extracts.
+
+Run with:  python examples/information_extraction.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import replace
+
+from repro import HELIX, HelixSession
+from repro.datagen.news import NewsConfig
+from repro.workloads.ie_workload import IEVariant, build_ie_workflow
+
+
+def show(result, label: str) -> None:
+    print(f"\n== {label} ==")
+    print(f"runtime: {result.runtime:.3f}s  reuse: {result.report.reuse_fraction():.0%}  "
+          f"category: {result.report.change_category}")
+    scores = {key: round(value, 3) for key, value in result.metrics.items()}
+    print("span metrics:", scores)
+
+
+def main() -> None:
+    data = NewsConfig(n_train_docs=80, n_test_docs=20, sentences_per_doc=5, seed=17)
+    base = IEVariant(data_config=data, epochs=3)
+    session = HelixSession(workspace=tempfile.mkdtemp(prefix="helix_ie_"), strategy=HELIX)
+
+    show(session.run(build_ie_workflow(base), description="initial pipeline"), "iteration 1: shape + context features")
+
+    with_gazetteer = replace(base, use_gazetteer=True)
+    show(
+        session.run(build_ie_workflow(with_gazetteer), description="add gazetteer features"),
+        "iteration 2: add name gazetteers (purple) — tokenization is reused",
+    )
+
+    longer_training = replace(with_gazetteer, epochs=8)
+    show(
+        session.run(build_ie_workflow(longer_training), description="train longer"),
+        "iteration 3: more epochs (orange) — all feature extraction is reused",
+    )
+
+    final = replace(longer_training, include_mention_list=True, eval_splits=("train", "test"))
+    result = session.run(build_ie_workflow(final), description="emit mention list")
+    show(result, "iteration 4: add mention-list output (green) — nearly free")
+
+    mentions = result.outputs.get("mentions", [])
+    print(f"\nextracted {len(mentions)} distinct person mentions from the test articles; first 15:")
+    for mention in mentions[:15]:
+        print("  -", mention)
+
+    print(f"\ncumulative runtime: {session.cumulative_runtime():.2f}s")
+    print("version log:")
+    print(session.versions.log())
+
+
+if __name__ == "__main__":
+    main()

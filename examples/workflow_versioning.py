@@ -1,0 +1,63 @@
+"""Workflow versioning and comparison: the data behind the demo's GUI.
+
+The Helix demo ships a browser UI with a version browser, a metrics tab, and a
+git-style comparative view of two workflow versions.  This example drives the
+underlying library features directly: it runs a few Census iterations, prints
+the commit-log style version listing, plots a metric trend as ASCII, compares
+two selected versions (code + DAG + metrics), rolls back to an earlier
+version, and branches off it.
+
+Run with:  python examples/workflow_versioning.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import replace
+
+from repro import HELIX, HelixSession
+from repro.datagen.census import CensusConfig
+from repro.versioning.diff import compare_versions, render_comparison
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+def main() -> None:
+    session = HelixSession(workspace=tempfile.mkdtemp(prefix="helix_versions_"), strategy=HELIX)
+    base = CensusVariant(data_config=CensusConfig(n_train=1200, n_test=300, seed=23))
+
+    session.run(build_census_workflow(base), description="initial version")
+    session.run(build_census_workflow(replace(base, use_marital_status=True)), description="add marital status")
+    session.run(build_census_workflow(replace(base, use_marital_status=True, reg_param=0.01)),
+                description="lower regularization")
+    session.run(build_census_workflow(replace(base, use_marital_status=True, reg_param=0.01,
+                                              metrics=("accuracy", "f1"))),
+                description="report F1 too")
+
+    versions = session.versions
+    print("== Versions tab: commit log ==")
+    print(versions.log())
+
+    print("\n== Metrics tab: accuracy across versions ==")
+    tracker = session.metrics()
+    print(tracker.ascii_plot("test_accuracy"))
+    best = tracker.best("test_accuracy")
+    print(f"best version: v{best.version_id} ({best.description!r})")
+
+    print("\n== Comparative view: v2 vs v3 ==")
+    print(render_comparison(compare_versions(versions.get(2), versions.get(3))))
+
+    print("\n== Roll back to v2 and branch in a new direction ==")
+    branched_workflow = versions.checkout(2)
+    # The checked-out workflow is a plain Workflow object: edit it like any other.
+    from repro.dsl import Learner
+
+    branched_workflow.replace("incPred", Learner("income", model_type="naive_bayes"))
+    result = session.run(branched_workflow, description="branch: naive Bayes on v2 features")
+    print(f"branched version v{result.version.version_id} runtime={result.runtime:.3f}s "
+          f"metrics={ {k: round(v, 4) for k, v in result.metrics.items()} }")
+    print("\nfull log after branching:")
+    print(versions.log())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of *HELIX: Accelerating Human-in-the-loop Machine Learning* (VLDB 2018).
+
+Public API overview
+-------------------
+* :class:`repro.core.HelixSession` — the iterative development driver.
+* :mod:`repro.dsl` — declarative workflow DSL (operators + ``Workflow``).
+* :mod:`repro.compiler` — DSL → DAG lowering, program slicing, change tracking.
+* :mod:`repro.optimizer` — recomputation (project-selection/max-flow) and
+  materialization (online cost model) optimizers.
+* :mod:`repro.execution` — execution engine, artifact store, virtual-clock simulator.
+* :mod:`repro.baselines` — DeepDive-style / KeystoneML-style / unoptimized strategies.
+* :mod:`repro.workloads` — the Census and information-extraction evaluation workloads.
+* :mod:`repro.bench` — harness that regenerates the paper's figures as tables.
+"""
+
+from repro.baselines import DEEPDIVE, HELIX, HELIX_UNOPTIMIZED, KEYSTONEML, ExecutionStrategy
+from repro.core import HelixSession, SessionRunResult
+from repro.dsl import Workflow
+from repro.execution import ArtifactStore, WorkflowSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HelixSession",
+    "SessionRunResult",
+    "Workflow",
+    "ArtifactStore",
+    "WorkflowSimulator",
+    "ExecutionStrategy",
+    "HELIX",
+    "HELIX_UNOPTIMIZED",
+    "DEEPDIVE",
+    "KEYSTONEML",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Execution strategies: HELIX and the comparison systems from the paper.
+
+Each comparator is modeled as a combination of (a) a recomputation policy,
+(b) a materialization policy, and (c) restrictions on which node categories it
+can reuse across iterations — the three axes along which the paper
+distinguishes HELIX from DeepDive and KeystoneML.
+"""
+
+from repro.baselines.strategies import (
+    DEEPDIVE,
+    HELIX,
+    HELIX_GREEDY,
+    HELIX_UNOPTIMIZED,
+    KEYSTONEML,
+    ALL_STRATEGIES,
+    ExecutionStrategy,
+    strategy_by_name,
+)
+
+__all__ = [
+    "ExecutionStrategy",
+    "HELIX",
+    "HELIX_GREEDY",
+    "HELIX_UNOPTIMIZED",
+    "DEEPDIVE",
+    "KEYSTONEML",
+    "ALL_STRATEGIES",
+    "strategy_by_name",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness: runs workloads under multiple strategies and prints the paper's tables.
+
+The modules under ``benchmarks/`` (pytest-benchmark targets) are thin wrappers
+around :func:`~repro.bench.harness.run_simulated_comparison` and
+:func:`~repro.bench.harness.run_real_comparison`; the same functions are
+importable for ad-hoc experimentation.
+"""
+
+from repro.bench.harness import ComparisonResult, run_real_comparison, run_simulated_comparison
+from repro.bench.reporting import cumulative_table, format_table, ratio_summary
+
+__all__ = [
+    "ComparisonResult",
+    "run_simulated_comparison",
+    "run_real_comparison",
+    "format_table",
+    "cumulative_table",
+    "ratio_summary",
+]

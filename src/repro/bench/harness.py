@@ -1,0 +1,125 @@
+"""Experiment runner: one workload, several systems, cumulative-runtime comparison.
+
+``run_simulated_comparison`` replays a cost-annotated workload through the
+virtual-clock simulator once per strategy; ``run_real_comparison`` executes a
+real workload end to end through one :class:`~repro.core.session.HelixSession`
+per strategy (each with its own workspace, so systems never share artifacts).
+Both return a :class:`ComparisonResult` that renders the Figure-2-style table.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.baselines.strategies import ExecutionStrategy
+from repro.bench.reporting import cumulative_table, format_table, ratio_summary
+from repro.core.session import HelixSession
+from repro.execution.simulator import SimIteration
+from repro.execution.stats import IterationReport
+from repro.optimizer.cost_model import CostDefaults
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class ComparisonResult:
+    """Per-system iteration reports for one workload."""
+
+    workload: str
+    reports_by_system: Dict[str, List[IterationReport]] = field(default_factory=dict)
+    categories: List[str] = field(default_factory=list)
+    descriptions: List[str] = field(default_factory=list)
+
+    # -- accessors -------------------------------------------------------
+    def systems(self) -> List[str]:
+        return list(self.reports_by_system)
+
+    def runtimes(self, system: str) -> List[float]:
+        return [report.total_runtime for report in self.reports_by_system[system]]
+
+    def runtimes_by_system(self) -> Dict[str, List[float]]:
+        return {system: self.runtimes(system) for system in self.reports_by_system}
+
+    def cumulative(self, system: str) -> float:
+        return sum(self.runtimes(system))
+
+    def cumulative_by_system(self) -> Dict[str, float]:
+        return {system: self.cumulative(system) for system in self.reports_by_system}
+
+    def speedup_over(self, other_system: str, reference: str = "helix") -> float:
+        """How many times larger the other system's cumulative runtime is."""
+        reference_total = self.cumulative(reference)
+        if reference_total <= 0:
+            return float("inf")
+        return self.cumulative(other_system) / reference_total
+
+    def ratios(self, reference: str = "helix") -> Dict[str, float]:
+        return ratio_summary(self.runtimes_by_system(), reference=reference)
+
+    def metrics(self, system: str) -> List[Dict[str, float]]:
+        return [dict(report.metrics) for report in self.reports_by_system[system]]
+
+    # -- rendering -------------------------------------------------------
+    def table_rows(self) -> List[Dict[str, object]]:
+        return cumulative_table(self.runtimes_by_system(), categories=self.categories, descriptions=self.descriptions)
+
+    def render(self) -> str:
+        lines = [f"Workload: {self.workload}"]
+        lines.append(format_table(self.table_rows()))
+        lines.append("")
+        lines.append("Cumulative runtime (s): " + ", ".join(
+            f"{system}={total:.1f}" for system, total in self.cumulative_by_system().items()
+        ))
+        if "helix" in self.reports_by_system:
+            ratios = self.ratios("helix")
+            lines.append("Ratio to HELIX: " + ", ".join(
+                f"{system}={ratio:.2f}x" for system, ratio in ratios.items() if system != "helix"
+            ))
+        return "\n".join(lines)
+
+
+def run_simulated_comparison(
+    workload_name: str,
+    iterations: Sequence[SimIteration],
+    strategies: Sequence[ExecutionStrategy],
+    storage_budget: float = float("inf"),
+    defaults: CostDefaults = CostDefaults(),
+) -> ComparisonResult:
+    """Replay ``iterations`` once per strategy through the virtual-clock simulator."""
+    result = ComparisonResult(
+        workload=workload_name,
+        categories=[iteration.category for iteration in iterations],
+        descriptions=[iteration.description for iteration in iterations],
+    )
+    for strategy in strategies:
+        simulator = strategy.simulator(storage_budget=storage_budget, defaults=defaults)
+        simulation = simulator.run(list(iterations))
+        result.reports_by_system[strategy.name] = simulation.reports
+    return result
+
+
+def run_real_comparison(
+    workload: WorkloadSpec,
+    strategies: Sequence[ExecutionStrategy],
+    workspace_root: Optional[str] = None,
+    storage_budget: Optional[float] = None,
+) -> ComparisonResult:
+    """Execute a real workload end to end, once per strategy, in isolated workspaces."""
+    if workspace_root is None:
+        workspace_root = tempfile.mkdtemp(prefix="helix_bench_")
+    result = ComparisonResult(
+        workload=workload.name,
+        categories=workload.categories(),
+        descriptions=[spec.description for spec in workload.iterations],
+    )
+    for strategy in strategies:
+        workspace = os.path.join(workspace_root, strategy.name)
+        session = HelixSession(workspace=workspace, strategy=strategy, storage_budget=storage_budget)
+        reports: List[IterationReport] = []
+        for spec in workload.iterations:
+            run = session.run(spec.build(), description=spec.description, change_category=spec.category)
+            reports.append(run.report)
+        result.reports_by_system[strategy.name] = reports
+    return result

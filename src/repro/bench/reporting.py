@@ -1,0 +1,65 @@
+"""Plain-text table rendering for benchmark results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dictionaries as an aligned ASCII table (one row per dict)."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(str(column)) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered_rows.append(cells)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [" | ".join(cell.ljust(widths[column]) for cell, column in zip(cells, columns)) for cells in rendered_rows]
+    return "\n".join([header, separator] + body)
+
+
+def cumulative_table(
+    runtimes_by_system: Mapping[str, Sequence[float]],
+    categories: Optional[Sequence[str]] = None,
+    descriptions: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Build the Figure-2-style table: one row per iteration, cumulative runtime per system."""
+    systems = list(runtimes_by_system)
+    n_iterations = max((len(values) for values in runtimes_by_system.values()), default=0)
+    rows: List[Dict[str, object]] = []
+    cumulative = {system: 0.0 for system in systems}
+    for index in range(n_iterations):
+        row: Dict[str, object] = {"iteration": index + 1}
+        if categories is not None and index < len(categories):
+            row["category"] = categories[index]
+        if descriptions is not None and index < len(descriptions):
+            row["description"] = descriptions[index]
+        for system in systems:
+            values = runtimes_by_system[system]
+            if index < len(values):
+                cumulative[system] += values[index]
+                row[f"{system}_iter"] = round(values[index], 3)
+                row[f"{system}_cum"] = round(cumulative[system], 3)
+            else:
+                row[f"{system}_iter"] = None
+                row[f"{system}_cum"] = None
+        rows.append(row)
+    return rows
+
+
+def ratio_summary(runtimes_by_system: Mapping[str, Sequence[float]], reference: str = "helix") -> Dict[str, float]:
+    """Cumulative-runtime ratio of every system to the reference system."""
+    totals = {system: sum(values) for system, values in runtimes_by_system.items()}
+    reference_total = totals.get(reference, 0.0)
+    if reference_total <= 0:
+        return {system: float("inf") for system in totals}
+    return {system: total / reference_total for system, total in totals.items()}

@@ -1,0 +1,157 @@
+"""Command-line interface: run workloads, reproduce figures, browse versions.
+
+Entry points::
+
+    python -m repro reproduce fig2a            # Figure 2(a), simulated, prints the table
+    python -m repro reproduce fig2b            # Figure 2(b)
+    python -m repro run census --iterations 5  # real engine, synthetic data
+    python -m repro run ie --strategy keystoneml
+    python -m repro versions --workspace DIR   # browse a persisted workspace
+    python -m repro suggest census             # machine-generated next edits
+
+Every command prints plain-text tables (the same renderers the benchmark
+harness uses) and returns a process exit code of 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import Optional, Sequence
+
+from repro.baselines.strategies import ALL_STRATEGIES, DEEPDIVE, HELIX, KEYSTONEML, strategy_by_name
+from repro.bench.harness import run_real_comparison, run_simulated_comparison
+from repro.bench.reporting import format_table
+from repro.core.suggestions import suggest_modifications
+from repro.datagen.census import CensusConfig
+from repro.datagen.news import NewsConfig
+from repro.errors import HelixError
+from repro.versioning.metrics_tracker import MetricsTracker
+from repro.versioning.persistence import load_version_store
+from repro.workloads.census_workload import CensusVariant, build_census_workflow, census_workload
+from repro.workloads.ie_workload import IEVariant, build_ie_workflow, ie_workload
+from repro.workloads.simulated import census_sim_workload, ie_sim_workload, sim_defaults
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description="HELIX reproduction command line")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = subparsers.add_parser("reproduce", help="regenerate a paper figure (simulated, paper scale)")
+    reproduce.add_argument("figure", choices=["fig2a", "fig2b"], help="which figure to regenerate")
+
+    run = subparsers.add_parser("run", help="run an evaluation workload with the real engine")
+    run.add_argument("workload", choices=["census", "ie"], help="which application to run")
+    run.add_argument("--strategy", default="helix", choices=[s.name for s in ALL_STRATEGIES])
+    run.add_argument("--iterations", type=int, default=10, help="number of workflow iterations")
+    run.add_argument("--scale", type=int, default=1000, help="training-set size (rows or documents x10)")
+    run.add_argument("--workspace", default=None, help="workspace directory (default: a fresh temp dir)")
+
+    versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
+    versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
+    versions.add_argument("--metric", default=None, help="also print the trend of this metric")
+
+    suggest = subparsers.add_parser("suggest", help="print machine-generated edits for a workload's workflow")
+    suggest.add_argument("workload", choices=["census", "ie"], help="which application to suggest edits for")
+
+    return parser
+
+
+def _command_reproduce(figure: str, out=None) -> int:
+    out = out or sys.stdout
+    defaults = sim_defaults()
+    if figure == "fig2a":
+        result = run_simulated_comparison("figure2a_ie", ie_sim_workload(), [HELIX, DEEPDIVE], defaults=defaults)
+        reduction = 1.0 - result.cumulative("helix") / result.cumulative("deepdive")
+        print(result.render(), file=out)
+        print(f"HELIX reduction vs DeepDive: {reduction:.0%} (paper: ~60%)", file=out)
+    else:
+        result = run_simulated_comparison(
+            "figure2b_census", census_sim_workload(), [HELIX, KEYSTONEML], defaults=defaults
+        )
+        print(result.render(), file=out)
+        print(
+            f"KeystoneML / HELIX cumulative: {result.speedup_over('keystoneml'):.1f}x "
+            "(paper: nearly an order of magnitude)",
+            file=out,
+        )
+    return 0
+
+
+def _command_run(workload: str, strategy_name: str, iterations: int, scale: int, workspace: Optional[str], out=None) -> int:
+    out = out or sys.stdout
+    strategy = strategy_by_name(strategy_name)
+    workspace = workspace or tempfile.mkdtemp(prefix=f"helix_cli_{workload}_")
+    if workload == "census":
+        spec = census_workload(CensusConfig(n_train=scale, n_test=max(100, scale // 5), seed=11), n_iterations=iterations)
+    else:
+        spec = ie_workload(
+            NewsConfig(n_train_docs=max(20, scale // 20), n_test_docs=max(8, scale // 80), sentences_per_doc=5, seed=11),
+            n_iterations=iterations,
+        )
+    result = run_real_comparison(spec, [strategy], workspace_root=workspace)
+    reports = result.reports_by_system[strategy.name]
+    rows = [
+        {
+            "iteration": report.iteration + 1,
+            "category": report.change_category,
+            "description": report.description,
+            "runtime_s": round(report.total_runtime, 3),
+            "reuse": round(report.reuse_fraction(), 2),
+            **{key: round(value, 4) for key, value in report.metrics.items() if key.endswith("accuracy") or key.endswith("f1")},
+        }
+        for report in reports
+    ]
+    print(format_table(rows), file=out)
+    print(f"cumulative runtime: {sum(r.total_runtime for r in reports):.3f}s   workspace: {workspace}", file=out)
+    return 0
+
+
+def _command_versions(workspace: str, metric: Optional[str], out=None) -> int:
+    out = out or sys.stdout
+    store = load_version_store(workspace)
+    if len(store) == 0:
+        print(f"no persisted versions found in {workspace}", file=out)
+        return 1
+    print(store.log(), file=out)
+    if metric:
+        tracker = MetricsTracker(store)
+        print("", file=out)
+        print(tracker.ascii_plot(metric), file=out)
+    return 0
+
+
+def _command_suggest(workload: str, out=None) -> int:
+    out = out or sys.stdout
+    if workload == "census":
+        workflow = build_census_workflow(CensusVariant(data_config=CensusConfig(n_train=500, n_test=100)))
+    else:
+        workflow = build_ie_workflow(IEVariant(data_config=NewsConfig(n_train_docs=30, n_test_docs=10)))
+    suggestions = suggest_modifications(workflow)
+    for index, suggestion in enumerate(suggestions, start=1):
+        print(f"{index}. {suggestion.summary()}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "reproduce":
+            return _command_reproduce(args.figure)
+        if args.command == "run":
+            return _command_run(args.workload, args.strategy, args.iterations, args.scale, args.workspace)
+        if args.command == "versions":
+            return _command_versions(args.workspace, args.metric)
+        if args.command == "suggest":
+            return _command_suggest(args.workload)
+    except HelixError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Workflow compiler: DSL declarations → operator DAG → physical plan inputs.
+
+Stages (mirroring Section 2.2 of the paper):
+
+1. **Intermediate code generation** (:mod:`repro.compiler.codegen`): translate
+   a :class:`~repro.dsl.workflow.Workflow` into a
+   :class:`~repro.compiler.codegen.CompiledWorkflow` — a DAG of operators with
+   a content signature per node.
+2. **Program slicing** (:mod:`repro.compiler.slicing`): prune operators that
+   do not contribute to any declared output (e.g. feature extractors dropped
+   from the learner's extractor list).
+3. **Iterative change tracking** (:mod:`repro.compiler.change_tracker`):
+   decide which nodes are unchanged relative to previous iterations by
+   comparing signatures, which feeds the recomputation optimizer.
+
+The output of the compiler is consumed by :mod:`repro.optimizer` (state
+assignment) and :mod:`repro.execution` (the engine).
+"""
+
+from repro.compiler.codegen import CompiledWorkflow, compile_workflow, node_signature
+from repro.compiler.change_tracker import ChangeTracker, WorkflowDiff, diff_workflows
+from repro.compiler.cse import CSEResult, eliminate_common_subexpressions
+from repro.compiler.plan import PhysicalPlan
+from repro.compiler.slicing import slice_to_outputs, unused_nodes
+
+__all__ = [
+    "CompiledWorkflow",
+    "compile_workflow",
+    "node_signature",
+    "slice_to_outputs",
+    "unused_nodes",
+    "eliminate_common_subexpressions",
+    "CSEResult",
+    "ChangeTracker",
+    "WorkflowDiff",
+    "diff_workflows",
+    "PhysicalPlan",
+]

@@ -1,0 +1,91 @@
+"""Iterative change tracking.
+
+Helix detects which operators changed between iterations so unchanged results
+can be reused.  The general operator-equivalence problem is undecidable
+(Rice's theorem); like the paper, we rely on *syntactic* equivalence: a node
+is unchanged iff its content signature (operator type + parameters + UDF
+source + upstream signatures) has been observed in a previous iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.compiler.codegen import CompiledWorkflow
+
+
+@dataclass
+class WorkflowDiff:
+    """Node-level difference between two compiled workflow versions."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    changed: List[str] = field(default_factory=list)
+    unchanged: List[str] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added)} added, -{len(self.removed)} removed, "
+            f"~{len(self.changed)} changed, ={len(self.unchanged)} unchanged"
+        )
+
+
+def diff_workflows(previous: CompiledWorkflow, current: CompiledWorkflow) -> WorkflowDiff:
+    """Git-style diff of node declarations between two compiled versions.
+
+    A node present in both versions counts as *changed* when its signature
+    differs — which also captures upstream edits, because signatures hash the
+    transitive dependency structure.
+    """
+    previous_nodes = set(previous.nodes())
+    current_nodes = set(current.nodes())
+    diff = WorkflowDiff()
+    diff.added = sorted(current_nodes - previous_nodes)
+    diff.removed = sorted(previous_nodes - current_nodes)
+    for name in sorted(previous_nodes & current_nodes):
+        if previous.signature_of(name) == current.signature_of(name):
+            diff.unchanged.append(name)
+        else:
+            diff.changed.append(name)
+    return diff
+
+
+class ChangeTracker:
+    """Records every signature seen across iterations of a session.
+
+    ``fresh_nodes`` answers the question the optimizer needs: which nodes of
+    the current DAG denote computations never executed before (and therefore
+    can be neither loaded nor considered "unchanged").
+    """
+
+    def __init__(self) -> None:
+        self._seen_signatures: Set[str] = set()
+        self._last_signatures: Dict[str, str] = {}
+
+    def observe(self, compiled: CompiledWorkflow) -> None:
+        """Record all signatures of an executed iteration."""
+        self._seen_signatures.update(compiled.signatures.values())
+        self._last_signatures = dict(compiled.signatures)
+
+    def observe_signature(self, signature: str) -> None:
+        """Record a single signature (used when restoring persisted history)."""
+        self._seen_signatures.add(signature)
+
+    def has_seen(self, signature: str) -> bool:
+        return signature in self._seen_signatures
+
+    def fresh_nodes(self, compiled: CompiledWorkflow) -> Set[str]:
+        """Nodes of ``compiled`` whose signature has never been observed."""
+        return {name for name, signature in compiled.signatures.items() if signature not in self._seen_signatures}
+
+    def unchanged_nodes(self, compiled: CompiledWorkflow) -> Set[str]:
+        """Nodes whose exact computation was part of some previous iteration."""
+        return {name for name, signature in compiled.signatures.items() if signature in self._seen_signatures}
+
+    def last_signatures(self) -> Dict[str, str]:
+        """Node → signature mapping of the most recently observed iteration."""
+        return dict(self._last_signatures)

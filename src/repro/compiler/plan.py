@@ -1,0 +1,98 @@
+"""Physical execution plans.
+
+A :class:`PhysicalPlan` pairs a compiled workflow with the per-node state
+assignment chosen by the recomputation optimizer.  The execution engine
+interprets the plan; the visualization helpers render it the way Figure 1(b)
+does (loaded nodes, pruned nodes, materialized nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.codegen import CompiledWorkflow
+from repro.errors import PlanError
+from repro.graph.dag import NodeState
+from repro.graph.visualize import plan_annotations, to_ascii, to_dot
+
+
+@dataclass
+class PhysicalPlan:
+    """A compiled workflow plus the optimizer's state assignment."""
+
+    compiled: CompiledWorkflow
+    states: Dict[str, NodeState]
+    estimated_cost: float = 0.0
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the prune constraint and output availability.
+
+        * every node of the DAG has a state;
+        * a COMPUTE node has no PRUNE parents (its inputs must be available);
+        * every workflow output is available (COMPUTE or LOAD).
+        """
+        dag = self.compiled.dag
+        missing = [name for name in dag.nodes() if name not in self.states]
+        if missing:
+            raise PlanError(f"plan is missing states for nodes {missing}")
+        extra = [name for name in self.states if name not in dag]
+        if extra:
+            raise PlanError(f"plan has states for unknown nodes {extra}")
+        for name in dag.nodes():
+            if self.states[name] is NodeState.COMPUTE:
+                pruned_parents = [p for p in dag.parents(name) if self.states[p] is NodeState.PRUNE]
+                if pruned_parents:
+                    raise PlanError(f"node {name!r} is computed but parents {pruned_parents} are pruned")
+        for output in self.compiled.outputs:
+            if self.states.get(output) is NodeState.PRUNE:
+                raise PlanError(f"workflow output {output!r} is pruned")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes_in_state(self, state: NodeState) -> List[str]:
+        return [name for name in self.compiled.dag.nodes() if self.states[name] is state]
+
+    def computed_nodes(self) -> List[str]:
+        return self.nodes_in_state(NodeState.COMPUTE)
+
+    def loaded_nodes(self) -> List[str]:
+        return self.nodes_in_state(NodeState.LOAD)
+
+    def pruned_nodes(self) -> List[str]:
+        return self.nodes_in_state(NodeState.PRUNE)
+
+    def state_of(self, name: str) -> NodeState:
+        if name not in self.states:
+            raise PlanError(f"unknown node {name!r} in plan")
+        return self.states[name]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_ascii(self, runtimes: Optional[Dict[str, float]] = None) -> str:
+        """ASCII rendering of the plan with state (and runtime) annotations."""
+        return to_ascii(self.compiled.dag, plan_annotations(self.states, runtimes))
+
+    def to_dot(self, runtimes: Optional[Dict[str, float]] = None) -> str:
+        """Graphviz rendering mirroring Figure 1(b): state annotations + category colors."""
+        palette = {
+            "purple": "#d6c7e8",
+            "orange": "#f7c77f",
+            "green": "#bfe3bd",
+            "source": "#d9d9d9",
+        }
+        colors = {
+            name: palette.get(category.value, "white")
+            for name, category in self.compiled.categories.items()
+            if name in self.compiled.dag
+        }
+        return to_dot(self.compiled.dag, plan_annotations(self.states, runtimes), colors)

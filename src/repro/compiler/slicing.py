@@ -1,0 +1,49 @@
+"""Program slicing: prune operators that cannot affect any declared output.
+
+Feature selection is the motivating case in the paper — when a developer drops
+an extractor from the learner's feature list, the extractor declaration often
+stays in the program but no longer contributes to the result; Helix prunes it
+automatically (the grayed-out operators in Figure 1).  In DAG terms this is a
+backward reachability slice from the output nodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.compiler.codegen import CompiledWorkflow
+from repro.errors import CompilationError
+
+
+def _reachable_upstream(compiled: CompiledWorkflow) -> Set[str]:
+    keep: Set[str] = set()
+    for output in compiled.outputs:
+        if output not in compiled.dag:
+            raise CompilationError(f"output {output!r} is not a node of the compiled DAG")
+        keep.add(output)
+        keep.update(compiled.dag.ancestors(output))
+    return keep
+
+
+def unused_nodes(compiled: CompiledWorkflow) -> List[str]:
+    """Nodes that no declared output depends on (candidates for pruning)."""
+    keep = _reachable_upstream(compiled)
+    return [name for name in compiled.dag.nodes() if name not in keep]
+
+
+def slice_to_outputs(compiled: CompiledWorkflow) -> CompiledWorkflow:
+    """Return a new compiled workflow containing only output-relevant nodes.
+
+    Signatures are preserved verbatim — a sliced node's signature never
+    depends on pruned siblings, so artifacts materialized before a slice stay
+    reusable afterwards.
+    """
+    keep = _reachable_upstream(compiled)
+    sliced_dag = compiled.dag.subgraph(keep, name=compiled.dag.name)
+    return CompiledWorkflow(
+        workflow_name=compiled.workflow_name,
+        dag=sliced_dag,
+        signatures={name: sig for name, sig in compiled.signatures.items() if name in keep},
+        outputs=list(compiled.outputs),
+        categories={name: cat for name, cat in compiled.categories.items() if name in keep},
+    )

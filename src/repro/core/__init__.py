@@ -1,0 +1,20 @@
+"""Public end-to-end API: the iterative HELIX session.
+
+:class:`~repro.core.session.HelixSession` is what a user of this library
+instantiates once per project.  Every call to :meth:`HelixSession.run` is one
+human-in-the-loop *iteration*: the session compiles the workflow, slices it,
+detects changes against previous iterations, plans reuse with the
+recomputation optimizer, executes the plan, materializes selected
+intermediates under the storage budget, and records a new version.
+"""
+
+from repro.core.session import HelixSession, SessionRunResult
+from repro.core.suggestions import SuggestedEdit, SuggestionConfig, suggest_modifications
+
+__all__ = [
+    "HelixSession",
+    "SessionRunResult",
+    "SuggestedEdit",
+    "SuggestionConfig",
+    "suggest_modifications",
+]

@@ -1,0 +1,219 @@
+"""The HelixSession: end-to-end driver for iterative workflow development."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.baselines.strategies import HELIX, ExecutionStrategy
+from repro.compiler.change_tracker import ChangeTracker, WorkflowDiff, diff_workflows
+from repro.compiler.codegen import CompiledWorkflow, compile_workflow
+from repro.compiler.plan import PhysicalPlan
+from repro.compiler.slicing import slice_to_outputs
+from repro.dsl.operators import ChangeCategory
+from repro.dsl.workflow import Workflow
+from repro.execution.engine import ExecutionEngine, ExecutionResult
+from repro.execution.stats import IterationReport, RunHistory
+from repro.execution.store import ArtifactStore
+from repro.execution.simulator import RECOMPUTATION_POLICIES
+from repro.graph.dag import NodeState
+from repro.optimizer.cost_model import CostDefaults, CostEstimator, NodeCosts
+from repro.versioning.metrics_tracker import MetricsTracker
+from repro.versioning.version_store import VersionStore, WorkflowVersion
+
+
+@dataclass
+class SessionRunResult:
+    """Everything produced by one iteration."""
+
+    version: WorkflowVersion
+    plan: PhysicalPlan
+    report: IterationReport
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    diff: Optional[WorkflowDiff] = None
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        return self.report.metrics
+
+    @property
+    def runtime(self) -> float:
+        return self.report.total_runtime
+
+
+class HelixSession:
+    """An iterative development session over one workspace directory.
+
+    Parameters
+    ----------
+    workspace:
+        Directory for materialized artifacts (created if missing).  Re-opening
+        a session on an existing workspace picks the artifact catalog back up,
+        so reuse works across sessions too.
+    strategy:
+        Execution strategy; defaults to full HELIX.  Pass one of the baseline
+        strategies (``DEEPDIVE``, ``KEYSTONEML``, ``HELIX_UNOPTIMIZED``) to run
+        the comparison systems over the identical workflow.
+    storage_budget:
+        Maximum bytes of materialized intermediates (``None`` = unlimited).
+    """
+
+    def __init__(
+        self,
+        workspace: str,
+        strategy: ExecutionStrategy = HELIX,
+        storage_budget: Optional[float] = None,
+        cost_defaults: CostDefaults = CostDefaults(),
+    ) -> None:
+        self.workspace = workspace
+        self.strategy = strategy
+        os.makedirs(workspace, exist_ok=True)
+        self.store = ArtifactStore(os.path.join(workspace, "artifacts"), budget_bytes=storage_budget)
+        self.history = RunHistory()
+        self.tracker = ChangeTracker()
+        self.estimator = CostEstimator(cost_defaults)
+        self._previous_compiled: Optional[CompiledWorkflow] = None
+        # Restore persisted state from previous sessions over this workspace:
+        # version records (browsing/diffing) and the measured cost database.
+        from repro.versioning.persistence import load_cost_history, load_version_store
+
+        self.versions = load_version_store(workspace)
+        for signature, record in load_cost_history(workspace).items():
+            self.history.record(signature, record)
+            self.tracker.observe_signature(signature)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _estimate_costs(self, compiled: CompiledWorkflow) -> Dict[str, NodeCosts]:
+        costs = self.estimator.estimate(
+            compiled,
+            history=self.history.cost_records(),
+            materialized_sizes=self.store.sizes_by_signature(),
+            measured_load_costs=self.store.load_costs_by_signature(),
+        )
+        # Strategy restrictions: comparators that cannot reuse certain node
+        # categories (or anything at all) simply see those nodes as
+        # non-materialized, which forces the planner to recompute them.
+        for name in compiled.nodes():
+            category = compiled.categories.get(name)
+            category_value = getattr(category, "value", str(category))
+            if not self.strategy.cross_iteration_reuse:
+                costs[name].materialized = False
+            elif category_value in self.strategy.always_recompute_categories:
+                costs[name].materialized = False
+        return costs
+
+    def plan(self, workflow: Workflow) -> PhysicalPlan:
+        """Compile, slice, and optimize a workflow without executing it.
+
+        Useful for inspecting the optimized execution plan (Figure 1b) or for
+        what-if analysis in the versioning UI.
+        """
+        compiled = slice_to_outputs(compile_workflow(workflow))
+        costs = self._estimate_costs(compiled)
+        planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
+        states = planner(compiled.dag, costs, compiled.outputs)
+        from repro.optimizer.recomputation import plan_cost  # local import to avoid cycle at module load
+
+        return PhysicalPlan(compiled=compiled, states=states, estimated_cost=plan_cost(states, costs))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workflow: Workflow,
+        description: str = "",
+        change_category: str = "",
+    ) -> SessionRunResult:
+        """Execute one iteration of ``workflow`` and record a new version."""
+        compiled_full = compile_workflow(workflow)
+        compiled = slice_to_outputs(compiled_full)
+        costs = self._estimate_costs(compiled)
+        planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
+        states = planner(compiled.dag, costs, compiled.outputs)
+        plan = PhysicalPlan(compiled=compiled, states=states)
+
+        policy = self.strategy.make_materialization_policy(
+            compiled.dag, costs, self.store.remaining_budget()
+        )
+        engine = ExecutionEngine(self.store, policy)
+
+        diff = diff_workflows(self._previous_compiled, compiled) if self._previous_compiled else None
+        if not change_category:
+            change_category = self._infer_change_category(compiled, diff)
+
+        iteration_index = len(self.versions)
+        result: ExecutionResult = engine.execute(
+            plan,
+            costs,
+            iteration=iteration_index,
+            description=description,
+            change_category=change_category,
+            system=self.strategy.name,
+        )
+
+        self.history.update_from_report(result.report)
+        self.tracker.observe(compiled)
+        self._previous_compiled = compiled
+        version = self.versions.record(
+            compiled,
+            report=result.report,
+            description=description,
+            change_category=change_category,
+            workflow=workflow,
+        )
+        self._persist_state()
+        return SessionRunResult(
+            version=version,
+            plan=plan,
+            report=result.report,
+            outputs=result.outputs,
+            diff=diff,
+        )
+
+    def _persist_state(self) -> None:
+        """Write version records and the cost database next to the artifacts."""
+        from repro.versioning.persistence import save_cost_history, save_version_store
+
+        save_version_store(self.versions, self.workspace)
+        save_cost_history(self.history, self.workspace)
+
+    def _infer_change_category(self, compiled: CompiledWorkflow, diff: Optional[WorkflowDiff]) -> str:
+        """Classify an iteration by the deepest category among its edited nodes.
+
+        Data-prep edits dominate ML edits dominate post-processing edits,
+        because an upstream edit invalidates everything downstream (the
+        coloring convention of Figure 2).
+        """
+        if diff is None:
+            return "initial"
+        edited = set(diff.added) | set(diff.changed)
+        edited_categories = set()
+        for name in edited:
+            category = compiled.categories.get(name)
+            if category is not None:
+                edited_categories.add(category)
+        for category in (ChangeCategory.DATA_PREP, ChangeCategory.ML, ChangeCategory.POSTPROCESS):
+            if category in edited_categories:
+                return category.value
+        return "none" if not edited else "source"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> MetricsTracker:
+        return MetricsTracker(self.versions)
+
+    def cumulative_runtime(self) -> float:
+        return self.history.cumulative_runtime()
+
+    def reuse_fraction_last_run(self) -> float:
+        if not self.history.reports:
+            return 0.0
+        return self.history.reports[-1].reuse_fraction()
+
+    def storage_used(self) -> float:
+        return self.store.used_bytes()

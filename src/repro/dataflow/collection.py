@@ -1,0 +1,167 @@
+"""Record-oriented collections: schema, data collection, train/test dataset."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered field names with optional per-field type converters.
+
+    ``types`` maps a field name to a callable (``int``, ``float``, ``str`` or a
+    user function) applied when records are parsed from text.  Fields missing
+    from ``types`` are kept as strings.
+    """
+
+    fields: Sequence[str]
+    types: Dict[str, Callable[[str], Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = list(self.fields)
+        if len(names) != len(set(names)):
+            raise DataError(f"schema has duplicate fields: {names}")
+        unknown = set(self.types) - set(names)
+        if unknown:
+            raise DataError(f"schema types refer to unknown fields: {sorted(unknown)}")
+
+    def convert(self, record: Dict[str, str]) -> Dict[str, Any]:
+        """Apply the type converters to a raw string record."""
+        out: Dict[str, Any] = {}
+        for name in self.fields:
+            if name not in record:
+                raise DataError(f"record missing field {name!r}: {record}")
+            value = record[name]
+            converter = self.types.get(name)
+            if converter is None or value is None:
+                out[name] = value
+            else:
+                try:
+                    out[name] = converter(value)
+                except (TypeError, ValueError) as exc:
+                    raise DataError(f"cannot convert field {name!r}={value!r}: {exc}") from exc
+        return out
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.fields
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+class DataCollection:
+    """An ordered, immutable-by-convention collection of record dicts."""
+
+    def __init__(self, records: Iterable[Dict[str, Any]], schema: Optional[Schema] = None, name: str = "data") -> None:
+        self._records: List[Dict[str, Any]] = list(records)
+        self.schema = schema
+        self.name = name
+
+    # -- basic protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> Dict[str, Any]:
+        return self._records[index]
+
+    def records(self) -> List[Dict[str, Any]]:
+        """The underlying record list (not copied; treat as read-only)."""
+        return self._records
+
+    # -- functional operators -------------------------------------------
+    def map(self, fn: Callable[[Dict[str, Any]], Dict[str, Any]], name: Optional[str] = None) -> "DataCollection":
+        """Return a new collection with ``fn`` applied to every record."""
+        return DataCollection([fn(r) for r in self._records], schema=None, name=name or f"{self.name}.map")
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool], name: Optional[str] = None) -> "DataCollection":
+        """Return a new collection keeping records where ``predicate`` holds."""
+        return DataCollection(
+            [r for r in self._records if predicate(r)], schema=self.schema, name=name or f"{self.name}.filter"
+        )
+
+    def select(self, fields: Sequence[str], name: Optional[str] = None) -> "DataCollection":
+        """Project every record onto ``fields``."""
+        missing = [f for f in fields if self._records and f not in self._records[0]]
+        if missing:
+            raise DataError(f"select refers to unknown fields: {missing}")
+        return DataCollection(
+            [{f: r[f] for f in fields} for r in self._records],
+            schema=Schema(fields, {}),
+            name=name or f"{self.name}.select",
+        )
+
+    def column(self, field_name: str) -> List[Any]:
+        """Values of one field across all records."""
+        try:
+            return [r[field_name] for r in self._records]
+        except KeyError as exc:
+            raise DataError(f"unknown field {field_name!r} in collection {self.name!r}") from exc
+
+    def head(self, n: int = 5) -> List[Dict[str, Any]]:
+        """First ``n`` records (for inspection)."""
+        return self._records[:n]
+
+    # -- I/O --------------------------------------------------------------
+    @classmethod
+    def from_csv(cls, path: str, schema: Schema, delimiter: str = ",", name: str = "data") -> "DataCollection":
+        """Parse a headerless CSV file using ``schema`` for field names/types."""
+        with open(path, "r", newline="") as handle:
+            return cls._from_reader(csv.reader(handle, delimiter=delimiter), schema, name)
+
+    @classmethod
+    def from_csv_text(cls, text: str, schema: Schema, delimiter: str = ",", name: str = "data") -> "DataCollection":
+        """Parse headerless CSV content held in a string."""
+        return cls._from_reader(csv.reader(io.StringIO(text), delimiter=delimiter), schema, name)
+
+    @classmethod
+    def _from_reader(cls, reader: Iterable[List[str]], schema: Schema, name: str) -> "DataCollection":
+        records = []
+        for line_number, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if len(row) != len(schema):
+                raise DataError(
+                    f"line {line_number}: expected {len(schema)} fields, got {len(row)}"
+                )
+            raw = {field_name: value.strip() for field_name, value in zip(schema.fields, row)}
+            records.append(schema.convert(raw))
+        return cls(records, schema=schema, name=name)
+
+    def to_csv(self, path: str, delimiter: str = ",") -> None:
+        """Write the collection as headerless CSV in schema (or key) order."""
+        fields = list(self.schema.fields) if self.schema else (list(self._records[0]) if self._records else [])
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle, delimiter=delimiter)
+            for record in self._records:
+                writer.writerow([record[f] for f in fields])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataCollection(name={self.name!r}, records={len(self)})"
+
+
+@dataclass
+class Dataset:
+    """A train/test split, the unit produced by data-source operators."""
+
+    train: DataCollection
+    test: DataCollection
+    name: str = "dataset"
+
+    def splits(self) -> Dict[str, DataCollection]:
+        """Mapping of split name to collection, in a fixed order."""
+        return {"train": self.train, "test": self.test}
+
+    def __len__(self) -> int:
+        return len(self.train) + len(self.test)
+
+    def map_splits(self, fn: Callable[[str, DataCollection], DataCollection], name: Optional[str] = None) -> "Dataset":
+        """Apply ``fn(split_name, collection)`` to both splits."""
+        return Dataset(train=fn("train", self.train), test=fn("test", self.test), name=name or self.name)

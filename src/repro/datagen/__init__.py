@@ -1,0 +1,22 @@
+"""Synthetic dataset generators.
+
+The paper evaluates on the UCI Adult ("Census") dataset and on a news corpus
+for person-mention extraction; neither is downloadable in this offline
+environment, so this package generates seeded synthetic equivalents with the
+same schemas and the same learning-task structure (see DESIGN.md §1 for the
+substitution rationale).
+"""
+
+from repro.datagen.census import CENSUS_FIELDS, CensusConfig, generate_census_dataset
+from repro.datagen.names import FIRST_NAMES, LAST_NAMES
+from repro.datagen.news import NewsConfig, generate_news_dataset
+
+__all__ = [
+    "CENSUS_FIELDS",
+    "CensusConfig",
+    "generate_census_dataset",
+    "NewsConfig",
+    "generate_news_dataset",
+    "FIRST_NAMES",
+    "LAST_NAMES",
+]

@@ -1,0 +1,58 @@
+"""Name, place, and organization vocabularies for the synthetic news corpus."""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
+    "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy",
+    "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+    "Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle",
+    "Kenneth", "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+    "Timothy", "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary", "Amy",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas",
+    "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White",
+    "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young",
+    "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+]
+
+HONORIFIC_TITLES = ["Mr.", "Mrs.", "Ms.", "Dr.", "Prof.", "Senator", "Gov.", "President", "Judge"]
+
+CITIES = [
+    "Chicago", "Springfield", "Urbana", "Boston", "Seattle", "Denver", "Austin",
+    "Portland", "Atlanta", "Phoenix", "Madison", "Columbus", "Raleigh", "Omaha",
+]
+
+ORGANIZATIONS = [
+    "Acme Corporation", "Globex", "Initech", "Umbrella Group", "Stark Industries",
+    "Wayne Enterprises", "Hooli", "Vandelay Industries", "Wonka Labs", "Cyberdyne Systems",
+]
+
+TOPICS = [
+    "the city budget", "a new transit plan", "the quarterly earnings report",
+    "an upcoming election", "the trade agreement", "a research breakthrough",
+    "the housing initiative", "a labor dispute", "the energy policy", "a charity gala",
+]
+
+VERBS = [
+    "announced", "criticized", "praised", "discussed", "unveiled", "questioned",
+    "defended", "proposed", "rejected", "endorsed",
+]
+
+FILLER_SENTENCES = [
+    "Markets reacted calmly to the news.",
+    "The committee will reconvene next week.",
+    "Analysts expect further developments soon.",
+    "Local residents expressed mixed opinions.",
+    "The report was released late on Friday.",
+    "Officials declined to comment further.",
+    "The measure passed by a narrow margin.",
+    "Several details remain under review.",
+]

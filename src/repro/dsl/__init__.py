@@ -1,0 +1,84 @@
+"""Declarative workflow DSL.
+
+Helix programs are written against a small set of operator types; a
+:class:`~repro.dsl.workflow.Workflow` is an ordered set of named operator
+declarations plus a set of output names.  The compiler (:mod:`repro.compiler`)
+turns a workflow into an operator DAG; nothing in this package executes
+anything by itself.
+
+The operator vocabulary mirrors the paper's Census program (Figure 1a):
+``FileSource`` / ``CsvScanner`` for ingest, ``FieldExtractor`` /
+``Bucketizer`` / ``InteractionFeature`` for feature engineering,
+``FeatureAssembler`` (the ``has_extractors`` + ``with_labels`` statements),
+``Learner`` / ``Predictor`` for ML, and ``Evaluator`` / ``Reducer`` for
+post-processing.  Sequence (information-extraction) counterparts live in
+:mod:`repro.dsl.ie_operators`.
+"""
+
+from repro.dsl.operators import (
+    Bucketizer,
+    ChangeCategory,
+    ClusterAssigner,
+    ClusterLearner,
+    CsvScanner,
+    Evaluator,
+    FeatureAssembler,
+    FieldExtractor,
+    FileSource,
+    InteractionFeature,
+    LabelExtractor,
+    Learner,
+    Operator,
+    Predictor,
+    Reducer,
+    SyntheticCensusSource,
+    TrainedModel,
+    UDFFeatureExtractor,
+)
+from repro.dsl.ie_operators import (
+    ContextWindowExtractor,
+    GazetteerExtractor,
+    MentionFormatter,
+    SequenceFeatureAssembler,
+    SequenceLearner,
+    SequencePredictor,
+    SpanEvaluator,
+    SyntheticNewsSource,
+    TokenShapeExtractor,
+    Tokenizer,
+)
+from repro.dsl.udf import UDF
+from repro.dsl.workflow import Workflow
+
+__all__ = [
+    "Workflow",
+    "Operator",
+    "ChangeCategory",
+    "UDF",
+    "FileSource",
+    "SyntheticCensusSource",
+    "CsvScanner",
+    "FieldExtractor",
+    "LabelExtractor",
+    "Bucketizer",
+    "InteractionFeature",
+    "UDFFeatureExtractor",
+    "FeatureAssembler",
+    "Learner",
+    "ClusterLearner",
+    "ClusterAssigner",
+    "TrainedModel",
+    "Predictor",
+    "Evaluator",
+    "Reducer",
+    "SyntheticNewsSource",
+    "Tokenizer",
+    "TokenShapeExtractor",
+    "ContextWindowExtractor",
+    "GazetteerExtractor",
+    "SequenceFeatureAssembler",
+    "SequenceLearner",
+    "SequencePredictor",
+    "SpanEvaluator",
+    "MentionFormatter",
+]

@@ -1,0 +1,681 @@
+"""Operator vocabulary for record-oriented (classification) workflows.
+
+Every operator is a *declaration*: it names its dependencies (other node
+names) and implements ``apply`` to turn the dependencies' outputs into its own
+output.  Operators never execute themselves — the execution engine calls
+``apply`` — and they must be deterministic functions of their inputs and
+parameters so that signatures computed by the compiler are meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass, is_dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.dataflow.collection import DataCollection, Dataset, Schema
+from repro.dataflow.features import (
+    ExampleCollection,
+    FeatureBlock,
+    LabelBlock,
+    PredictionSet,
+    merge_feature_blocks,
+)
+from repro.datagen.census import CensusConfig, generate_census_dataset
+from repro.dsl.udf import UDF
+from repro.errors import ExecutionError, WorkflowError
+from repro.ml.linear import LogisticRegression, SoftmaxRegression
+from repro.ml.metrics import accuracy, f1_score, precision_recall_f1
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.ml.scaler import StandardScaler
+from repro.ml.vectorizer import DictVectorizer
+
+
+class ChangeCategory(enum.Enum):
+    """The paper's three iteration-change categories plus data sources.
+
+    The colors match Figure 2: purple = data pre-processing, orange = machine
+    learning, green = evaluation / post-processing.
+    """
+
+    SOURCE = "source"
+    DATA_PREP = "purple"
+    ML = "orange"
+    POSTPROCESS = "green"
+
+
+def _serializable(value: Any) -> Any:
+    """Best-effort conversion of operator parameters to JSON-friendly values."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return asdict(value)
+    if isinstance(value, (list, tuple)):
+        return [_serializable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _serializable(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class Operator:
+    """Base class for all workflow operators."""
+
+    #: Which iteration-change category the operator belongs to (used by the
+    #: workloads and reports to color iterations as in Figure 2).
+    category: ChangeCategory = ChangeCategory.DATA_PREP
+
+    def dependencies(self) -> List[str]:
+        """Names of the nodes whose outputs this operator consumes, in order."""
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-serializable parameters (everything that defines behaviour
+
+        except dependencies and UDF bodies, which are fingerprinted separately)."""
+        return {}
+
+    def udf_sources(self) -> List[str]:
+        """Source text of embedded UDFs, if any (part of the signature)."""
+        return []
+
+    def apply(self, inputs: Dict[str, Any]) -> Any:
+        """Compute this operator's output from its dependencies' outputs.
+
+        ``inputs`` maps dependency node name to that node's output value.
+        """
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+    def _input(self, inputs: Dict[str, Any], name: str) -> Any:
+        if name not in inputs:
+            raise ExecutionError(f"{type(self).__name__} is missing input {name!r}")
+        return inputs[name]
+
+    def describe(self) -> str:
+        params = ", ".join(f"{key}={value!r}" for key, value in sorted(self.params().items()))
+        return f"{type(self).__name__}({params})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+# ---------------------------------------------------------------------------
+# Data sources & scanning
+# ---------------------------------------------------------------------------
+class FileSource(Operator):
+    """Reads raw text lines from a train file and a test file.
+
+    Mirrors ``data refers_to new FileSource(train=..., test=...)`` in the
+    paper's Census program.  Each record is ``{"line": <raw text>}``; parsing
+    happens downstream in :class:`CsvScanner`.
+    """
+
+    category = ChangeCategory.SOURCE
+
+    def __init__(self, train: str, test: str) -> None:
+        self.train_path = train
+        self.test_path = test
+
+    def dependencies(self) -> List[str]:
+        return []
+
+    def params(self) -> Dict[str, Any]:
+        return {"train": self.train_path, "test": self.test_path}
+
+    @staticmethod
+    def _read_lines(path: str, name: str) -> DataCollection:
+        with open(path, "r") as handle:
+            records = [{"line": line.rstrip("\n")} for line in handle if line.strip()]
+        return DataCollection(records, schema=Schema(["line"], {}), name=name)
+
+    def apply(self, inputs: Dict[str, Any]) -> Dataset:
+        return Dataset(
+            train=self._read_lines(self.train_path, "train"),
+            test=self._read_lines(self.test_path, "test"),
+            name="file_source",
+        )
+
+
+class SyntheticCensusSource(Operator):
+    """Generates the synthetic Census dataset as raw CSV lines.
+
+    Offline stand-in for downloading the UCI Adult dataset: the output shape
+    (raw text lines that a scanner must parse) matches :class:`FileSource`.
+    """
+
+    category = ChangeCategory.SOURCE
+
+    def __init__(self, config: CensusConfig = CensusConfig()) -> None:
+        self.config = config
+
+    def dependencies(self) -> List[str]:
+        return []
+
+    def params(self) -> Dict[str, Any]:
+        return {"config": _serializable(self.config)}
+
+    def apply(self, inputs: Dict[str, Any]) -> Dataset:
+        dataset = generate_census_dataset(self.config)
+
+        def to_lines(_split: str, collection: DataCollection) -> DataCollection:
+            fields = list(collection.schema.fields)
+            records = [{"line": ",".join(str(record[field]) for field in fields)} for record in collection]
+            return DataCollection(records, schema=Schema(["line"], {}), name=f"{collection.name}.lines")
+
+        return dataset.map_splits(to_lines, name="census.lines")
+
+
+class CsvScanner(Operator):
+    """Parses raw CSV lines into typed records (``is_read_into ... using CSVScanner``)."""
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(
+        self,
+        data: str,
+        fields: Sequence[str],
+        numeric_fields: Sequence[str] = (),
+        delimiter: str = ",",
+    ) -> None:
+        self.data = data
+        self.fields = list(fields)
+        self.numeric_fields = list(numeric_fields)
+        self.delimiter = delimiter
+
+    def dependencies(self) -> List[str]:
+        return [self.data]
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "fields": self.fields,
+            "numeric_fields": self.numeric_fields,
+            "delimiter": self.delimiter,
+        }
+
+    def apply(self, inputs: Dict[str, Any]) -> Dataset:
+        dataset: Dataset = self._input(inputs, self.data)
+        schema = Schema(self.fields, {name: float for name in self.numeric_fields})
+
+        def parse(_split: str, collection: DataCollection) -> DataCollection:
+            records = []
+            for record in collection:
+                values = [piece.strip() for piece in record["line"].split(self.delimiter)]
+                if len(values) != len(self.fields):
+                    raise ExecutionError(
+                        f"CsvScanner expected {len(self.fields)} fields, got {len(values)}: {record['line']!r}"
+                    )
+                records.append(schema.convert(dict(zip(self.fields, values))))
+            return DataCollection(records, schema=schema, name=f"{collection.name}.parsed")
+
+        return dataset.map_splits(parse, name="rows")
+
+
+# ---------------------------------------------------------------------------
+# Feature extraction
+# ---------------------------------------------------------------------------
+class FieldExtractor(Operator):
+    """Extracts one field from every record as a feature.
+
+    Numeric fields become a single ``"value"`` feature; categorical fields are
+    one-hot encoded as ``"<field>=<value>"`` features, keeping the
+    human-readable representation the paper's DSL advertises.
+    """
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(self, rows: str, field: str, numeric: Optional[bool] = None) -> None:
+        self.rows = rows
+        self.field = field
+        self.numeric = numeric
+
+    def dependencies(self) -> List[str]:
+        return [self.rows]
+
+    def params(self) -> Dict[str, Any]:
+        return {"field": self.field, "numeric": self.numeric}
+
+    def _featurize(self, value: Any) -> Dict[str, float]:
+        is_numeric = self.numeric
+        if is_numeric is None:
+            is_numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+        if is_numeric:
+            return {"value": float(value)}
+        return {f"{self.field}={value}": 1.0}
+
+    def apply(self, inputs: Dict[str, Any]) -> FeatureBlock:
+        dataset: Dataset = self._input(inputs, self.rows)
+        return FeatureBlock(
+            name=self.field,
+            train=[self._featurize(record[self.field]) for record in dataset.train],
+            test=[self._featurize(record[self.field]) for record in dataset.test],
+        )
+
+
+class LabelExtractor(Operator):
+    """Extracts the target field as the label block (``with_labels target``)."""
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(self, rows: str, field: str, positive_value: Optional[Any] = None) -> None:
+        self.rows = rows
+        self.field = field
+        self.positive_value = positive_value
+
+    def dependencies(self) -> List[str]:
+        return [self.rows]
+
+    def params(self) -> Dict[str, Any]:
+        return {"field": self.field, "positive_value": _serializable(self.positive_value)}
+
+    def _to_label(self, value: Any) -> Any:
+        if self.positive_value is not None:
+            return int(value == self.positive_value)
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        return value
+
+    def apply(self, inputs: Dict[str, Any]) -> LabelBlock:
+        dataset: Dataset = self._input(inputs, self.rows)
+        return LabelBlock(
+            name=self.field,
+            train=[self._to_label(record[self.field]) for record in dataset.train],
+            test=[self._to_label(record[self.field]) for record in dataset.test],
+        )
+
+
+class Bucketizer(Operator):
+    """Discretizes a numeric feature block into equal-width one-hot buckets.
+
+    Bucket edges are computed on the train split only and reused for test.
+    """
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(self, source: str, bins: int = 10) -> None:
+        if bins <= 0:
+            raise WorkflowError("Bucketizer requires a positive number of bins")
+        self.source = source
+        self.bins = int(bins)
+
+    def dependencies(self) -> List[str]:
+        return [self.source]
+
+    def params(self) -> Dict[str, Any]:
+        return {"bins": self.bins}
+
+    def apply(self, inputs: Dict[str, Any]) -> FeatureBlock:
+        block: FeatureBlock = self._input(inputs, self.source)
+        train_values = [row.get("value", 0.0) for row in block.train]
+        if not train_values:
+            raise ExecutionError("Bucketizer received an empty train split")
+        low, high = min(train_values), max(train_values)
+        if high == low:
+            high = low + 1.0
+        edges = np.linspace(low, high, self.bins + 1)
+
+        def bucket(row: Mapping[str, float]) -> Dict[str, float]:
+            value = row.get("value", 0.0)
+            index = int(np.clip(np.searchsorted(edges, value, side="right") - 1, 0, self.bins - 1))
+            return {f"bucket={index}": 1.0}
+
+        return FeatureBlock(
+            name=f"{block.name}_bucket",
+            train=[bucket(row) for row in block.train],
+            test=[bucket(row) for row in block.test],
+        )
+
+
+class InteractionFeature(Operator):
+    """Pairwise interaction (cross-product) of two or more feature blocks."""
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(self, sources: Sequence[str]) -> None:
+        if len(sources) < 2:
+            raise WorkflowError("InteractionFeature requires at least two source blocks")
+        self.sources = list(sources)
+
+    def dependencies(self) -> List[str]:
+        return list(self.sources)
+
+    def params(self) -> Dict[str, Any]:
+        return {"arity": len(self.sources)}
+
+    @staticmethod
+    def _cross(left: Mapping[str, float], right: Mapping[str, float]) -> Dict[str, float]:
+        return {
+            f"{left_key}&{right_key}": left_value * right_value
+            for left_key, left_value in left.items()
+            for right_key, right_value in right.items()
+        }
+
+    def apply(self, inputs: Dict[str, Any]) -> FeatureBlock:
+        blocks: List[FeatureBlock] = [self._input(inputs, name) for name in self.sources]
+
+        def cross_split(split: str) -> List[Dict[str, float]]:
+            rows = [dict(row) for row in blocks[0].split(split)]
+            for block in blocks[1:]:
+                rows = [self._cross(left, right) for left, right in zip(rows, block.split(split))]
+            return rows
+
+        return FeatureBlock(
+            name="x".join(block.name for block in blocks),
+            train=cross_split("train"),
+            test=cross_split("test"),
+        )
+
+
+class UDFFeatureExtractor(Operator):
+    """Applies a user-defined ``record -> feature dict`` function to every record."""
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(self, rows: str, udf: Callable[[Mapping[str, Any]], Dict[str, float]], name: Optional[str] = None) -> None:
+        self.rows = rows
+        self.udf = UDF.wrap(udf, name=name)
+
+    def dependencies(self) -> List[str]:
+        return [self.rows]
+
+    def params(self) -> Dict[str, Any]:
+        return {"udf_name": self.udf.name}
+
+    def udf_sources(self) -> List[str]:
+        return [self.udf.source()]
+
+    def apply(self, inputs: Dict[str, Any]) -> FeatureBlock:
+        dataset: Dataset = self._input(inputs, self.rows)
+        return FeatureBlock(
+            name=self.udf.name,
+            train=[dict(self.udf(record)) for record in dataset.train],
+            test=[dict(self.udf(record)) for record in dataset.test],
+        )
+
+
+class FeatureAssembler(Operator):
+    """Merges extractor blocks and a label block into learning examples.
+
+    Corresponds to the pair of statements ``rows has_extractors(...)`` and
+    ``income results_from rows with_labels target`` in the paper's program.
+    The list of extractors is what the program-slicing component inspects to
+    prune unused feature extractors.
+    """
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(self, extractors: Sequence[str], label: str) -> None:
+        if not extractors:
+            raise WorkflowError("FeatureAssembler requires at least one extractor")
+        self.extractors = list(extractors)
+        self.label = label
+
+    def dependencies(self) -> List[str]:
+        return list(self.extractors) + [self.label]
+
+    def params(self) -> Dict[str, Any]:
+        return {"n_extractors": len(self.extractors)}
+
+    def apply(self, inputs: Dict[str, Any]) -> ExampleCollection:
+        blocks = [self._input(inputs, name) for name in self.extractors]
+        labels: LabelBlock = self._input(inputs, self.label)
+        merged = merge_feature_blocks(blocks)
+        return ExampleCollection(features=merged, labels=labels, name="examples")
+
+
+# ---------------------------------------------------------------------------
+# Machine learning
+# ---------------------------------------------------------------------------
+@dataclass
+class TrainedModel:
+    """A fitted model bundled with its vectorizer/scaler (the Learner output)."""
+
+    model_type: str
+    vectorizer: DictVectorizer
+    scaler: Optional[StandardScaler]
+    model: Any
+    hyperparams: Dict[str, Any]
+
+    def transform(self, feature_dicts: Sequence[Mapping[str, float]]) -> np.ndarray:
+        matrix = self.vectorizer.transform(feature_dicts)
+        if self.scaler is not None:
+            matrix = self.scaler.transform(matrix)
+        return matrix
+
+    def predict(self, feature_dicts: Sequence[Mapping[str, float]]) -> List[Any]:
+        predictions = self.model.predict(self.transform(feature_dicts))
+        return list(predictions)
+
+
+class Learner(Operator):
+    """Trains a model on the train split of an example collection.
+
+    ``model_type`` selects among the substrate learners:
+    ``"logistic_regression"`` (default), ``"softmax"``, ``"naive_bayes"``.
+    Hyperparameters (``reg_param``, ``learning_rate``, ``max_iter``, ...) are
+    forwarded to the learner and are part of the operator signature, so
+    changing the regularization in an iteration re-trains the model but does
+    not re-run feature extraction.
+    """
+
+    category = ChangeCategory.ML
+
+    MODEL_TYPES = ("logistic_regression", "softmax", "naive_bayes")
+
+    def __init__(self, examples: str, model_type: str = "logistic_regression", standardize: bool = True, **hyperparams: Any) -> None:
+        if model_type not in self.MODEL_TYPES:
+            raise WorkflowError(f"unknown model_type {model_type!r}; expected one of {self.MODEL_TYPES}")
+        self.examples = examples
+        self.model_type = model_type
+        self.standardize = bool(standardize)
+        self.hyperparams = dict(hyperparams)
+
+    def dependencies(self) -> List[str]:
+        return [self.examples]
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "model_type": self.model_type,
+            "standardize": self.standardize,
+            "hyperparams": _serializable(self.hyperparams),
+        }
+
+    def _build_model(self) -> Any:
+        if self.model_type == "logistic_regression":
+            return LogisticRegression(**self.hyperparams)
+        if self.model_type == "softmax":
+            return SoftmaxRegression(**self.hyperparams)
+        return BernoulliNaiveBayes(**self.hyperparams)
+
+    def apply(self, inputs: Dict[str, Any]) -> TrainedModel:
+        examples: ExampleCollection = self._input(inputs, self.examples)
+        train_features, train_labels = examples.split("train")
+        vectorizer = DictVectorizer()
+        matrix = vectorizer.fit_transform(train_features)
+        scaler = None
+        if self.standardize and self.model_type != "naive_bayes":
+            scaler = StandardScaler()
+            matrix = scaler.fit_transform(matrix)
+        model = self._build_model()
+        model.fit(matrix, train_labels)
+        return TrainedModel(
+            model_type=self.model_type,
+            vectorizer=vectorizer,
+            scaler=scaler,
+            model=model,
+            hyperparams=dict(self.hyperparams),
+        )
+
+
+class ClusterLearner(Operator):
+    """Unsupervised learner: fits K-means on the train-split features.
+
+    The output bundles the fitted clustering with the vectorizer so that
+    :class:`ClusterAssigner` can label both splits; this is the DSL's
+    unsupervised-learning path mentioned in Section 2.1.
+    """
+
+    category = ChangeCategory.ML
+
+    def __init__(self, examples: str, n_clusters: int = 8, max_iter: int = 100, seed: int = 0, standardize: bool = True) -> None:
+        from repro.ml.kmeans import KMeans  # local import keeps module load cheap
+
+        if n_clusters <= 0:
+            raise WorkflowError("ClusterLearner requires a positive number of clusters")
+        self.examples = examples
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.seed = int(seed)
+        self.standardize = bool(standardize)
+        self._kmeans_cls = KMeans
+
+    def dependencies(self) -> List[str]:
+        return [self.examples]
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "n_clusters": self.n_clusters,
+            "max_iter": self.max_iter,
+            "seed": self.seed,
+            "standardize": self.standardize,
+        }
+
+    def apply(self, inputs: Dict[str, Any]) -> TrainedModel:
+        examples: ExampleCollection = self._input(inputs, self.examples)
+        train_features, _train_labels = examples.split("train")
+        vectorizer = DictVectorizer()
+        matrix = vectorizer.fit_transform(train_features)
+        scaler = None
+        if self.standardize:
+            scaler = StandardScaler()
+            matrix = scaler.fit_transform(matrix)
+        model = self._kmeans_cls(n_clusters=self.n_clusters, max_iter=self.max_iter, seed=self.seed)
+        model.fit(matrix)
+        return TrainedModel(
+            model_type="kmeans",
+            vectorizer=vectorizer,
+            scaler=scaler,
+            model=model,
+            hyperparams={"n_clusters": self.n_clusters, "max_iter": self.max_iter, "seed": self.seed},
+        )
+
+
+class ClusterAssigner(Operator):
+    """Assigns cluster ids to both splits using a fitted :class:`ClusterLearner` output."""
+
+    category = ChangeCategory.ML
+
+    def __init__(self, model: str, examples: str) -> None:
+        self.model = model
+        self.examples = examples
+
+    def dependencies(self) -> List[str]:
+        return [self.model, self.examples]
+
+    def apply(self, inputs: Dict[str, Any]) -> PredictionSet:
+        model: TrainedModel = self._input(inputs, self.model)
+        examples: ExampleCollection = self._input(inputs, self.examples)
+        train_features, train_labels = examples.split("train")
+        test_features, test_labels = examples.split("test")
+        return PredictionSet(
+            name="cluster_assignments",
+            train_predictions=model.predict(train_features),
+            train_labels=list(train_labels),
+            test_predictions=model.predict(test_features),
+            test_labels=list(test_labels),
+        )
+
+
+class Predictor(Operator):
+    """Applies a trained model to both splits (``predictions results_from incPred on income``)."""
+
+    category = ChangeCategory.ML
+
+    def __init__(self, model: str, examples: str) -> None:
+        self.model = model
+        self.examples = examples
+
+    def dependencies(self) -> List[str]:
+        return [self.model, self.examples]
+
+    def apply(self, inputs: Dict[str, Any]) -> PredictionSet:
+        model: TrainedModel = self._input(inputs, self.model)
+        examples: ExampleCollection = self._input(inputs, self.examples)
+        train_features, train_labels = examples.split("train")
+        test_features, test_labels = examples.split("test")
+        return PredictionSet(
+            name="predictions",
+            train_predictions=model.predict(train_features),
+            train_labels=list(train_labels),
+            test_predictions=model.predict(test_features),
+            test_labels=list(test_labels),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Evaluation / post-processing
+# ---------------------------------------------------------------------------
+class Evaluator(Operator):
+    """Computes standard classification metrics from a prediction set."""
+
+    category = ChangeCategory.POSTPROCESS
+
+    METRICS = ("accuracy", "f1", "precision", "recall")
+
+    def __init__(self, predictions: str, metrics: Sequence[str] = ("accuracy",), positive_label: Any = 1) -> None:
+        unknown = set(metrics) - set(self.METRICS)
+        if unknown:
+            raise WorkflowError(f"unknown metrics {sorted(unknown)}; expected a subset of {self.METRICS}")
+        self.predictions = predictions
+        self.metrics = list(metrics)
+        self.positive_label = positive_label
+
+    def dependencies(self) -> List[str]:
+        return [self.predictions]
+
+    def params(self) -> Dict[str, Any]:
+        return {"metrics": self.metrics, "positive_label": _serializable(self.positive_label)}
+
+    def apply(self, inputs: Dict[str, Any]) -> Dict[str, float]:
+        predictions: PredictionSet = self._input(inputs, self.predictions)
+        results: Dict[str, float] = {}
+        for split in ("train", "test"):
+            predicted, gold = predictions.split(split)
+            prf = precision_recall_f1(gold, predicted, positive_label=self.positive_label)
+            for metric in self.metrics:
+                if metric == "accuracy":
+                    results[f"{split}_accuracy"] = accuracy(gold, predicted)
+                elif metric == "f1":
+                    results[f"{split}_f1"] = prf["f1"]
+                elif metric == "precision":
+                    results[f"{split}_precision"] = prf["precision"]
+                elif metric == "recall":
+                    results[f"{split}_recall"] = prf["recall"]
+        return results
+
+
+class Reducer(Operator):
+    """Applies an arbitrary UDF to an upstream result (the paper's ``Reducer``).
+
+    Used for custom result checking / post-processing; the UDF body is part of
+    the operator signature so editing it invalidates only this node.
+    """
+
+    category = ChangeCategory.POSTPROCESS
+
+    def __init__(self, source: str, udf: Callable[[Any], Any], name: Optional[str] = None) -> None:
+        self.source = source
+        self.udf = UDF.wrap(udf, name=name)
+
+    def dependencies(self) -> List[str]:
+        return [self.source]
+
+    def params(self) -> Dict[str, Any]:
+        return {"udf_name": self.udf.name}
+
+    def udf_sources(self) -> List[str]:
+        return [self.udf.source()]
+
+    def apply(self, inputs: Dict[str, Any]) -> Any:
+        return self.udf(self._input(inputs, self.source))

@@ -1,0 +1,53 @@
+"""User-defined-function wrapper.
+
+Helix lets users embed imperative UDFs inside declarative statements; for
+change detection the compiler must be able to fingerprint a UDF.  :class:`UDF`
+wraps a callable together with its source code (recovered via ``inspect`` when
+possible) so that editing the function body changes the owning operator's
+signature, exactly like the source-version-control based change detection the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from typing import Any, Callable, Optional
+
+
+class UDF:
+    """A named, fingerprintable user-defined function."""
+
+    def __init__(self, fn: Callable[..., Any], name: Optional[str] = None, source: Optional[str] = None) -> None:
+        if not callable(fn):
+            raise TypeError("UDF requires a callable")
+        self.fn = fn
+        self.name = name or getattr(fn, "__name__", "udf")
+        self._source = source
+
+    @classmethod
+    def wrap(cls, fn_or_udf: Any, name: Optional[str] = None) -> "UDF":
+        """Return ``fn_or_udf`` unchanged if it is already a UDF, else wrap it."""
+        if isinstance(fn_or_udf, UDF):
+            return fn_or_udf
+        return cls(fn_or_udf, name=name)
+
+    def source(self) -> str:
+        """Source text used for fingerprinting.
+
+        Falls back to ``qualname`` for builtins/lambdas defined interactively,
+        which still distinguishes *which* function is referenced even when the
+        body cannot be recovered.
+        """
+        if self._source is not None:
+            return self._source
+        try:
+            return textwrap.dedent(inspect.getsource(self.fn))
+        except (OSError, TypeError):
+            return f"<unrecoverable source: {getattr(self.fn, '__qualname__', repr(self.fn))}>"
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.fn(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UDF(name={self.name!r})"

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Helix reproduction.
+
+All library-specific errors derive from :class:`HelixError` so callers can
+catch a single base class at API boundaries while still being able to
+distinguish failure modes precisely.
+"""
+
+from __future__ import annotations
+
+
+class HelixError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GraphError(HelixError):
+    """Raised for structural problems in a workflow DAG."""
+
+
+class CycleError(GraphError):
+    """Raised when an operation would introduce (or encounters) a cycle."""
+
+
+class UnknownNodeError(GraphError):
+    """Raised when a node name is referenced but not present in the DAG."""
+
+
+class DuplicateNodeError(GraphError):
+    """Raised when a node name is declared more than once."""
+
+
+class WorkflowError(HelixError):
+    """Raised for invalid declarations in the DSL layer."""
+
+
+class CompilationError(HelixError):
+    """Raised when a workflow cannot be compiled into an operator DAG."""
+
+
+class PlanError(HelixError):
+    """Raised when a physical plan is inconsistent or cannot be executed."""
+
+
+class ExecutionError(HelixError):
+    """Raised when an operator fails during execution."""
+
+
+class StorageError(HelixError):
+    """Raised for artifact-store failures (missing artifacts, I/O errors)."""
+
+
+class BudgetExceededError(StorageError):
+    """Raised when a write would exceed the configured storage budget."""
+
+
+class OptimizerError(HelixError):
+    """Raised when an optimizer receives inconsistent inputs."""
+
+
+class InfeasiblePlanError(OptimizerError):
+    """Raised when no feasible state assignment exists (should not happen
+
+    for well-formed inputs because every node can always be computed)."""
+
+
+class DataError(HelixError):
+    """Raised for malformed data collections or schema mismatches."""
+
+
+class MLError(HelixError):
+    """Raised by the machine-learning substrate (bad shapes, unfitted models)."""
+
+
+class NotFittedError(MLError):
+    """Raised when ``predict``/``transform`` is called before ``fit``."""
+
+
+class VersioningError(HelixError):
+    """Raised by the workflow version store."""

@@ -1,0 +1,32 @@
+"""Execution layer: artifact store, runtime statistics, real engine, simulator.
+
+The :class:`~repro.execution.engine.ExecutionEngine` interprets a physical
+plan produced by the compiler + recomputation optimizer: it computes, loads,
+or skips each node, records wall-clock statistics, and consults the
+materialization policy after every computed node (the online constraint from
+Section 2.3 of the paper).
+
+The :mod:`~repro.execution.simulator` executes *cost-annotated* DAGs against a
+virtual clock using the exact same optimizer code, which lets the benchmark
+harness replay paper-scale multi-hour workloads deterministically in seconds.
+"""
+
+from repro.execution.engine import ExecutionEngine, ExecutionResult
+from repro.execution.simulator import SimIteration, SimNode, SimulationResult, WorkflowSimulator, sim_dag
+from repro.execution.stats import IterationReport, NodeRunStats, RunHistory
+from repro.execution.store import ArtifactMeta, ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "ArtifactMeta",
+    "NodeRunStats",
+    "IterationReport",
+    "RunHistory",
+    "ExecutionEngine",
+    "ExecutionResult",
+    "SimNode",
+    "SimIteration",
+    "SimulationResult",
+    "WorkflowSimulator",
+    "sim_dag",
+]

@@ -1,0 +1,146 @@
+"""Runtime statistics: per-node stats, per-iteration reports, cross-iteration history.
+
+The materialization and recomputation optimizers are driven by "runtime
+statistics from the current and prior executions" (Section 2.3); this module
+is where those statistics live.  :class:`RunHistory` doubles as the signature
+→ cost database consumed by :class:`~repro.optimizer.cost_model.CostEstimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.graph.dag import NodeState
+from repro.optimizer.cost_model import CostRecord
+
+
+@dataclass
+class NodeRunStats:
+    """What happened to one node during one iteration."""
+
+    node: str
+    signature: str
+    operator_type: str
+    category: str
+    state: NodeState
+    compute_time: float = 0.0
+    load_time: float = 0.0
+    materialize_time: float = 0.0
+    output_size: float = 0.0
+    materialized: bool = False
+
+    def total_time(self) -> float:
+        return self.compute_time + self.load_time + self.materialize_time
+
+
+@dataclass
+class IterationReport:
+    """The outcome of executing one workflow iteration."""
+
+    iteration: int
+    workflow_name: str
+    description: str = ""
+    change_category: str = ""
+    system: str = "helix"
+    total_runtime: float = 0.0
+    node_stats: Dict[str, NodeRunStats] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    states: Dict[str, NodeState] = field(default_factory=dict)
+    storage_used: float = 0.0
+
+    # -- aggregation -----------------------------------------------------
+    def time_in_state(self, state: NodeState) -> float:
+        return sum(stats.total_time() for stats in self.node_stats.values() if stats.state is state)
+
+    def compute_time(self) -> float:
+        return sum(stats.compute_time for stats in self.node_stats.values())
+
+    def load_time(self) -> float:
+        return sum(stats.load_time for stats in self.node_stats.values())
+
+    def materialize_time(self) -> float:
+        return sum(stats.materialize_time for stats in self.node_stats.values())
+
+    def n_in_state(self, state: NodeState) -> int:
+        return sum(1 for stats in self.node_stats.values() if stats.state is state)
+
+    def reuse_fraction(self) -> float:
+        """Fraction of plan nodes that avoided recomputation (loaded or pruned)."""
+        total = len(self.node_stats)
+        if total == 0:
+            return 0.0
+        reused = sum(
+            1 for stats in self.node_stats.values() if stats.state in (NodeState.LOAD, NodeState.PRUNE)
+        )
+        return reused / total
+
+    def summary_row(self) -> Dict[str, object]:
+        """Flat dictionary for report tables."""
+        return {
+            "iteration": self.iteration,
+            "system": self.system,
+            "category": self.change_category,
+            "description": self.description,
+            "runtime": round(self.total_runtime, 4),
+            "compute": round(self.compute_time(), 4),
+            "load": round(self.load_time(), 4),
+            "materialize": round(self.materialize_time(), 4),
+            "computed": self.n_in_state(NodeState.COMPUTE),
+            "loaded": self.n_in_state(NodeState.LOAD),
+            "pruned": self.n_in_state(NodeState.PRUNE),
+            "storage": round(self.storage_used, 0),
+            **{f"metric:{key}": round(value, 4) for key, value in self.metrics.items()},
+        }
+
+
+class RunHistory:
+    """Measured costs per signature plus the list of iteration reports."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, CostRecord] = {}
+        self.reports: List[IterationReport] = []
+
+    def update_from_report(self, report: IterationReport) -> None:
+        """Fold an iteration's measurements into the signature → cost database.
+
+        Only computed nodes carry fresh compute measurements; loaded nodes
+        refresh the size (which the store knows exactly) without touching the
+        historical compute cost.
+        """
+        self.reports.append(report)
+        for stats in report.node_stats.values():
+            if stats.state is NodeState.COMPUTE:
+                self._records[stats.signature] = CostRecord(
+                    compute_cost=stats.compute_time,
+                    output_size=stats.output_size or self._records.get(stats.signature, CostRecord(0, 0)).output_size,
+                    operator_type=stats.operator_type,
+                )
+            elif stats.state is NodeState.LOAD and stats.signature in self._records:
+                existing = self._records[stats.signature]
+                self._records[stats.signature] = CostRecord(
+                    compute_cost=existing.compute_cost,
+                    output_size=stats.output_size or existing.output_size,
+                    operator_type=existing.operator_type,
+                )
+
+    def record(self, signature: str, record: CostRecord) -> None:
+        self._records[signature] = record
+
+    def cost_records(self) -> Dict[str, CostRecord]:
+        return dict(self._records)
+
+    def cumulative_runtime(self) -> float:
+        return sum(report.total_runtime for report in self.reports)
+
+    def cumulative_runtimes(self) -> List[float]:
+        """Cumulative runtime after each iteration (the Figure 2 y-axis)."""
+        totals: List[float] = []
+        running = 0.0
+        for report in self.reports:
+            running += report.total_runtime
+            totals.append(running)
+        return totals
+
+    def __len__(self) -> int:
+        return len(self.reports)

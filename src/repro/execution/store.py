@@ -1,0 +1,197 @@
+"""Persistent artifact store for materialized intermediate results.
+
+Artifacts are pickled to a workspace directory and indexed by the producing
+node's *signature* (not its name), so any future iteration whose node hashes
+to the same signature can reuse the artifact regardless of renames.  A JSON
+catalog sits next to the artifacts so a new session can discover what previous
+sessions materialized — Helix's cross-session reuse story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import BudgetExceededError, StorageError
+
+_CATALOG_FILENAME = "catalog.json"
+
+
+@dataclass
+class ArtifactMeta:
+    """Catalog entry for one materialized artifact."""
+
+    signature: str
+    node_name: str
+    size: float
+    write_time: float
+    created_at: float
+    filename: str
+    last_load_time: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ArtifactMeta":
+        return cls(**payload)
+
+
+class ArtifactStore:
+    """Pickle-backed artifact store with budget accounting.
+
+    Parameters
+    ----------
+    root:
+        Directory that holds the artifacts and the catalog.
+    budget_bytes:
+        Maximum total bytes of materialized artifacts (``None`` = unlimited).
+        The store *enforces* the budget; the materialization policy normally
+        avoids exceeding it, so a :class:`BudgetExceededError` indicates a
+        policy bug rather than a user error.
+    """
+
+    def __init__(self, root: str, budget_bytes: Optional[float] = None) -> None:
+        self.root = root
+        self.budget_bytes = budget_bytes
+        os.makedirs(root, exist_ok=True)
+        self._catalog: Dict[str, ArtifactMeta] = {}
+        self._load_catalog()
+
+    # ------------------------------------------------------------------
+    # Catalog persistence
+    # ------------------------------------------------------------------
+    def _catalog_path(self) -> str:
+        return os.path.join(self.root, _CATALOG_FILENAME)
+
+    def _load_catalog(self) -> None:
+        path = self._catalog_path()
+        if not os.path.exists(path):
+            return
+        try:
+            with open(path, "r") as handle:
+                entries = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"cannot read artifact catalog at {path}: {exc}") from exc
+        for entry in entries:
+            meta = ArtifactMeta.from_dict(entry)
+            if os.path.exists(os.path.join(self.root, meta.filename)):
+                self._catalog[meta.signature] = meta
+
+    def _save_catalog(self) -> None:
+        entries = [meta.to_dict() for meta in self._catalog.values()]
+        with open(self._catalog_path(), "w") as handle:
+            json.dump(entries, handle, indent=2)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has(self, signature: str) -> bool:
+        return signature in self._catalog
+
+    def meta(self, signature: str) -> ArtifactMeta:
+        if signature not in self._catalog:
+            raise StorageError(f"no artifact for signature {signature[:12]}...")
+        return self._catalog[signature]
+
+    def catalog(self) -> Dict[str, ArtifactMeta]:
+        return dict(self._catalog)
+
+    def signatures(self) -> List[str]:
+        return list(self._catalog)
+
+    def used_bytes(self) -> float:
+        return sum(meta.size for meta in self._catalog.values())
+
+    def remaining_budget(self) -> float:
+        if self.budget_bytes is None:
+            return float("inf")
+        return max(0.0, self.budget_bytes - self.used_bytes())
+
+    def sizes_by_signature(self) -> Dict[str, float]:
+        """Signature → size map consumed by the cost estimator."""
+        return {signature: meta.size for signature, meta in self._catalog.items()}
+
+    def load_costs_by_signature(self) -> Dict[str, float]:
+        """Signature → last measured load time, where available."""
+        return {
+            signature: meta.last_load_time
+            for signature, meta in self._catalog.items()
+            if meta.last_load_time is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def put(self, signature: str, node_name: str, value: Any) -> ArtifactMeta:
+        """Serialize and persist ``value``; returns the catalog entry.
+
+        Re-materializing an existing signature overwrites the artifact (the
+        bytes are identical by construction, so this is effectively a no-op
+        refresh that keeps write accounting honest).
+        """
+        started = time.perf_counter()
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise StorageError(f"cannot serialize artifact for node {node_name!r}: {exc}") from exc
+        size = float(len(payload))
+        existing = self._catalog.get(signature)
+        projected = self.used_bytes() - (existing.size if existing else 0.0) + size
+        if self.budget_bytes is not None and projected > self.budget_bytes:
+            raise BudgetExceededError(
+                f"materializing {node_name!r} ({size:.0f} B) would exceed the budget "
+                f"({projected:.0f} > {self.budget_bytes:.0f} B)"
+            )
+        filename = f"{signature}.pkl"
+        path = os.path.join(self.root, filename)
+        try:
+            with open(path, "wb") as handle:
+                handle.write(payload)
+        except OSError as exc:
+            raise StorageError(f"cannot write artifact {path}: {exc}") from exc
+        write_time = time.perf_counter() - started
+        meta = ArtifactMeta(
+            signature=signature,
+            node_name=node_name,
+            size=size,
+            write_time=write_time,
+            created_at=time.time(),
+            filename=filename,
+        )
+        self._catalog[signature] = meta
+        self._save_catalog()
+        return meta
+
+    def get(self, signature: str) -> Tuple[Any, float]:
+        """Load an artifact; returns ``(value, elapsed_seconds)``."""
+        meta = self.meta(signature)
+        path = os.path.join(self.root, meta.filename)
+        started = time.perf_counter()
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError) as exc:
+            raise StorageError(f"cannot load artifact {path}: {exc}") from exc
+        elapsed = time.perf_counter() - started
+        meta.last_load_time = elapsed
+        self._save_catalog()
+        return value, elapsed
+
+    def delete(self, signature: str) -> None:
+        """Remove one artifact and its catalog entry."""
+        meta = self.meta(signature)
+        path = os.path.join(self.root, meta.filename)
+        if os.path.exists(path):
+            os.remove(path)
+        del self._catalog[signature]
+        self._save_catalog()
+
+    def clear(self) -> None:
+        """Remove every artifact (used by tests and by `--fresh` benchmark runs)."""
+        for signature in list(self._catalog):
+            self.delete(signature)

@@ -1,0 +1,12 @@
+"""Directed-acyclic-graph substrate used by the compiler and optimizers.
+
+The central class is :class:`~repro.graph.dag.Dag`, a minimal, dependency-free
+DAG keyed by string node names with an arbitrary payload per node.  The
+compiler produces a ``Dag`` whose payloads are operators; the optimizers
+consume a ``Dag`` whose payloads are cost annotations.
+"""
+
+from repro.graph.dag import Dag, NodeState
+from repro.graph.visualize import to_ascii, to_dot
+
+__all__ = ["Dag", "NodeState", "to_ascii", "to_dot"]

@@ -1,0 +1,94 @@
+"""Textual DAG rendering: ASCII trees for terminals and DOT for Graphviz.
+
+The Helix demo ships a browser-based DAG visualizer; this reproduction keeps
+the data model and renders execution plans as text.  Both renderers accept an
+optional ``annotations`` mapping from node name to a short string (for example
+the node state chosen by the optimizer, or runtimes) which is appended to the
+node label exactly like the hover tooltips in the paper's UI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.graph.dag import Dag
+
+
+def to_ascii(dag: Dag, annotations: Optional[Mapping[str, str]] = None) -> str:
+    """Render ``dag`` as an indented ASCII forest rooted at the source nodes.
+
+    Nodes with several parents appear once fully expanded and afterwards as
+    ``name (shown above)`` references, so the output stays linear in the DAG
+    size even for diamond-heavy graphs.
+    """
+    annotations = dict(annotations or {})
+    lines = [f"DAG: {dag.name}  ({len(dag)} nodes, {len(dag.edges())} edges)"]
+    expanded: set = set()
+
+    def label(node: str) -> str:
+        note = annotations.get(node)
+        return f"{node} [{note}]" if note else node
+
+    def walk(node: str, depth: int) -> None:
+        prefix = "  " * depth + ("- " if depth else "")
+        if node in expanded:
+            lines.append(f"{prefix}{label(node)} (shown above)")
+            return
+        expanded.add(node)
+        lines.append(f"{prefix}{label(node)}")
+        for child in dag.children(node):
+            walk(child, depth + 1)
+
+    for root in dag.roots():
+        walk(root, 0)
+    # Isolated components whose roots were already covered cannot happen, but
+    # a DAG with zero nodes still renders its header.
+    return "\n".join(lines)
+
+
+def to_dot(
+    dag: Dag,
+    annotations: Optional[Mapping[str, str]] = None,
+    colors: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render ``dag`` in Graphviz DOT format.
+
+    Parameters
+    ----------
+    annotations:
+        Optional second label line per node (e.g. ``"load, 1.2s"``).
+    colors:
+        Optional fill color per node, mirroring the paper's purple
+        (pre-processing) / orange (ML) / green (post-processing) convention.
+    """
+    annotations = dict(annotations or {})
+    colors = dict(colors or {})
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=TB;", '  node [shape=box, style="rounded,filled", fillcolor=white];']
+    for node in dag.nodes():
+        note = annotations.get(node)
+        text = node if not note else f"{node}\\n{note}"
+        attrs = [f'label="{text}"']
+        if node in colors:
+            attrs.append(f'fillcolor="{colors[node]}"')
+        lines.append(f'  "{node}" [{", ".join(attrs)}];')
+    for parent, child in dag.edges():
+        lines.append(f'  "{parent}" -> "{child}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_annotations(states: Mapping[str, object], runtimes: Optional[Mapping[str, float]] = None) -> Dict[str, str]:
+    """Build the annotation map for a physical plan.
+
+    ``states`` maps node name to :class:`~repro.graph.dag.NodeState` (or any
+    object with a ``value``/string form); ``runtimes`` optionally maps node
+    name to seconds.
+    """
+    runtimes = dict(runtimes or {})
+    notes: Dict[str, str] = {}
+    for node, state in states.items():
+        text = getattr(state, "value", str(state))
+        if node in runtimes:
+            text = f"{text}, {runtimes[node]:.3f}s"
+        notes[node] = text
+    return notes

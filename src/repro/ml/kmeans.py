@@ -1,0 +1,104 @@
+"""K-means clustering (Lloyd's algorithm with k-means++ initialization).
+
+The paper's DSL "supports both supervised and unsupervised learning"; this is
+the unsupervised learner exposed through the :class:`~repro.dsl.operators.ClusterLearner`
+operator.  Deterministic given the seed, like every learner in this substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import MLError, NotFittedError
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding."""
+
+    def __init__(self, n_clusters: int = 8, max_iter: int = 100, tol: float = 1e-6, seed: int = 0) -> None:
+        if n_clusters <= 0:
+            raise MLError("n_clusters must be positive")
+        self.n_clusters = int(n_clusters)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.seed = int(seed)
+        self.centers_: Optional[np.ndarray] = None
+        self.inertia_: float = float("inf")
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centers proportionally to squared distance."""
+        n_samples = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n_samples)]
+        closest_sq = np.full(n_samples, np.inf)
+        for index in range(1, self.n_clusters):
+            distances = np.sum((X - centers[index - 1]) ** 2, axis=1)
+            closest_sq = np.minimum(closest_sq, distances)
+            total = closest_sq.sum()
+            if total <= 0:
+                centers[index] = X[rng.integers(n_samples)]
+                continue
+            probabilities = closest_sq / total
+            centers[index] = X[rng.choice(n_samples, p=probabilities)]
+        return centers
+
+    def fit(self, X) -> "KMeans":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise MLError(f"expected a 2-D matrix, got shape {X.shape}")
+        if X.shape[0] < self.n_clusters:
+            raise MLError(f"cannot fit {self.n_clusters} clusters with only {X.shape[0]} samples")
+        rng = np.random.default_rng(self.seed)
+        centers = self._init_centers(X, rng)
+        previous_inertia = float("inf")
+        for iteration in range(self.max_iter):
+            labels, inertia = self._assign(X, centers)
+            for cluster in range(self.n_clusters):
+                members = X[labels == cluster]
+                if len(members):
+                    centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from its center.
+                    distances = np.sum((X - centers[cluster]) ** 2, axis=1)
+                    centers[cluster] = X[int(distances.argmax())]
+            self.n_iter_ = iteration + 1
+            if previous_inertia - inertia < self.tol:
+                previous_inertia = inertia
+                break
+            previous_inertia = inertia
+        self.centers_ = centers
+        self.inertia_ = previous_inertia
+        return self
+
+    @staticmethod
+    def _assign(X: np.ndarray, centers: np.ndarray):
+        distances = ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(X.shape[0]), labels].sum())
+        return labels, inertia
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, X) -> List[int]:
+        if self.centers_ is None:
+            raise NotFittedError("KMeans.predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        labels, _ = self._assign(X, self.centers_)
+        return [int(label) for label in labels]
+
+    def transform(self, X) -> np.ndarray:
+        """Distances from each sample to each cluster center."""
+        if self.centers_ is None:
+            raise NotFittedError("KMeans.transform called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        return np.sqrt(((X[:, None, :] - self.centers_[None, :, :]) ** 2).sum(axis=2))
+
+    def get_params(self) -> Dict[str, float]:
+        return {"n_clusters": self.n_clusters, "max_iter": self.max_iter, "tol": self.tol, "seed": self.seed}

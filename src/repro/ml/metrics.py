@@ -1,0 +1,108 @@
+"""Evaluation metrics for classification, regression, and BIO tagging."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def _check_lengths(y_true: Sequence, y_pred: Sequence) -> None:
+    if len(y_true) != len(y_pred):
+        raise MLError(f"y_true has {len(y_true)} items but y_pred has {len(y_pred)}")
+
+
+def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of exactly-matching predictions."""
+    _check_lengths(y_true, y_pred)
+    if not y_true:
+        return 0.0
+    correct = sum(1 for truth, pred in zip(y_true, y_pred) if truth == pred)
+    return correct / len(y_true)
+
+
+def precision_recall_f1(y_true: Sequence, y_pred: Sequence, positive_label=1) -> Dict[str, float]:
+    """Precision, recall, and F1 for a designated positive class."""
+    _check_lengths(y_true, y_pred)
+    true_positive = sum(1 for t, p in zip(y_true, y_pred) if t == positive_label and p == positive_label)
+    false_positive = sum(1 for t, p in zip(y_true, y_pred) if t != positive_label and p == positive_label)
+    false_negative = sum(1 for t, p in zip(y_true, y_pred) if t == positive_label and p != positive_label)
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def f1_score(y_true: Sequence, y_pred: Sequence, positive_label=1) -> float:
+    """F1 for the designated positive class."""
+    return precision_recall_f1(y_true, y_pred, positive_label)["f1"]
+
+
+def confusion_matrix(y_true: Sequence, y_pred: Sequence) -> Tuple[List, np.ndarray]:
+    """Return (sorted labels, matrix) where ``matrix[i, j]`` counts true label
+
+    ``labels[i]`` predicted as ``labels[j]``."""
+    _check_lengths(y_true, y_pred)
+    labels = sorted(set(y_true) | set(y_pred), key=str)
+    index = {label: position for position, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for truth, pred in zip(y_true, y_pred):
+        matrix[index[truth], index[pred]] += 1
+    return labels, matrix
+
+
+def mean_squared_error(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean squared error for regression outputs."""
+    _check_lengths(y_true, y_pred)
+    if not y_true:
+        return 0.0
+    truth = np.asarray(y_true, dtype=np.float64)
+    pred = np.asarray(y_pred, dtype=np.float64)
+    return float(np.mean((truth - pred) ** 2))
+
+
+def bio_spans(tags: Sequence[str]) -> Set[Tuple[int, int, str]]:
+    """Extract (start, end, type) spans from a BIO tag sequence.
+
+    ``end`` is exclusive.  An ``I-`` tag that does not continue a span of the
+    same type starts a new span (the usual lenient convention).
+    """
+    spans: Set[Tuple[int, int, str]] = set()
+    start = None
+    span_type = None
+    for position, tag in enumerate(tags):
+        if tag.startswith("B-"):
+            if start is not None:
+                spans.add((start, position, span_type))
+            start, span_type = position, tag[2:]
+        elif tag.startswith("I-"):
+            if start is None or span_type != tag[2:]:
+                if start is not None:
+                    spans.add((start, position, span_type))
+                start, span_type = position, tag[2:]
+        else:
+            if start is not None:
+                spans.add((start, position, span_type))
+                start, span_type = None, None
+    if start is not None:
+        spans.add((start, len(tags), span_type))
+    return spans
+
+
+def bio_span_f1(gold_sequences: Sequence[Sequence[str]], predicted_sequences: Sequence[Sequence[str]]) -> Dict[str, float]:
+    """Span-level precision/recall/F1 over BIO tag sequences (the IE metric)."""
+    _check_lengths(gold_sequences, predicted_sequences)
+    true_positive = false_positive = false_negative = 0
+    for gold, predicted in zip(gold_sequences, predicted_sequences):
+        _check_lengths(gold, predicted)
+        gold_spans = bio_spans(gold)
+        predicted_spans = bio_spans(predicted)
+        true_positive += len(gold_spans & predicted_spans)
+        false_positive += len(predicted_spans - gold_spans)
+        false_negative += len(gold_spans - predicted_spans)
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,102 @@
+"""Lightweight model-selection helpers: splitting and grid search."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def train_validation_split(
+    X: np.ndarray,
+    y: Sequence,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+) -> Tuple[np.ndarray, List, np.ndarray, List]:
+    """Shuffle and split ``(X, y)`` into train/validation partitions."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise MLError("validation_fraction must be in (0, 1)")
+    X = np.asarray(X)
+    labels = list(y)
+    if X.shape[0] != len(labels):
+        raise MLError(f"X has {X.shape[0]} rows but y has {len(labels)}")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(X.shape[0])
+    n_validation = max(1, int(round(validation_fraction * X.shape[0])))
+    validation_indices = order[:n_validation]
+    train_indices = order[n_validation:]
+    return (
+        X[train_indices],
+        [labels[i] for i in train_indices],
+        X[validation_indices],
+        [labels[i] for i in validation_indices],
+    )
+
+
+@dataclass
+class GridSearchResult:
+    """One grid-search candidate with its validation score."""
+
+    params: Dict[str, Any]
+    score: float
+
+
+class GridSearch:
+    """Exhaustive hyperparameter search over a parameter grid.
+
+    ``model_factory`` is called with keyword arguments from the grid and must
+    return an unfitted model exposing ``fit``/``predict``.  ``scorer`` maps
+    ``(y_true, y_pred)`` to a float where larger is better.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[..., Any],
+        param_grid: Mapping[str, Sequence[Any]],
+        scorer: Callable[[Sequence, Sequence], float],
+        validation_fraction: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if not param_grid:
+            raise MLError("param_grid must contain at least one parameter")
+        self.model_factory = model_factory
+        self.param_grid = {key: list(values) for key, values in param_grid.items()}
+        self.scorer = scorer
+        self.validation_fraction = validation_fraction
+        self.seed = seed
+        self.results_: List[GridSearchResult] = []
+        self.best_: GridSearchResult | None = None
+
+    def candidates(self) -> List[Dict[str, Any]]:
+        """All parameter combinations in grid order."""
+        keys = list(self.param_grid)
+        combos = itertools.product(*(self.param_grid[key] for key in keys))
+        return [dict(zip(keys, combo)) for combo in combos]
+
+    def fit(self, X: np.ndarray, y: Sequence) -> "GridSearch":
+        X_train, y_train, X_validation, y_validation = train_validation_split(
+            X, y, validation_fraction=self.validation_fraction, seed=self.seed
+        )
+        self.results_ = []
+        for params in self.candidates():
+            model = self.model_factory(**params)
+            model.fit(X_train, y_train)
+            predictions = model.predict(X_validation)
+            score = self.scorer(y_validation, predictions)
+            self.results_.append(GridSearchResult(params=params, score=score))
+        self.best_ = max(self.results_, key=lambda result: result.score)
+        return self
+
+    def best_params(self) -> Dict[str, Any]:
+        if self.best_ is None:
+            raise MLError("GridSearch.best_params called before fit")
+        return dict(self.best_.params)
+
+    def best_score(self) -> float:
+        if self.best_ is None:
+            raise MLError("GridSearch.best_score called before fit")
+        return self.best_.score

@@ -1,0 +1,74 @@
+"""Bernoulli naive Bayes classifier.
+
+Serves as an alternative ``model_type`` for the Census workflow's ``Learner``
+operator so the workloads can iterate over model families, one of the ML-type
+(orange) changes the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import MLError, NotFittedError
+
+
+class BernoulliNaiveBayes:
+    """Naive Bayes over binarized features with Laplace smoothing."""
+
+    def __init__(self, alpha: float = 1.0, binarize_threshold: float = 0.0) -> None:
+        if alpha <= 0:
+            raise MLError("alpha must be positive")
+        self.alpha = float(alpha)
+        self.binarize_threshold = float(binarize_threshold)
+        self.classes_: Optional[List] = None
+        self.class_log_prior_: Optional[np.ndarray] = None
+        self.feature_log_prob_: Optional[np.ndarray] = None
+        self.feature_log_prob_neg_: Optional[np.ndarray] = None
+
+    def _binarize(self, X) -> np.ndarray:
+        matrix = np.asarray(X, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise MLError(f"expected a 2-D feature matrix, got shape {matrix.shape}")
+        return (matrix > self.binarize_threshold).astype(np.float64)
+
+    def fit(self, X, y) -> "BernoulliNaiveBayes":
+        X = self._binarize(X)
+        labels = list(y)
+        if len(labels) != X.shape[0]:
+            raise MLError(f"X has {X.shape[0]} rows but y has {len(labels)}")
+        self.classes_ = sorted(set(labels), key=lambda item: str(item))
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        counts = np.zeros((n_classes, n_features))
+        class_counts = np.zeros(n_classes)
+        index_of = {label: index for index, label in enumerate(self.classes_)}
+        for row, label in enumerate(labels):
+            class_index = index_of[label]
+            counts[class_index] += X[row]
+            class_counts[class_index] += 1
+        smoothed = (counts + self.alpha) / (class_counts[:, None] + 2.0 * self.alpha)
+        self.feature_log_prob_ = np.log(smoothed)
+        self.feature_log_prob_neg_ = np.log(1.0 - smoothed)
+        self.class_log_prior_ = np.log(class_counts / class_counts.sum())
+        return self
+
+    def predict_log_proba(self, X) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("BernoulliNaiveBayes.predict called before fit")
+        X = self._binarize(X)
+        joint = (
+            X @ self.feature_log_prob_.T
+            + (1.0 - X) @ self.feature_log_prob_neg_.T
+            + self.class_log_prior_
+        )
+        log_norm = np.logaddexp.reduce(joint, axis=1, keepdims=True)
+        return joint - log_norm
+
+    def predict(self, X) -> List:
+        indices = self.predict_log_proba(X).argmax(axis=1)
+        return [self.classes_[index] for index in indices]
+
+    def get_params(self) -> Dict[str, float]:
+        return {"alpha": self.alpha, "binarize_threshold": self.binarize_threshold}

@@ -1,0 +1,43 @@
+"""Feature standardization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError
+
+
+class StandardScaler:
+    """Standardize columns to zero mean and unit variance.
+
+    Columns with zero variance are left centered but unscaled to avoid
+    division by zero (their scale is set to 1).
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, matrix: np.ndarray) -> "StandardScaler":
+        matrix = np.asarray(matrix, dtype=np.float64)
+        self.mean_ = matrix.mean(axis=0) if self.with_mean else np.zeros(matrix.shape[1])
+        if self.with_std:
+            scale = matrix.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(matrix.shape[1])
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler.transform called before fit")
+        matrix = np.asarray(matrix, dtype=np.float64)
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, matrix: np.ndarray) -> np.ndarray:
+        return self.fit(matrix).transform(matrix)

@@ -1,0 +1,148 @@
+"""Cost model shared by the recomputation and materialization optimizers.
+
+Each DAG node ``n_i`` carries a *compute cost* ``c_i`` (time to run its
+operator given available inputs), a *load cost* ``l_i`` (time to deserialize a
+previously materialized result), an output size, and a flag saying whether an
+artifact with the node's signature is currently materialized.  The
+:class:`CostEstimator` assembles these from three information sources, in
+decreasing priority:
+
+1. the artifact store catalog (exact sizes, measured or modeled load costs)
+   for materialized signatures;
+2. run history (measured compute costs and sizes from earlier iterations for
+   the same signature);
+3. operator-type averages from history, then global defaults, for
+   never-executed nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.compiler.codegen import CompiledWorkflow
+
+
+@dataclass
+class NodeCosts:
+    """Costs for one DAG node, in seconds and bytes."""
+
+    compute_cost: float
+    load_cost: float
+    output_size: float = 0.0
+    materialized: bool = False
+
+    def __post_init__(self) -> None:
+        self.compute_cost = max(0.0, float(self.compute_cost))
+        self.load_cost = max(0.0, float(self.load_cost))
+        self.output_size = max(0.0, float(self.output_size))
+
+
+@dataclass
+class CostRecord:
+    """Measured statistics for one signature from a previous execution."""
+
+    compute_cost: float
+    output_size: float
+    operator_type: str = ""
+
+
+@dataclass(frozen=True)
+class CostDefaults:
+    """Fallbacks and the storage throughput model.
+
+    ``read_bandwidth`` / ``write_bandwidth`` are bytes per second; load and
+    write costs are modeled as ``overhead + size / bandwidth`` whenever no
+    measured value is available.
+    """
+
+    default_compute_cost: float = 1.0
+    default_output_size: float = 1_000_000.0
+    read_bandwidth: float = 200e6
+    write_bandwidth: float = 120e6
+    io_overhead: float = 0.005
+
+    def load_cost_for_size(self, size: float) -> float:
+        return self.io_overhead + max(0.0, size) / self.read_bandwidth
+
+    def write_cost_for_size(self, size: float) -> float:
+        return self.io_overhead + max(0.0, size) / self.write_bandwidth
+
+
+class CostEstimator:
+    """Builds the per-node :class:`NodeCosts` map for a compiled workflow."""
+
+    def __init__(self, defaults: CostDefaults = CostDefaults()) -> None:
+        self.defaults = defaults
+
+    def estimate(
+        self,
+        compiled: CompiledWorkflow,
+        history: Optional[Mapping[str, CostRecord]] = None,
+        materialized_sizes: Optional[Mapping[str, float]] = None,
+        measured_load_costs: Optional[Mapping[str, float]] = None,
+    ) -> Dict[str, NodeCosts]:
+        """Estimate costs for every node of ``compiled``.
+
+        Parameters
+        ----------
+        history:
+            Signature → :class:`CostRecord` of previously measured executions.
+        materialized_sizes:
+            Signature → artifact size (bytes) for signatures currently in the
+            artifact store; presence marks the node as loadable.
+        measured_load_costs:
+            Signature → measured load time, when the store has actually read
+            the artifact before (overrides the bandwidth model).
+        """
+        history = dict(history or {})
+        materialized_sizes = dict(materialized_sizes or {})
+        measured_load_costs = dict(measured_load_costs or {})
+
+        type_averages = self._operator_type_averages(history)
+        costs: Dict[str, NodeCosts] = {}
+        for name in compiled.nodes():
+            signature = compiled.signature_of(name)
+            operator_type = type(compiled.operator(name)).__name__
+            record = history.get(signature)
+
+            if record is not None:
+                compute_cost = record.compute_cost
+                output_size = record.output_size
+            elif operator_type in type_averages:
+                compute_cost, output_size = type_averages[operator_type]
+            else:
+                compute_cost = self.defaults.default_compute_cost
+                output_size = self.defaults.default_output_size
+
+            materialized = signature in materialized_sizes
+            if materialized:
+                output_size = materialized_sizes[signature]
+            if signature in measured_load_costs:
+                load_cost = measured_load_costs[signature]
+            else:
+                load_cost = self.defaults.load_cost_for_size(output_size)
+
+            costs[name] = NodeCosts(
+                compute_cost=compute_cost,
+                load_cost=load_cost,
+                output_size=output_size,
+                materialized=materialized,
+            )
+        return costs
+
+    @staticmethod
+    def _operator_type_averages(history: Mapping[str, CostRecord]) -> Dict[str, tuple]:
+        sums: Dict[str, list] = {}
+        for record in history.values():
+            if not record.operator_type:
+                continue
+            entry = sums.setdefault(record.operator_type, [0.0, 0.0, 0])
+            entry[0] += record.compute_cost
+            entry[1] += record.output_size
+            entry[2] += 1
+        return {
+            operator_type: (total_cost / count, total_size / count)
+            for operator_type, (total_cost, total_size, count) in sums.items()
+            if count
+        }

@@ -1,0 +1,87 @@
+"""0/1 knapsack solver used by the offline materialization oracle.
+
+The materialization problem is NP-hard via a reduction *from* knapsack even in
+the simplest one-more-iteration setting, so the natural offline oracle — which
+artifact set to persist under the storage budget to maximize future savings —
+is a knapsack instance.  Sizes are discretized so the dynamic program stays
+polynomial in the budget (a standard FPTAS-style rounding: the selected set
+never exceeds the true budget because sizes are rounded *up*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.errors import OptimizerError
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One candidate artifact: identifier, size (weight), and future benefit (value)."""
+
+    name: str
+    size: float
+    benefit: float
+
+
+def knapsack_select(
+    items: Sequence[KnapsackItem],
+    budget: float,
+    resolution: Optional[float] = None,
+    max_capacity_units: int = 4096,
+) -> Tuple[Set[str], float]:
+    """Select a max-benefit subset of ``items`` with total size ≤ ``budget``.
+
+    ``resolution`` is the size (bytes) of one DP capacity unit; when omitted it
+    is chosen so the DP has at most ``max_capacity_units`` columns.  Item sizes
+    are rounded up to whole units, so the reported selection always respects
+    the true budget (at the price of slight conservatism).  Items with
+    non-positive benefit are never selected.  Returns (selected names, total
+    benefit).
+    """
+    if budget < 0:
+        raise OptimizerError("budget must be non-negative")
+    if resolution is not None and resolution <= 0:
+        raise OptimizerError("resolution must be positive")
+    if max_capacity_units <= 0:
+        raise OptimizerError("max_capacity_units must be positive")
+
+    candidates = [item for item in items if item.benefit > 0 and item.size <= budget]
+    if not candidates or budget == 0:
+        return set(), 0.0
+
+    if budget == float("inf"):
+        # Unconstrained: every positive-benefit item is worth keeping.
+        return {item.name for item in candidates}, sum(item.benefit for item in candidates)
+
+    if resolution is None:
+        resolution = max(1.0, budget / max_capacity_units)
+    capacity = int(budget // resolution)
+    if capacity <= 0:
+        return set(), 0.0
+    weights = [max(1, int(-(-item.size // resolution))) for item in candidates]  # ceil division
+
+    # Full (items+1) x (capacity+1) table so backtracking is exact.
+    n_items = len(candidates)
+    table: List[List[float]] = [[0.0] * (capacity + 1) for _ in range(n_items + 1)]
+    for row in range(1, n_items + 1):
+        item = candidates[row - 1]
+        weight = weights[row - 1]
+        previous = table[row - 1]
+        current = table[row]
+        for cap in range(capacity + 1):
+            best = previous[cap]
+            if weight <= cap:
+                with_item = previous[cap - weight] + item.benefit
+                if with_item > best:
+                    best = with_item
+            current[cap] = best
+
+    selected: Set[str] = set()
+    cap = capacity
+    for row in range(n_items, 0, -1):
+        if table[row][cap] != table[row - 1][cap]:
+            selected.add(candidates[row - 1].name)
+            cap -= weights[row - 1]
+    return selected, table[n_items][capacity]

@@ -1,0 +1,195 @@
+"""The materialization problem: which intermediates to persist, online, under a budget.
+
+As each operator finishes, Helix must decide *immediately* whether to persist
+its output (deferring would require caching many large intermediates).  The
+paper's online cost model approximates the benefit of materializing node
+``n_i`` at iteration ``t`` for iteration ``t+1`` as
+
+    r_i = 2·l_i − (c_i + Σ_{n_j ∈ A(n_i)} c_j)
+
+(the factor 2 accounts for paying roughly one load-equivalent to write now
+plus one load next iteration, versus recomputing the node and its ancestors).
+Materialize iff ``r_i < 0`` and the artifact fits the remaining budget.
+
+This module also provides the comparison policies: materialize-all
+(DeepDive), materialize-none (KeystoneML), and an offline knapsack oracle that
+assumes everything materialized now is reusable next iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
+
+from repro.errors import OptimizerError
+from repro.graph.dag import Dag
+from repro.optimizer.cost_model import NodeCosts
+from repro.optimizer.knapsack import KnapsackItem, knapsack_select
+
+
+@dataclass
+class MaterializationDecision:
+    """The outcome of one online decision, kept for reports and tests."""
+
+    node: str
+    materialize: bool
+    score: float
+    size: float
+    remaining_budget: float
+    reason: str = ""
+
+
+def ancestor_compute_total(dag: Dag, costs: Mapping[str, NodeCosts], node: str) -> float:
+    """``c_i + Σ_{n_j ∈ A(n_i)} c_j``: cost to recompute ``node`` from scratch."""
+    total = costs[node].compute_cost
+    for ancestor in dag.ancestors(node):
+        total += costs[ancestor].compute_cost
+    return total
+
+
+def reuse_benefit(dag: Dag, costs: Mapping[str, NodeCosts], node: str) -> float:
+    """Savings next iteration from loading ``node`` instead of recomputing it."""
+    return max(0.0, ancestor_compute_total(dag, costs, node) - costs[node].load_cost)
+
+
+class MaterializationPolicy:
+    """Interface for online materialization decisions."""
+
+    name = "base"
+
+    def decide(
+        self,
+        node: str,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        remaining_budget: float,
+    ) -> MaterializationDecision:
+        raise NotImplementedError
+
+
+class HelixOnlineMaterializer(MaterializationPolicy):
+    """The paper's online cost-model policy (Section 2.3)."""
+
+    name = "helix_online"
+
+    def decide(
+        self,
+        node: str,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        remaining_budget: float,
+    ) -> MaterializationDecision:
+        node_costs = costs[node]
+        recompute_cost = ancestor_compute_total(dag, costs, node)
+        score = 2.0 * node_costs.load_cost - recompute_cost
+        fits = node_costs.output_size <= remaining_budget
+        materialize = score < 0.0 and fits
+        if not fits:
+            reason = "over budget"
+        elif materialize:
+            reason = f"r_i={score:.4f} < 0"
+        else:
+            reason = f"r_i={score:.4f} >= 0"
+        return MaterializationDecision(
+            node=node,
+            materialize=materialize,
+            score=score,
+            size=node_costs.output_size,
+            remaining_budget=remaining_budget,
+            reason=reason,
+        )
+
+
+class MaterializeAll(MaterializationPolicy):
+    """Persist every intermediate that fits (DeepDive's approach)."""
+
+    name = "materialize_all"
+
+    def decide(
+        self,
+        node: str,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        remaining_budget: float,
+    ) -> MaterializationDecision:
+        size = costs[node].output_size
+        fits = size <= remaining_budget
+        return MaterializationDecision(
+            node=node,
+            materialize=fits,
+            score=float("-inf"),
+            size=size,
+            remaining_budget=remaining_budget,
+            reason="materialize-all" if fits else "over budget",
+        )
+
+
+class MaterializeNone(MaterializationPolicy):
+    """Never persist anything (KeystoneML-style one-shot execution)."""
+
+    name = "materialize_none"
+
+    def decide(
+        self,
+        node: str,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        remaining_budget: float,
+    ) -> MaterializationDecision:
+        return MaterializationDecision(
+            node=node,
+            materialize=False,
+            score=float("inf"),
+            size=costs[node].output_size,
+            remaining_budget=remaining_budget,
+            reason="materialize-none",
+        )
+
+
+class KnapsackOracleMaterializer(MaterializationPolicy):
+    """Offline oracle: precomputes the optimal set for the *whole* iteration.
+
+    Assumes every node completed this iteration is reusable next iteration
+    (the paper's simplest-case assumption under which the problem is already
+    NP-hard) and solves the induced knapsack exactly.  ``decide`` then simply
+    answers membership queries; it ignores ``remaining_budget`` beyond the
+    initial plan because the plan already respects the budget.
+    """
+
+    name = "knapsack_oracle"
+
+    def __init__(self, dag: Dag, costs: Mapping[str, NodeCosts], budget: float) -> None:
+        items = [
+            KnapsackItem(name=node, size=costs[node].output_size, benefit=reuse_benefit(dag, costs, node))
+            for node in dag.nodes()
+        ]
+        self.selected_, self.total_benefit_ = knapsack_select(items, budget)
+
+    def decide(
+        self,
+        node: str,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        remaining_budget: float,
+    ) -> MaterializationDecision:
+        materialize = node in self.selected_ and costs[node].output_size <= remaining_budget
+        return MaterializationDecision(
+            node=node,
+            materialize=materialize,
+            score=-reuse_benefit(dag, costs, node),
+            size=costs[node].output_size,
+            remaining_budget=remaining_budget,
+            reason="knapsack oracle",
+        )
+
+
+def policy_by_name(name: str, **kwargs) -> MaterializationPolicy:
+    """Factory used by the benchmark harness configuration."""
+    policies = {
+        HelixOnlineMaterializer.name: HelixOnlineMaterializer,
+        MaterializeAll.name: MaterializeAll,
+        MaterializeNone.name: MaterializeNone,
+    }
+    if name not in policies:
+        raise OptimizerError(f"unknown materialization policy {name!r}; expected one of {sorted(policies)}")
+    return policies[name](**kwargs)

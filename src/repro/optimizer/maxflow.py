@@ -1,0 +1,147 @@
+"""Maximum-flow / minimum-cut solver (Dinic's algorithm).
+
+The recomputation optimizer reduces its state-assignment problem to the
+project selection problem, which in turn needs a min s-t cut.  This module is
+self-contained (no networkx) so the optimality claims rest on code that is
+fully tested here; tests cross-check small instances against
+``networkx.maximum_flow`` and against brute-force cut enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import OptimizerError
+
+#: Edges at least this large are treated as effectively infinite by callers.
+INFINITY = float("inf")
+
+
+class FlowNetwork:
+    """A directed flow network over integer node ids with Dinic max-flow."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise OptimizerError("flow network needs at least one node")
+        self.n_nodes = n_nodes
+        # Edge arrays: to[e], cap[e]; edge e^1 is the reverse of edge e.
+        self._to: List[int] = []
+        self._cap: List[float] = []
+        self._adjacency: List[List[int]] = [[] for _ in range(n_nodes)]
+
+    def add_node(self) -> int:
+        """Add a node and return its id."""
+        self._adjacency.append([])
+        self.n_nodes += 1
+        return self.n_nodes - 1
+
+    def add_edge(self, source: int, target: int, capacity: float) -> int:
+        """Add a directed edge and its zero-capacity reverse; returns the edge id."""
+        if capacity < 0:
+            raise OptimizerError(f"negative capacity {capacity} on edge {source}->{target}")
+        self._check_node(source)
+        self._check_node(target)
+        edge_id = len(self._to)
+        self._to.append(target)
+        self._cap.append(capacity)
+        self._adjacency[source].append(edge_id)
+        self._to.append(source)
+        self._cap.append(0.0)
+        self._adjacency[target].append(edge_id + 1)
+        return edge_id
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise OptimizerError(f"node id {node} out of range (0..{self.n_nodes - 1})")
+
+    # ------------------------------------------------------------------
+    # Dinic
+    # ------------------------------------------------------------------
+    def _bfs_levels(self, source: int, sink: int) -> List[int]:
+        levels = [-1] * self.n_nodes
+        levels[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge_id in self._adjacency[node]:
+                target = self._to[edge_id]
+                if self._cap[edge_id] > 1e-12 and levels[target] < 0:
+                    levels[target] = levels[node] + 1
+                    queue.append(target)
+        return levels
+
+    def _dfs_blocking(self, source: int, sink: int, levels: List[int], iters: List[int]) -> float:
+        """Find one augmenting path in the level graph (iterative DFS)."""
+        path: List[int] = []  # edge ids along the current path
+        node = source
+        while True:
+            if node == sink:
+                bottleneck = min(self._cap[edge_id] for edge_id in path)
+                for edge_id in path:
+                    self._cap[edge_id] -= bottleneck
+                    self._cap[edge_id ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while iters[node] < len(self._adjacency[node]):
+                edge_id = self._adjacency[node][iters[node]]
+                target = self._to[edge_id]
+                if self._cap[edge_id] > 1e-12 and levels[target] == levels[node] + 1:
+                    path.append(edge_id)
+                    node = target
+                    advanced = True
+                    break
+                iters[node] += 1
+            if advanced:
+                continue
+            if not path:
+                return 0.0
+            # Dead end: retreat one step and advance the parent's iterator.
+            dead_edge = path.pop()
+            parent = self._to[dead_edge ^ 1]
+            iters[parent] += 1
+            node = parent
+
+    def max_flow(self, source: int, sink: int) -> float:
+        """Compute the maximum flow value from ``source`` to ``sink``."""
+        self._check_node(source)
+        self._check_node(sink)
+        if source == sink:
+            raise OptimizerError("source and sink must differ")
+        total = 0.0
+        while True:
+            levels = self._bfs_levels(source, sink)
+            if levels[sink] < 0:
+                return total
+            iters = [0] * self.n_nodes
+            while True:
+                pushed = self._dfs_blocking(source, sink, levels, iters)
+                if pushed <= 1e-12:
+                    break
+                total += pushed
+
+    def min_cut_source_side(self, source: int) -> Set[int]:
+        """Nodes reachable from ``source`` in the residual graph.
+
+        Must be called after :meth:`max_flow`; the returned set is the source
+        side of a minimum cut.
+        """
+        reachable: Set[int] = {source}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge_id in self._adjacency[node]:
+                target = self._to[edge_id]
+                if self._cap[edge_id] > 1e-12 and target not in reachable:
+                    reachable.add(target)
+                    queue.append(target)
+        return reachable
+
+    def edge_list(self) -> List[Tuple[int, int, float]]:
+        """Forward edges as (source-ish, target, remaining capacity) for inspection."""
+        edges = []
+        for node, edge_ids in enumerate(self._adjacency):
+            for edge_id in edge_ids:
+                if edge_id % 2 == 0:  # forward edges have even ids
+                    edges.append((node, self._to[edge_id], self._cap[edge_id]))
+        return edges

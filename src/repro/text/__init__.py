@@ -1,0 +1,27 @@
+"""Text-processing substrate for the information-extraction workload.
+
+The paper's IE application runs over unstructured news articles and needs
+tokenization, sentence splitting, and token-level feature extraction (word
+shape, context windows, gazetteers) before a sequence learner can be trained.
+The original system leans on JVM NLP libraries; this package implements the
+required pieces directly.
+"""
+
+from repro.text.tokenizer import sentence_split, tokenize, tokenize_document
+from repro.text.ngrams import character_ngrams, token_ngrams
+from repro.text.token_features import (
+    context_window_features,
+    gazetteer_features,
+    shape_features,
+)
+
+__all__ = [
+    "tokenize",
+    "sentence_split",
+    "tokenize_document",
+    "token_ngrams",
+    "character_ngrams",
+    "shape_features",
+    "context_window_features",
+    "gazetteer_features",
+]

@@ -1,0 +1,32 @@
+"""Token- and character-level n-gram helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def token_ngrams(tokens: Sequence[str], n: int = 2, separator: str = "_") -> List[str]:
+    """Contiguous ``n``-grams over a token sequence, joined by ``separator``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(tokens) < n:
+        return []
+    return [separator.join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def character_ngrams(token: str, n: int = 3, pad: bool = True) -> List[str]:
+    """Character ``n``-grams of one token, optionally padded with ``^``/``$``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    text = f"^{token}$" if pad else token
+    if len(text) < n:
+        return [text]
+    return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+
+def ngram_counts(tokens: Sequence[str], n: int = 2) -> Dict[str, int]:
+    """Bag-of-n-grams counts used by document-level feature extractors."""
+    counts: Dict[str, int] = {}
+    for gram in token_ngrams(tokens, n=n):
+        counts[gram] = counts.get(gram, 0) + 1
+    return counts

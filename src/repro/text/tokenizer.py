@@ -1,0 +1,47 @@
+"""Rule-based tokenization and sentence splitting."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z]+(?:'[A-Za-z]+)?|\d+(?:\.\d+)?|[.,!?;:()\"'%$-]")
+_SENTENCE_BOUNDARY = re.compile(r"(?<=[.!?])\s+(?=[A-Z\"'])")
+
+#: Common abbreviations that should not terminate a sentence.
+_ABBREVIATIONS = {"mr.", "mrs.", "ms.", "dr.", "prof.", "sen.", "gov.", "rep.", "st.", "u.s.", "inc.", "co."}
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into word, number, and punctuation tokens."""
+    return _TOKEN_PATTERN.findall(text)
+
+
+def sentence_split(text: str) -> List[str]:
+    """Split ``text`` into sentences on terminal punctuation.
+
+    A candidate boundary is rejected when the preceding token is a known
+    abbreviation (``Mr.``, ``Dr.`` ...), which is enough fidelity for the
+    synthetic news corpus used by the IE workload.
+    """
+    if not text.strip():
+        return []
+    pieces = _SENTENCE_BOUNDARY.split(text.strip())
+    sentences: List[str] = []
+    buffer = ""
+    for piece in pieces:
+        candidate = (buffer + " " + piece).strip() if buffer else piece.strip()
+        last_word = candidate.split()[-1].lower() if candidate.split() else ""
+        if last_word in _ABBREVIATIONS:
+            buffer = candidate
+            continue
+        sentences.append(candidate)
+        buffer = ""
+    if buffer:
+        sentences.append(buffer)
+    return [s for s in sentences if s]
+
+
+def tokenize_document(text: str) -> List[List[str]]:
+    """Sentence-split then tokenize: one token list per sentence."""
+    return [tokenize(sentence) for sentence in sentence_split(text) if tokenize(sentence)]

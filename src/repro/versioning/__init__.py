@@ -1,0 +1,32 @@
+"""Workflow versioning: the data layer behind the paper's Versions/Metrics UI.
+
+The demo's GUI lets users browse workflow versions, compare two versions
+(code + DAG, git-style), and plot evaluation metrics across iterations.  This
+package implements the underlying model: a :class:`~repro.versioning.version_store.VersionStore`
+recording one :class:`~repro.versioning.version_store.WorkflowVersion` per
+executed iteration, structural comparison between versions, and metric-trend
+aggregation.
+"""
+
+from repro.versioning.diff import VersionComparison, compare_versions, render_comparison
+from repro.versioning.metrics_tracker import MetricsTracker
+from repro.versioning.persistence import (
+    load_cost_history,
+    load_version_store,
+    save_cost_history,
+    save_version_store,
+)
+from repro.versioning.version_store import VersionStore, WorkflowVersion
+
+__all__ = [
+    "WorkflowVersion",
+    "VersionStore",
+    "VersionComparison",
+    "compare_versions",
+    "render_comparison",
+    "MetricsTracker",
+    "save_version_store",
+    "load_version_store",
+    "save_cost_history",
+    "load_cost_history",
+]

@@ -1,0 +1,79 @@
+"""Structural and metric comparison between two workflow versions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.versioning.version_store import WorkflowVersion
+
+
+@dataclass
+class VersionComparison:
+    """Git-style comparison of two versions (the UI's comparative view)."""
+
+    left: WorkflowVersion
+    right: WorkflowVersion
+    added_nodes: List[str] = field(default_factory=list)
+    removed_nodes: List[str] = field(default_factory=list)
+    changed_nodes: List[str] = field(default_factory=list)
+    unchanged_nodes: List[str] = field(default_factory=list)
+    added_edges: List[Tuple[str, str]] = field(default_factory=list)
+    removed_edges: List[Tuple[str, str]] = field(default_factory=list)
+    metric_deltas: Dict[str, float] = field(default_factory=dict)
+    runtime_delta: float = 0.0
+
+    def n_structural_changes(self) -> int:
+        return len(self.added_nodes) + len(self.removed_nodes) + len(self.changed_nodes)
+
+
+def compare_versions(left: WorkflowVersion, right: WorkflowVersion) -> VersionComparison:
+    """Compare ``left`` (older) and ``right`` (newer) versions node by node.
+
+    A node present in both versions counts as changed when its signature
+    differs; because signatures include upstream structure, a single edited
+    operator marks itself and its affected descendants as changed — exactly
+    the dependency-based invalidation the change tracker performs.
+    """
+    comparison = VersionComparison(left=left, right=right)
+    left_nodes = set(left.signatures)
+    right_nodes = set(right.signatures)
+    comparison.added_nodes = sorted(right_nodes - left_nodes)
+    comparison.removed_nodes = sorted(left_nodes - right_nodes)
+    for name in sorted(left_nodes & right_nodes):
+        if left.signatures[name] == right.signatures[name]:
+            comparison.unchanged_nodes.append(name)
+        else:
+            comparison.changed_nodes.append(name)
+
+    left_edges = set(left.edges)
+    right_edges = set(right.edges)
+    comparison.added_edges = sorted(right_edges - left_edges)
+    comparison.removed_edges = sorted(left_edges - right_edges)
+
+    for metric in sorted(set(left.metrics) | set(right.metrics)):
+        comparison.metric_deltas[metric] = right.metrics.get(metric, 0.0) - left.metrics.get(metric, 0.0)
+    comparison.runtime_delta = right.runtime - left.runtime
+    return comparison
+
+
+def render_comparison(comparison: VersionComparison) -> str:
+    """Plain-text rendering of a comparison, with +/-/~ markers like Figure 1a."""
+    left, right = comparison.left, comparison.right
+    lines = [f"Comparing {left.label()} -> {right.label()}  ({left.workflow_name})"]
+    for name in comparison.added_nodes:
+        lines.append(f"  + {name}: {right.operator_summaries.get(name, '')}")
+    for name in comparison.removed_nodes:
+        lines.append(f"  - {name}: {left.operator_summaries.get(name, '')}")
+    for name in comparison.changed_nodes:
+        lines.append(
+            f"  ~ {name}: {left.operator_summaries.get(name, '')} -> {right.operator_summaries.get(name, '')}"
+        )
+    if not comparison.n_structural_changes():
+        lines.append("  (no structural changes)")
+    if comparison.metric_deltas:
+        lines.append("  metrics:")
+        for metric, delta in comparison.metric_deltas.items():
+            lines.append(f"    {metric}: {left.metrics.get(metric, 0.0):.4f} -> {right.metrics.get(metric, 0.0):.4f} ({delta:+.4f})")
+    lines.append(f"  runtime: {left.runtime:.3f}s -> {right.runtime:.3f}s ({comparison.runtime_delta:+.3f}s)")
+    return "\n".join(lines)

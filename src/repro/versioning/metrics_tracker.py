@@ -1,0 +1,66 @@
+"""Metric-trend aggregation across workflow versions (the Metrics tab)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import VersioningError
+from repro.versioning.version_store import VersionStore, WorkflowVersion
+
+
+class MetricsTracker:
+    """Aggregates evaluation metrics across versions into plottable series."""
+
+    def __init__(self, store: VersionStore) -> None:
+        self.store = store
+
+    def metric_names(self) -> List[str]:
+        names = set()
+        for version in self.store.all():
+            names.update(version.metrics)
+        return sorted(names)
+
+    def series(self, metric: str) -> List[Tuple[int, float]]:
+        """(version id, value) points for one metric, in version order."""
+        points = [
+            (version.version_id, version.metrics[metric])
+            for version in self.store.all()
+            if metric in version.metrics
+        ]
+        if not points:
+            raise VersioningError(f"no version has metric {metric!r}")
+        return points
+
+    def runtime_series(self) -> List[Tuple[int, float]]:
+        return [(version.version_id, version.runtime) for version in self.store.all()]
+
+    def table(self, metrics: Optional[Sequence[str]] = None) -> List[Dict[str, object]]:
+        """One row per version with the requested metric columns."""
+        metrics = list(metrics) if metrics is not None else self.metric_names()
+        rows = []
+        for version in self.store.all():
+            row: Dict[str, object] = {
+                "version": version.version_id,
+                "description": version.description,
+                "category": version.change_category,
+                "runtime": round(version.runtime, 4),
+            }
+            for metric in metrics:
+                row[metric] = round(version.metrics[metric], 4) if metric in version.metrics else None
+            rows.append(row)
+        return rows
+
+    def best(self, metric: str, higher_is_better: bool = True) -> WorkflowVersion:
+        return self.store.best_version(metric, higher_is_better=higher_is_better)
+
+    def ascii_plot(self, metric: str, width: int = 50) -> str:
+        """A minimal textual sparkline of a metric trend across versions."""
+        points = self.series(metric)
+        values = [value for _vid, value in points]
+        low, high = min(values), max(values)
+        span = (high - low) or 1.0
+        lines = [f"{metric} across versions (min={low:.4f}, max={high:.4f})"]
+        for version_id, value in points:
+            bar = int(round((value - low) / span * width))
+            lines.append(f"  v{version_id:<3} {'#' * bar}{' ' if bar else ''}{value:.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Evaluation workloads: the iteration sequences behind the paper's figures.
+
+A *workload* is an ordered list of workflow iterations, each tagged with the
+paper's change-category color (purple = data pre-processing, orange = ML,
+green = post-processing).  Two families are provided:
+
+* **Real workloads** (:mod:`census_workload`, :mod:`ie_workload`) build actual
+  :class:`~repro.dsl.workflow.Workflow` objects over the synthetic datasets
+  and are executed by :class:`~repro.core.session.HelixSession` — used by the
+  examples, the integration tests, and the small-scale benchmark variants.
+* **Simulated workloads** (:mod:`simulated`) are cost-annotated DAG versions
+  of the same iteration sequences at paper scale, executed by
+  :class:`~repro.execution.simulator.WorkflowSimulator` — used by the
+  figure-reproduction benchmarks.
+"""
+
+from repro.workloads.spec import IterationSpec, WorkloadSpec
+from repro.workloads.census_workload import CensusVariant, build_census_workflow, census_workload
+from repro.workloads.ie_workload import IEVariant, build_ie_workflow, ie_workload
+from repro.workloads.simulated import (
+    SimWorkloadBuilder,
+    census_sim_workload,
+    ie_sim_workload,
+    sim_defaults,
+)
+
+__all__ = [
+    "IterationSpec",
+    "WorkloadSpec",
+    "CensusVariant",
+    "build_census_workflow",
+    "census_workload",
+    "IEVariant",
+    "build_ie_workflow",
+    "ie_workload",
+    "SimWorkloadBuilder",
+    "census_sim_workload",
+    "ie_sim_workload",
+    "sim_defaults",
+]

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.census import CensusConfig
+from repro.datagen.news import NewsConfig
+from repro.graph.dag import Dag
+from repro.optimizer.cost_model import NodeCosts
+
+
+@pytest.fixture
+def tiny_census_config() -> CensusConfig:
+    """A census dataset small enough for sub-second end-to-end runs."""
+    return CensusConfig(n_train=200, n_test=80, seed=11)
+
+
+@pytest.fixture
+def small_census_config() -> CensusConfig:
+    """Large enough that operator compute times clearly dominate I/O overheads.
+
+    Used by the macro-behaviour tests (figure shapes, system comparisons),
+    where the relative magnitudes of compute vs. load/write matter.
+    """
+    return CensusConfig(n_train=1500, n_test=300, seed=11)
+
+
+@pytest.fixture
+def tiny_news_config() -> NewsConfig:
+    """A news corpus small enough for sub-second end-to-end runs."""
+    return NewsConfig(n_train_docs=24, n_test_docs=8, sentences_per_doc=4, seed=5)
+
+
+@pytest.fixture
+def diamond_dag() -> Dag:
+    """A 4-node diamond: a -> b, a -> c, b -> d, c -> d."""
+    dag = Dag("diamond")
+    for name in ("a", "b", "c", "d"):
+        dag.add_node(name)
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    return dag
+
+
+@pytest.fixture
+def chain_dag() -> Dag:
+    """A 4-node chain: a -> b -> c -> d."""
+    dag = Dag("chain")
+    previous = None
+    for name in ("a", "b", "c", "d"):
+        dag.add_node(name)
+        if previous is not None:
+            dag.add_edge(previous, name)
+        previous = name
+    return dag
+
+
+def make_costs(dag: Dag, compute=1.0, load=0.5, size=1000.0, materialized=False):
+    """Uniform cost map helper used across optimizer tests."""
+    return {
+        name: NodeCosts(compute_cost=compute, load_cost=load, output_size=size, materialized=materialized)
+        for name in dag.nodes()
+    }
+
+
+@pytest.fixture
+def uniform_costs():
+    return make_costs

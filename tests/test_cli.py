@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.session import HelixSession
+from repro.datagen.census import CensusConfig
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+class TestReproduceCommand:
+    def test_fig2a_prints_table_and_reduction(self, capsys):
+        assert main(["reproduce", "fig2a"]) == 0
+        output = capsys.readouterr().out
+        assert "deepdive" in output
+        assert "reduction vs DeepDive" in output
+
+    def test_fig2b_prints_table_and_ratio(self, capsys):
+        assert main(["reproduce", "fig2b"]) == 0
+        output = capsys.readouterr().out
+        assert "keystoneml" in output
+        assert "order of magnitude" in output
+
+
+class TestRunCommand:
+    def test_run_census_small(self, capsys, tmp_path):
+        code = main([
+            "run", "census", "--iterations", "3", "--scale", "300", "--workspace", str(tmp_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cumulative runtime" in output
+        assert "iteration" in output
+
+    def test_run_with_alternative_strategy(self, capsys, tmp_path):
+        code = main([
+            "run", "census", "--iterations", "2", "--scale", "300",
+            "--strategy", "keystoneml", "--workspace", str(tmp_path),
+        ])
+        assert code == 0
+
+    def test_unknown_strategy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "census", "--strategy", "sparkml"])
+
+
+class TestVersionsCommand:
+    def test_lists_persisted_versions(self, capsys, tmp_path):
+        workspace = str(tmp_path / "ws")
+        session = HelixSession(workspace=workspace)
+        session.run(
+            build_census_workflow(CensusVariant(data_config=CensusConfig(n_train=150, n_test=50, seed=2))),
+            description="initial",
+        )
+        assert main(["versions", "--workspace", workspace, "--metric", "test_accuracy"]) == 0
+        output = capsys.readouterr().out
+        assert "v1" in output and "initial" in output
+        assert "test_accuracy" in output
+
+    def test_empty_workspace_returns_nonzero(self, capsys, tmp_path):
+        assert main(["versions", "--workspace", str(tmp_path)]) == 1
+
+
+class TestSuggestCommand:
+    def test_suggest_census_lists_edits(self, capsys):
+        assert main(["suggest", "census"]) == 0
+        output = capsys.readouterr().out
+        assert "reg_param" in output or "naive_bayes" in output
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

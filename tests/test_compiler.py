@@ -1,0 +1,209 @@
+"""Tests for the compiler: codegen, slicing, change tracking, physical plans."""
+
+import pytest
+
+from repro.compiler.change_tracker import ChangeTracker, diff_workflows
+from repro.compiler.codegen import compile_workflow, node_signature
+from repro.compiler.plan import PhysicalPlan
+from repro.compiler.slicing import slice_to_outputs, unused_nodes
+from repro.datagen.census import CensusConfig
+from repro.dsl.operators import Evaluator, FieldExtractor, Learner, SyntheticCensusSource
+from repro.errors import CompilationError, PlanError
+from repro.graph.dag import NodeState
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+@pytest.fixture
+def census_variant(tiny_census_config):
+    return CensusVariant(data_config=tiny_census_config)
+
+
+@pytest.fixture
+def compiled(census_variant):
+    return compile_workflow(build_census_workflow(census_variant))
+
+
+class TestCodegen:
+    def test_compiles_all_declared_nodes(self, compiled, census_variant):
+        workflow = build_census_workflow(census_variant)
+        assert set(compiled.nodes()) == set(workflow.node_names())
+
+    def test_edges_follow_dependencies(self, compiled):
+        assert "rows" in compiled.dag.parents("age")
+        assert "income" in compiled.dag.parents("incPred")
+        assert set(compiled.dag.parents("predictions")) == {"incPred", "income"}
+
+    def test_every_node_has_signature(self, compiled):
+        assert set(compiled.signatures) == set(compiled.nodes())
+        assert all(len(sig) == 64 for sig in compiled.signatures.values())
+
+    def test_outputs_and_categories_recorded(self, compiled):
+        assert "predictions" in compiled.outputs and "checked" in compiled.outputs
+        assert compiled.categories["incPred"].value == "orange"
+        assert compiled.categories["checked"].value == "green"
+
+    def test_workflow_without_outputs_rejected(self):
+        from repro.dsl.workflow import Workflow
+
+        wf = Workflow("w")
+        wf.add("data", SyntheticCensusSource())
+        with pytest.raises(CompilationError):
+            compile_workflow(wf)
+
+    def test_signatures_deterministic(self, census_variant):
+        first = compile_workflow(build_census_workflow(census_variant))
+        second = compile_workflow(build_census_workflow(census_variant))
+        assert first.signatures == second.signatures
+
+    def test_parameter_change_invalidates_node_and_descendants(self, census_variant):
+        from dataclasses import replace
+
+        base = compile_workflow(build_census_workflow(census_variant))
+        changed = compile_workflow(build_census_workflow(replace(census_variant, reg_param=0.9)))
+        assert base.signature_of("incPred") != changed.signature_of("incPred")
+        assert base.signature_of("predictions") != changed.signature_of("predictions")
+        assert base.signature_of("checked") != changed.signature_of("checked")
+        # Upstream nodes are untouched.
+        assert base.signature_of("income") == changed.signature_of("income")
+        assert base.signature_of("rows") == changed.signature_of("rows")
+
+    def test_data_change_invalidates_everything(self, census_variant):
+        from dataclasses import replace
+
+        base = compile_workflow(build_census_workflow(census_variant))
+        changed = compile_workflow(
+            build_census_workflow(replace(census_variant, data_config=CensusConfig(n_train=50, n_test=10, seed=42)))
+        )
+        assert base.signature_of("data") != changed.signature_of("data")
+        assert base.signature_of("checked") != changed.signature_of("checked")
+
+    def test_node_signature_depends_on_dependency_signatures(self):
+        operator = FieldExtractor("rows", field="age")
+        assert node_signature(operator, ["sig-a"]) != node_signature(operator, ["sig-b"])
+
+    def test_node_signature_depends_on_udf_source(self):
+        from repro.dsl.operators import Reducer
+
+        first = Reducer("p", udf=lambda v: 1, name="udf")
+        second = Reducer("p", udf=lambda v: 2, name="udf")
+        assert node_signature(first, ["x"]) != node_signature(second, ["x"])
+
+
+class TestSlicing:
+    def test_race_extractor_is_pruned(self, compiled):
+        """Figure 1: extractors declared but not assembled are sliced away."""
+        assert "race" in unused_nodes(compiled)
+        sliced = slice_to_outputs(compiled)
+        assert "race" not in sliced.dag.nodes()
+        assert "race" not in sliced.signatures
+
+    def test_slice_keeps_all_output_ancestors(self, compiled):
+        sliced = slice_to_outputs(compiled)
+        for output in compiled.outputs:
+            assert output in sliced.dag
+        assert "rows" in sliced.dag and "income" in sliced.dag
+
+    def test_slice_preserves_signatures(self, compiled):
+        sliced = slice_to_outputs(compiled)
+        for name in sliced.nodes():
+            assert sliced.signature_of(name) == compiled.signature_of(name)
+
+    def test_unused_nodes_empty_when_everything_used(self):
+        from repro.dsl.workflow import Workflow
+
+        wf = Workflow("w")
+        wf.add("data", SyntheticCensusSource(CensusConfig(n_train=5, n_test=2)))
+        wf.mark_output("data")
+        compiled = compile_workflow(wf)
+        assert unused_nodes(compiled) == []
+
+
+class TestChangeTracking:
+    def test_diff_detects_changed_and_unchanged(self, census_variant):
+        from dataclasses import replace
+
+        base = compile_workflow(build_census_workflow(census_variant))
+        changed = compile_workflow(build_census_workflow(replace(census_variant, reg_param=0.7)))
+        diff = diff_workflows(base, changed)
+        assert "incPred" in diff.changed
+        assert "rows" in diff.unchanged
+        assert diff.added == [] and diff.removed == []
+        assert "~1" in diff.summary() or "changed" in diff.summary()
+
+    def test_diff_detects_added_nodes(self, census_variant):
+        from dataclasses import replace
+
+        base = compile_workflow(build_census_workflow(census_variant))
+        extended = compile_workflow(build_census_workflow(replace(census_variant, use_marital_status=True)))
+        diff = diff_workflows(base, extended)
+        assert "ms" in diff.added
+        assert "income" in diff.changed  # new extractor feeds the assembler
+
+    def test_tracker_fresh_and_unchanged_nodes(self, census_variant):
+        from dataclasses import replace
+
+        tracker = ChangeTracker()
+        base = compile_workflow(build_census_workflow(census_variant))
+        assert tracker.fresh_nodes(base) == set(base.nodes())
+        tracker.observe(base)
+        assert tracker.fresh_nodes(base) == set()
+        changed = compile_workflow(build_census_workflow(replace(census_variant, reg_param=0.9)))
+        fresh = tracker.fresh_nodes(changed)
+        assert fresh == {"incPred", "predictions", "checked"}
+        assert "rows" in tracker.unchanged_nodes(changed)
+
+    def test_tracker_has_seen_and_last_signatures(self, compiled):
+        tracker = ChangeTracker()
+        tracker.observe(compiled)
+        some_signature = compiled.signature_of("rows")
+        assert tracker.has_seen(some_signature)
+        assert tracker.last_signatures()["rows"] == some_signature
+
+
+class TestPhysicalPlan:
+    def make_plan(self, compiled, overrides=None):
+        sliced = slice_to_outputs(compiled)
+        states = {name: NodeState.COMPUTE for name in sliced.nodes()}
+        states.update(overrides or {})
+        return PhysicalPlan(compiled=sliced, states=states)
+
+    def test_valid_plan_accepted(self, compiled):
+        plan = self.make_plan(compiled)
+        assert set(plan.computed_nodes()) == set(slice_to_outputs(compiled).nodes())
+        assert plan.pruned_nodes() == [] and plan.loaded_nodes() == []
+
+    def test_missing_state_rejected(self, compiled):
+        sliced = slice_to_outputs(compiled)
+        states = {name: NodeState.COMPUTE for name in sliced.nodes()}
+        states.pop("rows")
+        with pytest.raises(PlanError):
+            PhysicalPlan(compiled=sliced, states=states)
+
+    def test_pruned_output_rejected(self, compiled):
+        with pytest.raises(PlanError):
+            self.make_plan(compiled, {"checked": NodeState.PRUNE})
+
+    def test_computed_node_with_pruned_parent_rejected(self, compiled):
+        with pytest.raises(PlanError):
+            self.make_plan(compiled, {"rows": NodeState.PRUNE})
+
+    def test_loaded_node_cuts_off_ancestors(self, compiled):
+        sliced = slice_to_outputs(compiled)
+        states = {name: NodeState.COMPUTE for name in sliced.nodes()}
+        states["income"] = NodeState.LOAD
+        for ancestor in sliced.dag.ancestors("income"):
+            states[ancestor] = NodeState.PRUNE
+        plan = PhysicalPlan(compiled=sliced, states=states)
+        assert plan.state_of("rows") is NodeState.PRUNE
+
+    def test_renderings_include_states(self, compiled):
+        plan = self.make_plan(compiled)
+        ascii_text = plan.to_ascii()
+        dot_text = plan.to_dot()
+        assert "compute" in ascii_text
+        assert "digraph" in dot_text and "fillcolor" in dot_text
+
+    def test_state_of_unknown_node_raises(self, compiled):
+        plan = self.make_plan(compiled)
+        with pytest.raises(PlanError):
+            plan.state_of("not-a-node")

@@ -1,0 +1,64 @@
+"""Tests for common-subexpression elimination."""
+
+import pytest
+
+from repro.compiler.codegen import compile_workflow
+from repro.compiler.cse import eliminate_common_subexpressions
+from repro.dsl.operators import FeatureAssembler, FieldExtractor, LabelExtractor, Learner, Predictor, SyntheticCensusSource
+from repro.dsl.workflow import Workflow
+from repro.datagen.census import CensusConfig
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+def workflow_with_duplicate_extractors():
+    """Two declarations of the identical age extractor under different names."""
+    wf = Workflow("dup")
+    data = wf.add("data", SyntheticCensusSource(CensusConfig(n_train=50, n_test=20, seed=1)))
+    from repro.dsl.operators import CsvScanner
+    from repro.datagen.census import CENSUS_FIELDS
+
+    rows = wf.add("rows", CsvScanner(data, fields=CENSUS_FIELDS, numeric_fields=("age", "target")))
+    first = wf.add("age_a", FieldExtractor(rows, field="age"))
+    second = wf.add("age_b", FieldExtractor(rows, field="age"))
+    target = wf.add("target", LabelExtractor(rows, field="target"))
+    examples = wf.add("examples", FeatureAssembler(extractors=[first, second], label=target))
+    model = wf.add("model", Learner(examples, max_iter=5))
+    predictions = wf.add("predictions", Predictor(model, examples))
+    wf.mark_output(predictions)
+    return wf
+
+
+class TestCSE:
+    def test_duplicate_extractors_are_merged(self):
+        compiled = compile_workflow(workflow_with_duplicate_extractors())
+        result = eliminate_common_subexpressions(compiled)
+        assert result.n_eliminated() == 1
+        assert result.merged == {"age_b": "age_a"}
+        assert "age_b" not in result.compiled.dag
+        # The assembler now reads the representative twice -> a single edge.
+        assert result.compiled.dag.parents("examples").count("age_a") == 1
+
+    def test_no_duplicates_is_a_noop(self, tiny_census_config):
+        compiled = compile_workflow(build_census_workflow(CensusVariant(data_config=tiny_census_config)))
+        result = eliminate_common_subexpressions(compiled)
+        assert result.n_eliminated() == 0
+        assert result.compiled is compiled
+
+    def test_outputs_are_preserved_or_remapped(self):
+        wf = workflow_with_duplicate_extractors()
+        wf.mark_output("age_b")  # a duplicate node that is also an output
+        result = eliminate_common_subexpressions(compile_workflow(wf))
+        assert "age_a" in result.compiled.outputs
+        assert "age_b" not in result.compiled.dag
+
+    def test_signatures_and_categories_restricted_to_surviving_nodes(self):
+        compiled = compile_workflow(workflow_with_duplicate_extractors())
+        result = eliminate_common_subexpressions(compiled)
+        assert set(result.compiled.signatures) == set(result.compiled.dag.nodes())
+        assert set(result.compiled.categories) <= set(result.compiled.dag.nodes()) | set()
+
+    def test_merged_dag_is_still_acyclic_and_executable_shape(self):
+        compiled = compile_workflow(workflow_with_duplicate_extractors())
+        result = eliminate_common_subexpressions(compiled)
+        order = result.compiled.dag.topological_order()
+        assert order.index("rows") < order.index("age_a") < order.index("examples")

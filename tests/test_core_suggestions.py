@@ -1,0 +1,85 @@
+"""Tests for the machine-generated edit suggestions."""
+
+import pytest
+
+from repro.core.session import HelixSession
+from repro.core.suggestions import SuggestionConfig, suggest_modifications
+from repro.dsl.operators import ChangeCategory, Evaluator, Learner
+from repro.dsl.workflow import Workflow
+from repro.errors import WorkflowError
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+@pytest.fixture
+def workflow(tiny_census_config):
+    return build_census_workflow(CensusVariant(data_config=tiny_census_config))
+
+
+class TestSuggestionGeneration:
+    def test_returns_multiple_categories(self, workflow):
+        suggestions = suggest_modifications(workflow)
+        categories = {suggestion.category for suggestion in suggestions}
+        assert ChangeCategory.ML in categories
+        assert ChangeCategory.POSTPROCESS in categories
+        assert ChangeCategory.DATA_PREP in categories
+
+    def test_respects_max_suggestions(self, workflow):
+        suggestions = suggest_modifications(workflow, SuggestionConfig(max_suggestions=3))
+        assert len(suggestions) == 3
+
+    def test_reg_param_sweep_changes_learner(self, workflow):
+        suggestions = suggest_modifications(workflow)
+        reg_edits = [s for s in suggestions if "reg_param" in s.description]
+        assert len(reg_edits) >= 2
+        for suggestion in reg_edits:
+            learner = suggestion.workflow.operator("incPred")
+            assert isinstance(learner, Learner)
+            assert learner.hyperparams["reg_param"] != 0.1
+
+    def test_model_family_swap_suggested(self, workflow):
+        suggestions = suggest_modifications(workflow)
+        assert any("naive_bayes" in s.description for s in suggestions)
+
+    def test_metric_enrichment_suggested(self, workflow):
+        suggestions = suggest_modifications(workflow)
+        metric_edits = [s for s in suggestions if s.category is ChangeCategory.POSTPROCESS]
+        assert metric_edits
+        evaluator = metric_edits[0].workflow.operator("checked")
+        assert isinstance(evaluator, Evaluator)
+        assert "f1" in evaluator.metrics
+
+    def test_unused_extractor_pulled_into_assembler(self, workflow):
+        suggestions = suggest_modifications(workflow)
+        feature_edits = [s for s in suggestions if "declared-but-unused" in s.description]
+        assert feature_edits
+        assembler = feature_edits[0].workflow.operator("income")
+        assert "race" in assembler.extractors or "hours" in assembler.extractors or len(assembler.extractors) > 5
+
+    def test_original_workflow_untouched(self, workflow):
+        before = workflow.operator("incPred").hyperparams.copy()
+        suggest_modifications(workflow)
+        assert workflow.operator("incPred").hyperparams == before
+
+    def test_workflow_without_learner_raises(self, tiny_census_config):
+        from repro.dsl.operators import SyntheticCensusSource
+
+        bare = Workflow("bare")
+        bare.add("data", SyntheticCensusSource(tiny_census_config))
+        bare.mark_output("data")
+        with pytest.raises(WorkflowError):
+            suggest_modifications(bare)
+
+    def test_summary_mentions_category(self, workflow):
+        suggestion = suggest_modifications(workflow)[0]
+        assert suggestion.category.value in suggestion.summary()
+
+
+class TestSuggestionsAreRunnable:
+    def test_suggested_workflows_execute_with_reuse(self, tmp_path, workflow):
+        session = HelixSession(workspace=str(tmp_path))
+        first = session.run(workflow, description="initial")
+        suggestion = next(s for s in suggest_modifications(workflow) if s.category is ChangeCategory.ML)
+        result = session.run(suggestion.workflow, description=suggestion.description)
+        assert result.report.change_category == "orange"
+        assert result.runtime < first.runtime
+        assert result.report.reuse_fraction() > 0.3

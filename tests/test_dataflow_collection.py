@@ -1,0 +1,118 @@
+"""Tests for Schema, DataCollection, and Dataset."""
+
+import pytest
+
+from repro.dataflow.collection import DataCollection, Dataset, Schema
+from repro.errors import DataError
+
+
+class TestSchema:
+    def test_convert_applies_types(self):
+        schema = Schema(["age", "name"], {"age": int})
+        record = schema.convert({"age": "39", "name": "Doris"})
+        assert record == {"age": 39, "name": "Doris"}
+
+    def test_convert_missing_field_raises(self):
+        schema = Schema(["age"], {})
+        with pytest.raises(DataError):
+            schema.convert({"other": "1"})
+
+    def test_convert_bad_value_raises(self):
+        schema = Schema(["age"], {"age": int})
+        with pytest.raises(DataError):
+            schema.convert({"age": "not-a-number"})
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(DataError):
+            Schema(["a", "a"], {})
+
+    def test_types_for_unknown_field_rejected(self):
+        with pytest.raises(DataError):
+            Schema(["a"], {"b": int})
+
+    def test_contains_and_len(self):
+        schema = Schema(["a", "b"], {})
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 2
+
+
+class TestDataCollection:
+    @pytest.fixture
+    def people(self):
+        return DataCollection(
+            [{"name": "Ann", "age": 30}, {"name": "Bob", "age": 45}, {"name": "Cat", "age": 22}],
+            schema=Schema(["name", "age"], {"age": int}),
+            name="people",
+        )
+
+    def test_len_iter_getitem(self, people):
+        assert len(people) == 3
+        assert people[1]["name"] == "Bob"
+        assert [r["name"] for r in people] == ["Ann", "Bob", "Cat"]
+
+    def test_map_applies_function(self, people):
+        upper = people.map(lambda r: {**r, "name": r["name"].upper()})
+        assert upper[0]["name"] == "ANN"
+        assert people[0]["name"] == "Ann"  # original untouched
+
+    def test_filter_keeps_matching_records(self, people):
+        adults = people.filter(lambda r: r["age"] >= 30)
+        assert len(adults) == 2
+        assert all(r["age"] >= 30 for r in adults)
+
+    def test_select_projects_fields(self, people):
+        names = people.select(["name"])
+        assert names[0] == {"name": "Ann"}
+        assert list(names.schema.fields) == ["name"]
+
+    def test_select_unknown_field_raises(self, people):
+        with pytest.raises(DataError):
+            people.select(["salary"])
+
+    def test_column_extracts_values(self, people):
+        assert people.column("age") == [30, 45, 22]
+
+    def test_column_unknown_field_raises(self, people):
+        with pytest.raises(DataError):
+            people.column("salary")
+
+    def test_head_limits_records(self, people):
+        assert len(people.head(2)) == 2
+
+    def test_from_csv_text_parses_and_types(self):
+        schema = Schema(["name", "age"], {"age": int})
+        collection = DataCollection.from_csv_text("Ann,30\nBob,45\n", schema)
+        assert len(collection) == 2
+        assert collection[0] == {"name": "Ann", "age": 30}
+
+    def test_from_csv_text_skips_blank_lines(self):
+        schema = Schema(["x"], {})
+        collection = DataCollection.from_csv_text("a\n\nb\n", schema)
+        assert len(collection) == 2
+
+    def test_from_csv_text_wrong_arity_raises(self):
+        schema = Schema(["a", "b"], {})
+        with pytest.raises(DataError):
+            DataCollection.from_csv_text("only-one-field\n", schema)
+
+    def test_csv_roundtrip(self, tmp_path, people):
+        path = str(tmp_path / "people.csv")
+        people.to_csv(path)
+        loaded = DataCollection.from_csv(path, Schema(["name", "age"], {"age": int}))
+        assert loaded.records() == people.records()
+
+
+class TestDataset:
+    def test_splits_and_len(self):
+        train = DataCollection([{"x": 1}, {"x": 2}])
+        test = DataCollection([{"x": 3}])
+        dataset = Dataset(train=train, test=test)
+        assert len(dataset) == 3
+        assert list(dataset.splits()) == ["train", "test"]
+        assert dataset.splits()["test"] is test
+
+    def test_map_splits_applies_to_both(self):
+        dataset = Dataset(train=DataCollection([{"x": 1}]), test=DataCollection([{"x": 2}]))
+        doubled = dataset.map_splits(lambda split, dc: dc.map(lambda r: {"x": r["x"] * 2}))
+        assert doubled.train[0]["x"] == 2
+        assert doubled.test[0]["x"] == 4

@@ -1,0 +1,108 @@
+"""Tests for feature blocks, example collections, and prediction sets."""
+
+import pytest
+
+from repro.dataflow.features import (
+    ExampleCollection,
+    FeatureBlock,
+    LabelBlock,
+    PredictionSet,
+    merge_feature_blocks,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture
+def block_a():
+    return FeatureBlock(name="a", train=[{"x": 1.0}, {"x": 2.0}], test=[{"x": 3.0}])
+
+
+@pytest.fixture
+def block_b():
+    return FeatureBlock(name="b", train=[{"y": 5.0}, {}], test=[{"y": 7.0}])
+
+
+class TestFeatureBlock:
+    def test_split_access(self, block_a):
+        assert block_a.split("train") == [{"x": 1.0}, {"x": 2.0}]
+        assert block_a.split("test") == [{"x": 3.0}]
+
+    def test_split_unknown_raises(self, block_a):
+        with pytest.raises(DataError):
+            block_a.split("validation")
+
+    def test_feature_names_union(self, block_b):
+        assert block_b.feature_names() == ["y"]
+
+    def test_map_values(self, block_a):
+        doubled = block_a.map_values(lambda name, value: value * 2)
+        assert doubled.train[0] == {"x": 2.0}
+        assert block_a.train[0] == {"x": 1.0}
+
+    def test_len_counts_both_splits(self, block_a):
+        assert len(block_a) == 3
+
+
+class TestMergeFeatureBlocks:
+    def test_merge_namespaces_keys(self, block_a, block_b):
+        merged = merge_feature_blocks([block_a, block_b])
+        assert merged.train[0] == {"a.x": 1.0, "b.y": 5.0}
+        assert merged.train[1] == {"a.x": 2.0}
+        assert merged.test[0] == {"a.x": 3.0, "b.y": 7.0}
+
+    def test_merge_without_prefix(self, block_a, block_b):
+        merged = merge_feature_blocks([block_a, block_b], prefix_with_block_name=False)
+        assert merged.train[0] == {"x": 1.0, "y": 5.0}
+
+    def test_merge_empty_list_raises(self):
+        with pytest.raises(DataError):
+            merge_feature_blocks([])
+
+    def test_merge_misaligned_blocks_raises(self, block_a):
+        short = FeatureBlock(name="short", train=[{"z": 1.0}], test=[{"z": 1.0}])
+        with pytest.raises(DataError):
+            merge_feature_blocks([block_a, short])
+
+
+class TestExampleCollection:
+    def test_split_returns_features_and_labels(self, block_a):
+        labels = LabelBlock(name="target", train=[0, 1], test=[1])
+        examples = ExampleCollection(features=block_a, labels=labels)
+        features, gold = examples.split("train")
+        assert features == block_a.train
+        assert gold == [0, 1]
+        assert examples.n_train() == 2
+        assert examples.n_test() == 1
+
+    def test_label_feature_length_mismatch_raises(self, block_a):
+        labels = LabelBlock(name="target", train=[0], test=[1])
+        with pytest.raises(DataError):
+            ExampleCollection(features=block_a, labels=labels)
+
+    def test_feature_names_delegates_to_block(self, block_a):
+        labels = LabelBlock(name="target", train=[0, 1], test=[1])
+        assert ExampleCollection(features=block_a, labels=labels).feature_names() == ["x"]
+
+
+class TestLabelBlock:
+    def test_split_access(self):
+        labels = LabelBlock(name="y", train=[1, 0], test=[1])
+        assert labels.split("train") == [1, 0]
+        with pytest.raises(DataError):
+            labels.split("dev")
+
+
+class TestPredictionSet:
+    def test_split_returns_predictions_and_gold(self):
+        predictions = PredictionSet(
+            name="p",
+            train_predictions=[1, 0],
+            train_labels=[1, 1],
+            test_predictions=[0],
+            test_labels=[0],
+        )
+        predicted, gold = predictions.split("train")
+        assert predicted == [1, 0]
+        assert gold == [1, 1]
+        with pytest.raises(DataError):
+            predictions.split("dev")

@@ -1,0 +1,105 @@
+"""Tests for sequence (token-level) data structures."""
+
+import pytest
+
+from repro.dataflow.sequences import (
+    Sentence,
+    SequenceCorpus,
+    SequenceExampleSet,
+    SequenceFeatureBlock,
+    SequencePredictions,
+    merge_sequence_blocks,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture
+def corpus():
+    return SequenceCorpus(
+        name="c",
+        train=[Sentence(tokens=["Ann", "spoke"], tags=["B-PER", "O"]), Sentence(tokens=["Hello"], tags=["O"])],
+        test=[Sentence(tokens=["Bob", "left"], tags=["B-PER", "O"])],
+    )
+
+
+class TestSentence:
+    def test_length(self):
+        assert len(Sentence(tokens=["a", "b"])) == 2
+
+    def test_tag_length_mismatch_raises(self):
+        with pytest.raises(DataError):
+            Sentence(tokens=["a", "b"], tags=["O"])
+
+
+class TestSequenceCorpus:
+    def test_split_and_counts(self, corpus):
+        assert len(corpus) == 3
+        assert corpus.n_tokens() == 5
+        assert len(corpus.split("train")) == 2
+        with pytest.raises(DataError):
+            corpus.split("dev")
+
+
+class TestSequenceFeatureBlock:
+    def test_split_and_feature_names(self):
+        block = SequenceFeatureBlock(name="f", train=[[{"a": 1.0}]], test=[[{"b": 2.0}]])
+        assert block.split("train") == [[{"a": 1.0}]]
+        assert block.feature_names() == ["a", "b"]
+        with pytest.raises(DataError):
+            block.split("dev")
+
+    def test_merge_namespaces_and_aligns(self):
+        left = SequenceFeatureBlock(name="l", train=[[{"x": 1.0}, {"x": 2.0}]], test=[[{"x": 3.0}]])
+        right = SequenceFeatureBlock(name="r", train=[[{"y": 4.0}, {}]], test=[[{"y": 5.0}]])
+        merged = merge_sequence_blocks([left, right])
+        assert merged.train[0][0] == {"l.x": 1.0, "r.y": 4.0}
+        assert merged.train[0][1] == {"l.x": 2.0}
+
+    def test_merge_empty_raises(self):
+        with pytest.raises(DataError):
+            merge_sequence_blocks([])
+
+    def test_merge_sentence_count_mismatch_raises(self):
+        left = SequenceFeatureBlock(name="l", train=[[{"x": 1.0}]], test=[])
+        right = SequenceFeatureBlock(name="r", train=[[{"y": 1.0}], [{"y": 2.0}]], test=[])
+        with pytest.raises(DataError):
+            merge_sequence_blocks([left, right])
+
+    def test_merge_token_count_mismatch_raises(self):
+        left = SequenceFeatureBlock(name="l", train=[[{"x": 1.0}]], test=[])
+        right = SequenceFeatureBlock(name="r", train=[[{"y": 1.0}, {"y": 2.0}]], test=[])
+        with pytest.raises(DataError):
+            merge_sequence_blocks([left, right])
+
+
+class TestSequenceExampleSet:
+    def test_alignment_enforced(self, corpus):
+        features = SequenceFeatureBlock(name="f", train=[[{"a": 1.0}] * 2], test=[[{"a": 1.0}] * 2])
+        with pytest.raises(DataError):
+            SequenceExampleSet(features=features, corpus=corpus)
+
+    def test_split_returns_features_and_sentences(self, corpus):
+        features = SequenceFeatureBlock(
+            name="f",
+            train=[[{"a": 1.0}, {"a": 1.0}], [{"a": 1.0}]],
+            test=[[{"a": 1.0}, {"a": 1.0}]],
+        )
+        examples = SequenceExampleSet(features=features, corpus=corpus)
+        feats, sents = examples.split("test")
+        assert len(feats) == len(sents) == 1
+
+
+class TestSequencePredictions:
+    def test_split(self):
+        predictions = SequencePredictions(
+            name="p",
+            train_predictions=[["O"]],
+            train_gold=[["O"]],
+            test_predictions=[["B-PER"]],
+            test_gold=[["O"]],
+        )
+        predicted, gold = predictions.split("test")
+        assert predicted == [["B-PER"]]
+        assert gold == [["O"]]
+        with pytest.raises(DataError):
+            predictions.split("dev")

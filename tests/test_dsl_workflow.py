@@ -1,0 +1,162 @@
+"""Tests for the Workflow declaration container and UDF wrapper."""
+
+import pytest
+
+from repro.dsl.operators import ChangeCategory, Evaluator, FieldExtractor, LabelExtractor, SyntheticCensusSource
+from repro.dsl.udf import UDF
+from repro.dsl.workflow import Workflow
+from repro.errors import WorkflowError
+
+
+def minimal_workflow():
+    wf = Workflow("wf")
+    wf.add("data", SyntheticCensusSource())
+    wf.add("age", FieldExtractor("data", field="age"))
+    return wf
+
+
+class TestWorkflowDeclarations:
+    def test_add_returns_name_and_registers(self):
+        wf = Workflow("wf")
+        name = wf.add("data", SyntheticCensusSource())
+        assert name == "data"
+        assert "data" in wf and len(wf) == 1
+
+    def test_empty_name_rejected(self):
+        wf = Workflow("wf")
+        with pytest.raises(WorkflowError):
+            wf.add("", SyntheticCensusSource())
+
+    def test_empty_workflow_name_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("")
+
+    def test_duplicate_declaration_rejected(self):
+        wf = Workflow("wf")
+        wf.add("data", SyntheticCensusSource())
+        with pytest.raises(WorkflowError):
+            wf.add("data", SyntheticCensusSource())
+
+    def test_dependency_must_be_declared_first(self):
+        wf = Workflow("wf")
+        with pytest.raises(WorkflowError):
+            wf.add("age", FieldExtractor("data", field="age"))
+
+    def test_replace_swaps_operator(self):
+        wf = minimal_workflow()
+        wf.replace("age", FieldExtractor("data", field="education"))
+        assert wf.operator("age").field == "education"
+
+    def test_replace_unknown_node_rejected(self):
+        wf = minimal_workflow()
+        with pytest.raises(WorkflowError):
+            wf.replace("missing", SyntheticCensusSource())
+
+    def test_remove_leaf_node(self):
+        wf = minimal_workflow()
+        wf.remove("age")
+        assert "age" not in wf
+
+    def test_remove_with_dependents_rejected(self):
+        wf = minimal_workflow()
+        with pytest.raises(WorkflowError):
+            wf.remove("data")
+
+    def test_operator_lookup_unknown_raises(self):
+        wf = minimal_workflow()
+        with pytest.raises(WorkflowError):
+            wf.operator("missing")
+
+
+class TestOutputsAndValidation:
+    def test_mark_output_and_validate(self):
+        wf = minimal_workflow()
+        wf.mark_output("age")
+        wf.validate()
+        assert wf.outputs() == ["age"]
+
+    def test_mark_output_unknown_rejected(self):
+        wf = minimal_workflow()
+        with pytest.raises(WorkflowError):
+            wf.mark_output("missing")
+
+    def test_mark_output_idempotent(self):
+        wf = minimal_workflow()
+        wf.mark_output("age")
+        wf.mark_output("age")
+        assert wf.outputs() == ["age"]
+
+    def test_validate_without_outputs_rejected(self):
+        wf = minimal_workflow()
+        with pytest.raises(WorkflowError):
+            wf.validate()
+
+    def test_remove_clears_output_mark(self):
+        wf = minimal_workflow()
+        wf.mark_output("age")
+        wf.remove("age")
+        assert wf.outputs() == []
+
+
+class TestIntrospectionAndCopy:
+    def test_categories_reports_operator_categories(self):
+        wf = minimal_workflow()
+        wf.add("target", LabelExtractor("data", field="target"))
+        categories = wf.categories()
+        assert categories["data"] is ChangeCategory.SOURCE
+        assert categories["age"] is ChangeCategory.DATA_PREP
+
+    def test_copy_is_independent(self):
+        wf = minimal_workflow()
+        clone = wf.copy()
+        clone.add("edu", FieldExtractor("data", field="education"))
+        assert "edu" not in wf
+        assert "edu" in clone
+
+    def test_describe_lists_declarations_and_outputs(self):
+        wf = minimal_workflow()
+        wf.mark_output("age")
+        text = wf.describe()
+        assert "age <- FieldExtractor" in text
+        assert "(output)" in text
+
+    def test_iteration_yields_pairs_in_order(self):
+        wf = minimal_workflow()
+        assert [name for name, _op in wf] == ["data", "age"]
+
+
+class TestUDF:
+    def test_wrap_callable_and_call(self):
+        udf = UDF.wrap(lambda value: value + 1, name="inc")
+        assert udf(1) == 2
+        assert udf.name == "inc"
+
+    def test_wrap_existing_udf_returns_same(self):
+        udf = UDF(lambda: None, name="noop")
+        assert UDF.wrap(udf) is udf
+
+    def test_source_recovers_function_body(self):
+        def my_function(x):
+            return x * 3
+
+        assert "x * 3" in UDF(my_function).source()
+
+    def test_source_falls_back_for_builtins(self):
+        assert "len" in UDF(len).source()
+
+    def test_explicit_source_overrides(self):
+        udf = UDF(lambda x: x, source="custom-source")
+        assert udf.source() == "custom-source"
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            UDF(42)
+
+    def test_source_changes_with_body(self):
+        def version_one(x):
+            return x + 1
+
+        def version_two(x):
+            return x + 2
+
+        assert UDF(version_one).source() != UDF(version_two).source()

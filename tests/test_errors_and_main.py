@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy and the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_helix_error(self):
+        error_classes = [
+            value
+            for value in vars(errors).values()
+            if isinstance(value, type) and issubclass(value, Exception) and value is not Exception
+        ]
+        assert errors.HelixError in error_classes
+        for error_class in error_classes:
+            assert issubclass(error_class, errors.HelixError)
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.CycleError, errors.GraphError)
+        assert issubclass(errors.BudgetExceededError, errors.StorageError)
+        assert issubclass(errors.NotFittedError, errors.MLError)
+        assert issubclass(errors.InfeasiblePlanError, errors.OptimizerError)
+
+    def test_catching_base_class_catches_subclasses(self):
+        with pytest.raises(errors.HelixError):
+            raise errors.CompilationError("boom")
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_help(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True, timeout=120
+        )
+        assert completed.returncode == 0
+        assert "reproduce" in completed.stdout
+        assert "suggest" in completed.stdout
+
+    def test_python_dash_m_repro_suggest(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "suggest", "census"], capture_output=True, text=True, timeout=300
+        )
+        assert completed.returncode == 0
+        assert "reg_param" in completed.stdout or "naive_bayes" in completed.stdout

@@ -1,0 +1,118 @@
+"""Tests for the virtual-clock workflow simulator."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.execution.simulator import SimIteration, SimNode, WorkflowSimulator, sim_dag
+from repro.graph.dag import NodeState
+from repro.optimizer.cost_model import CostDefaults
+from repro.optimizer.materialization import MaterializeAll, MaterializeNone
+
+
+def two_node_iteration(signatures=None, description="it"):
+    nodes = [
+        SimNode("prep", compute_cost=100.0, output_size=1000.0, category="purple"),
+        SimNode("model", compute_cost=10.0, output_size=10.0, category="orange"),
+    ]
+    dag = sim_dag(nodes, [("prep", "model")])
+    return SimIteration(
+        description=description,
+        category="initial",
+        dag=dag,
+        signatures=signatures or {"prep": "sig-prep", "model": "sig-model"},
+        outputs=["model"],
+    )
+
+
+class TestSimIterationValidation:
+    def test_missing_signature_rejected(self):
+        nodes = [SimNode("a", 1.0, 1.0)]
+        with pytest.raises(OptimizerError):
+            SimIteration("x", "purple", sim_dag(nodes, []), signatures={}, outputs=["a"])
+
+    def test_unknown_output_rejected(self):
+        nodes = [SimNode("a", 1.0, 1.0)]
+        with pytest.raises(OptimizerError):
+            SimIteration("x", "purple", sim_dag(nodes, []), signatures={"a": "s"}, outputs=["b"])
+
+    def test_unknown_recomputation_policy_rejected(self):
+        with pytest.raises(OptimizerError):
+            WorkflowSimulator(recomputation="magic")
+
+
+class TestSimulatorExecution:
+    def test_first_iteration_computes_everything(self):
+        simulator = WorkflowSimulator()
+        report = simulator.run_iteration(two_node_iteration(), 0)
+        assert report.total_runtime >= 110.0
+        assert report.n_in_state(NodeState.COMPUTE) == 2
+
+    def test_unchanged_second_iteration_reuses(self):
+        simulator = WorkflowSimulator()
+        simulator.run_iteration(two_node_iteration(), 0)
+        second = simulator.run_iteration(two_node_iteration(description="repeat"), 1)
+        # Everything needed is loadable, so the runtime collapses to load costs.
+        assert second.total_runtime < 10.0
+        assert second.n_in_state(NodeState.COMPUTE) == 0
+
+    def test_changed_node_is_recomputed(self):
+        simulator = WorkflowSimulator()
+        simulator.run_iteration(two_node_iteration(), 0)
+        changed = two_node_iteration(signatures={"prep": "sig-prep", "model": "sig-model-v2"})
+        report = simulator.run_iteration(changed, 1)
+        assert report.node_stats["model"].state is NodeState.COMPUTE
+        assert report.node_stats["prep"].state in (NodeState.LOAD, NodeState.PRUNE)
+
+    def test_cross_iteration_reuse_disabled(self):
+        simulator = WorkflowSimulator(cross_iteration_reuse=False, system="keystone")
+        simulator.run_iteration(two_node_iteration(), 0)
+        second = simulator.run_iteration(two_node_iteration(), 1)
+        assert second.n_in_state(NodeState.COMPUTE) == 2
+
+    def test_always_recompute_categories(self):
+        simulator = WorkflowSimulator(always_recompute_categories=["orange"], system="deepdive-ish")
+        simulator.run_iteration(two_node_iteration(), 0)
+        second = simulator.run_iteration(two_node_iteration(), 1)
+        assert second.node_stats["model"].state is NodeState.COMPUTE
+        assert second.node_stats["prep"].state is NodeState.LOAD
+
+    def test_category_cost_multiplier_inflates_compute(self):
+        plain = WorkflowSimulator(policy_factory=lambda d, c, b: MaterializeNone())
+        inflated = WorkflowSimulator(
+            policy_factory=lambda d, c, b: MaterializeNone(),
+            category_cost_multipliers={"orange": 3.0},
+        )
+        base = plain.run_iteration(two_node_iteration(), 0).total_runtime
+        slower = inflated.run_iteration(two_node_iteration(), 0).total_runtime
+        assert slower == pytest.approx(base + 2 * 10.0)
+
+    def test_materialization_consumes_budget_and_is_skipped_when_full(self):
+        simulator = WorkflowSimulator(
+            policy_factory=lambda d, c, b: MaterializeAll(),
+            storage_budget=1000.0,
+        )
+        report = simulator.run_iteration(two_node_iteration(), 0)
+        # prep (1000 B) fits exactly; model (10 B) no longer fits.
+        assert simulator.storage_used() == pytest.approx(1000.0)
+        assert report.node_stats["prep"].materialized
+        assert not report.node_stats["model"].materialized
+
+    def test_write_costs_counted_in_runtime(self):
+        defaults = CostDefaults(write_bandwidth=100.0, read_bandwidth=1e9, io_overhead=0.0)
+        simulator = WorkflowSimulator(policy_factory=lambda d, c, b: MaterializeAll(), defaults=defaults)
+        report = simulator.run_iteration(two_node_iteration(), 0)
+        assert report.materialize_time() == pytest.approx((1000.0 + 10.0) / 100.0)
+
+    def test_run_returns_cumulative_series(self):
+        simulator = WorkflowSimulator()
+        result = simulator.run([two_node_iteration(), two_node_iteration(description="again")])
+        cumulative = result.cumulative_runtimes()
+        assert len(cumulative) == 2
+        assert cumulative[1] >= cumulative[0]
+        assert result.total_runtime() == pytest.approx(cumulative[-1])
+        assert result.runtimes()[0] > result.runtimes()[1]
+
+    def test_materialized_signatures_exposed(self):
+        simulator = WorkflowSimulator()
+        simulator.run_iteration(two_node_iteration(), 0)
+        assert "sig-prep" in simulator.materialized_signatures()

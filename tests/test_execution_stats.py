@@ -1,0 +1,81 @@
+"""Tests for runtime statistics and run history."""
+
+import pytest
+
+from repro.execution.stats import IterationReport, NodeRunStats, RunHistory
+from repro.graph.dag import NodeState
+
+
+def make_report(iteration=0, runtime=10.0):
+    stats = {
+        "a": NodeRunStats(node="a", signature="sig-a", operator_type="Scan", category="purple",
+                          state=NodeState.COMPUTE, compute_time=6.0, output_size=100.0),
+        "b": NodeRunStats(node="b", signature="sig-b", operator_type="Learner", category="orange",
+                          state=NodeState.LOAD, load_time=3.0, output_size=50.0),
+        "c": NodeRunStats(node="c", signature="sig-c", operator_type="Eval", category="green",
+                          state=NodeState.PRUNE),
+    }
+    return IterationReport(
+        iteration=iteration, workflow_name="wf", total_runtime=runtime, node_stats=stats,
+        metrics={"accuracy": 0.9},
+    )
+
+
+class TestNodeRunStats:
+    def test_total_time_sums_components(self):
+        stats = NodeRunStats(node="x", signature="s", operator_type="T", category="purple",
+                             state=NodeState.COMPUTE, compute_time=1.0, load_time=2.0, materialize_time=3.0)
+        assert stats.total_time() == 6.0
+
+
+class TestIterationReport:
+    def test_state_aggregations(self):
+        report = make_report()
+        assert report.compute_time() == 6.0
+        assert report.load_time() == 3.0
+        assert report.n_in_state(NodeState.PRUNE) == 1
+        assert report.time_in_state(NodeState.LOAD) == 3.0
+
+    def test_reuse_fraction_counts_loads_and_prunes(self):
+        report = make_report()
+        assert report.reuse_fraction() == pytest.approx(2 / 3)
+
+    def test_reuse_fraction_empty_report(self):
+        assert IterationReport(iteration=0, workflow_name="wf").reuse_fraction() == 0.0
+
+    def test_summary_row_contains_metrics(self):
+        row = make_report().summary_row()
+        assert row["runtime"] == 10.0
+        assert row["computed"] == 1 and row["loaded"] == 1 and row["pruned"] == 1
+        assert row["metric:accuracy"] == 0.9
+
+
+class TestRunHistory:
+    def test_update_records_compute_costs_by_signature(self):
+        history = RunHistory()
+        history.update_from_report(make_report())
+        records = history.cost_records()
+        assert records["sig-a"].compute_cost == 6.0
+        assert records["sig-a"].operator_type == "Scan"
+        # Loaded nodes do not create compute records out of thin air.
+        assert "sig-b" not in records
+
+    def test_loaded_node_refreshes_size_of_known_record(self):
+        history = RunHistory()
+        history.update_from_report(make_report())
+        # Next iteration: 'a' is loaded with a (measured) larger size.
+        second = make_report(iteration=1)
+        second.node_stats["a"].state = NodeState.LOAD
+        second.node_stats["a"].compute_time = 0.0
+        second.node_stats["a"].output_size = 999.0
+        history.update_from_report(second)
+        assert history.cost_records()["sig-a"].output_size == 999.0
+        assert history.cost_records()["sig-a"].compute_cost == 6.0
+
+    def test_cumulative_runtimes(self):
+        history = RunHistory()
+        history.update_from_report(make_report(0, 10.0))
+        history.update_from_report(make_report(1, 5.0))
+        assert history.cumulative_runtime() == 15.0
+        assert history.cumulative_runtimes() == [10.0, 15.0]
+        assert len(history) == 2

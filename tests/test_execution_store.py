@@ -1,0 +1,117 @@
+"""Tests for the pickle-backed artifact store."""
+
+import os
+
+import pytest
+
+from repro.errors import BudgetExceededError, StorageError
+from repro.execution.store import ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "artifacts"))
+
+
+class TestPutGet:
+    def test_roundtrip_preserves_value(self, store):
+        value = {"rows": [1, 2, 3], "name": "features"}
+        meta = store.put("sig-1", "features", value)
+        assert meta.size > 0 and meta.write_time >= 0
+        loaded, elapsed = store.get("sig-1")
+        assert loaded == value
+        assert elapsed >= 0.0
+
+    def test_has_and_signatures(self, store):
+        assert not store.has("sig-1")
+        store.put("sig-1", "n", [1])
+        assert store.has("sig-1")
+        assert store.signatures() == ["sig-1"]
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get("missing")
+
+    def test_meta_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.meta("missing")
+
+    def test_put_same_signature_overwrites_without_double_counting(self, store):
+        store.put("sig-1", "n", list(range(100)))
+        first_usage = store.used_bytes()
+        store.put("sig-1", "n", list(range(100)))
+        assert store.used_bytes() == first_usage
+
+    def test_unpicklable_value_raises(self, store):
+        with pytest.raises(StorageError):
+            store.put("sig-bad", "n", lambda x: x)  # lambdas cannot be pickled
+
+    def test_load_time_recorded_in_catalog(self, store):
+        store.put("sig-1", "n", [1, 2, 3])
+        store.get("sig-1")
+        assert store.load_costs_by_signature()["sig-1"] >= 0.0
+
+
+class TestBudgetAccounting:
+    def test_used_and_remaining(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "a"), budget_bytes=10_000)
+        store.put("s1", "n1", list(range(50)))
+        assert store.used_bytes() > 0
+        assert store.remaining_budget() == pytest.approx(10_000 - store.used_bytes())
+
+    def test_unlimited_budget(self, store):
+        assert store.remaining_budget() == float("inf")
+
+    def test_budget_enforced(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "a"), budget_bytes=50)
+        with pytest.raises(BudgetExceededError):
+            store.put("s1", "n1", list(range(1000)))
+
+    def test_sizes_by_signature(self, store):
+        store.put("s1", "n1", [1])
+        store.put("s2", "n2", [1, 2, 3])
+        sizes = store.sizes_by_signature()
+        assert set(sizes) == {"s1", "s2"}
+        assert sizes["s2"] >= sizes["s1"]
+
+
+class TestDeletionAndPersistence:
+    def test_delete_removes_artifact_and_file(self, store):
+        meta = store.put("s1", "n1", [1])
+        path = os.path.join(store.root, meta.filename)
+        assert os.path.exists(path)
+        store.delete("s1")
+        assert not store.has("s1")
+        assert not os.path.exists(path)
+
+    def test_clear_removes_everything(self, store):
+        store.put("s1", "n1", [1])
+        store.put("s2", "n2", [2])
+        store.clear()
+        assert store.signatures() == []
+        assert store.used_bytes() == 0
+
+    def test_catalog_survives_reopen(self, tmp_path):
+        root = str(tmp_path / "a")
+        first = ArtifactStore(root)
+        first.put("s1", "n1", {"x": 1})
+        reopened = ArtifactStore(root)
+        assert reopened.has("s1")
+        value, _ = reopened.get("s1")
+        assert value == {"x": 1}
+
+    def test_reopen_ignores_catalog_entries_with_missing_files(self, tmp_path):
+        root = str(tmp_path / "a")
+        first = ArtifactStore(root)
+        meta = first.put("s1", "n1", [1])
+        os.remove(os.path.join(root, meta.filename))
+        reopened = ArtifactStore(root)
+        assert not reopened.has("s1")
+
+    def test_corrupt_catalog_raises_storage_error(self, tmp_path):
+        root = str(tmp_path / "a")
+        ArtifactStore(root)
+        with open(os.path.join(root, "catalog.json"), "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(StorageError):
+            ArtifactStore(root)

@@ -1,0 +1,136 @@
+"""Shape tests for the paper's figures (the fast versions of the benchmarks).
+
+These tests assert the qualitative claims of the evaluation section:
+
+* Figure 1(b): after the Census iteration that swaps an extractor, the
+  optimized plan loads unchanged pre-processing results, computes only the
+  affected operators, and prunes operators that no output needs.
+* Figure 2(a): on the IE workload HELIX's cumulative runtime is well below
+  DeepDive's (the paper reports ~60% lower).
+* Figure 2(b): on the Census workload HELIX is several times cheaper than
+  KeystoneML (the paper reports nearly an order of magnitude) and cheaper
+  than DeepDive; post-processing iterations are near-free, ML iterations are
+  cheaper than data-pre-processing iterations; KeystoneML stays flat-high.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines.strategies import DEEPDIVE, HELIX, HELIX_GREEDY, KEYSTONEML
+from repro.bench.harness import run_simulated_comparison
+from repro.core.session import HelixSession
+from repro.graph.dag import NodeState
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+from repro.workloads.simulated import census_sim_workload, ie_sim_workload, sim_defaults
+
+
+class TestFigure1Plan:
+    """The optimized execution plan for the modified Census workflow."""
+
+    def test_modified_workflow_plan_matches_figure(self, tmp_path, small_census_config):
+        session = HelixSession(workspace=str(tmp_path / "fig1"))
+        v1 = CensusVariant(data_config=small_census_config)
+        initial = session.run(build_census_workflow(v1), description="initial")
+
+        # Iteration 2 (Figure 1a): add the marital-status extractor to the set
+        # of assembled features.
+        v2 = replace(v1, use_marital_status=True)
+        result = session.run(build_census_workflow(v2), description="add ms")
+        states = result.report.states
+
+        # Expensive unchanged pre-processing (ingest, scan) is reused, not recomputed.
+        assert states["data"] in (NodeState.LOAD, NodeState.PRUNE)
+        assert states["rows"] in (NodeState.LOAD, NodeState.PRUNE)
+        # The new extractor and everything downstream of the feature set change runs.
+        assert states["ms"] is NodeState.COMPUTE
+        assert states["income"] is NodeState.COMPUTE
+        assert states["incPred"] is NodeState.COMPUTE
+        # The extractor that no output needs is not even part of the plan.
+        assert "race" not in states
+        # Overall the plan reuses previous work: some nodes avoid recomputation
+        # and the iteration is substantially cheaper than the initial run.
+        assert result.report.reuse_fraction() > 0.1
+        assert result.runtime < 0.7 * initial.runtime
+
+    def test_plan_rendering_shows_load_and_compute_markers(self, tmp_path, tiny_census_config):
+        session = HelixSession(workspace=str(tmp_path / "fig1b"))
+        v1 = CensusVariant(data_config=tiny_census_config)
+        session.run(build_census_workflow(v1))
+        plan = session.plan(build_census_workflow(replace(v1, use_marital_status=True)))
+        ascii_text = plan.to_ascii()
+        assert "load" in ascii_text and "compute" in ascii_text
+        dot = plan.to_dot()
+        assert "digraph" in dot
+
+
+@pytest.fixture(scope="module")
+def figure2a():
+    return run_simulated_comparison("ie", ie_sim_workload(), [HELIX, DEEPDIVE], defaults=sim_defaults())
+
+
+@pytest.fixture(scope="module")
+def figure2b():
+    return run_simulated_comparison(
+        "census", census_sim_workload(), [HELIX, DEEPDIVE, KEYSTONEML], defaults=sim_defaults()
+    )
+
+
+class TestFigure2A:
+    def test_helix_substantially_cheaper_than_deepdive(self, figure2a):
+        reduction = 1.0 - figure2a.cumulative("helix") / figure2a.cumulative("deepdive")
+        assert reduction > 0.40  # paper: ~60% lower
+
+    def test_helix_cumulative_monotonically_below_deepdive(self, figure2a):
+        helix = figure2a.runtimes_by_system()["helix"]
+        deepdive = figure2a.runtimes_by_system()["deepdive"]
+        helix_cumulative, deepdive_cumulative = 0.0, 0.0
+        for h, d in zip(helix, deepdive):
+            helix_cumulative += h
+            deepdive_cumulative += d
+            assert helix_cumulative <= deepdive_cumulative + 1e-6
+
+    def test_helix_green_iterations_nearly_free(self, figure2a):
+        reports = figure2a.reports_by_system["helix"]
+        green = [r.total_runtime for r in reports if r.change_category == "green"]
+        initial = reports[0].total_runtime
+        assert green and max(green) < 0.05 * initial
+
+
+class TestFigure2B:
+    def test_helix_much_cheaper_than_keystoneml(self, figure2b):
+        assert figure2b.speedup_over("keystoneml") > 5.0  # paper: nearly an order of magnitude
+
+    def test_helix_cheaper_than_deepdive(self, figure2b):
+        assert figure2b.speedup_over("deepdive") > 1.1
+
+    def test_iteration_type_ordering_for_helix(self, figure2b):
+        """green < orange < purple per-iteration runtime, as described in §2.4."""
+        reports = figure2b.reports_by_system["helix"]
+        by_category = {}
+        for report in reports[1:]:  # skip the initial full run
+            by_category.setdefault(report.change_category, []).append(report.total_runtime)
+        green = max(by_category["green"])
+        orange = max(by_category["orange"])
+        purple = min(by_category["purple"])
+        assert green < orange < purple
+
+    def test_keystoneml_flat_high_regardless_of_change_type(self, figure2b):
+        runtimes = figure2b.runtimes_by_system()["keystoneml"]
+        assert min(runtimes) > 0.8 * max(runtimes)
+        assert min(runtimes) > 5 * max(
+            r.total_runtime for r in figure2b.reports_by_system["helix"] if r.change_category == "green"
+        )
+
+    def test_helix_storage_grows_but_runtime_stays_low(self, figure2b):
+        reports = figure2b.reports_by_system["helix"]
+        assert reports[-1].storage_used >= reports[0].storage_used
+        assert reports[-1].total_runtime < reports[0].total_runtime
+
+
+class TestRecomputationAblation:
+    def test_optimal_reuse_never_worse_than_greedy_on_workloads(self):
+        defaults = sim_defaults()
+        for iterations in (census_sim_workload(), ie_sim_workload()):
+            result = run_simulated_comparison("ablation", iterations, [HELIX, HELIX_GREEDY], defaults=defaults)
+            assert result.cumulative("helix") <= result.cumulative("helix_greedy") + 1e-6

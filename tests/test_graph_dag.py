@@ -1,0 +1,148 @@
+"""Tests for the DAG substrate."""
+
+import pytest
+
+from repro.errors import CycleError, DuplicateNodeError, UnknownNodeError
+from repro.graph.dag import Dag, NodeState
+
+
+class TestConstruction:
+    def test_add_node_and_contains(self):
+        dag = Dag()
+        dag.add_node("a", payload=42)
+        assert "a" in dag
+        assert dag.payload("a") == 42
+
+    def test_len_counts_nodes(self):
+        dag = Dag()
+        for name in "abc":
+            dag.add_node(name)
+        assert len(dag) == 3
+
+    def test_duplicate_node_rejected(self):
+        dag = Dag()
+        dag.add_node("a")
+        with pytest.raises(DuplicateNodeError):
+            dag.add_node("a")
+
+    def test_add_edge_requires_known_nodes(self):
+        dag = Dag()
+        dag.add_node("a")
+        with pytest.raises(UnknownNodeError):
+            dag.add_edge("a", "missing")
+        with pytest.raises(UnknownNodeError):
+            dag.add_edge("missing", "a")
+
+    def test_self_loop_rejected(self):
+        dag = Dag()
+        dag.add_node("a")
+        with pytest.raises(CycleError):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected(self):
+        dag = Dag()
+        for name in "abc":
+            dag.add_node(name)
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        with pytest.raises(CycleError):
+            dag.add_edge("c", "a")
+
+    def test_duplicate_edge_is_ignored(self):
+        dag = Dag()
+        dag.add_node("a")
+        dag.add_node("b")
+        dag.add_edge("a", "b")
+        dag.add_edge("a", "b")
+        assert dag.edges() == [("a", "b")]
+
+    def test_set_payload_replaces(self):
+        dag = Dag()
+        dag.add_node("a", payload=1)
+        dag.set_payload("a", 2)
+        assert dag.payload("a") == 2
+
+    def test_remove_node_drops_edges(self, diamond_dag):
+        diamond_dag.remove_node("b")
+        assert "b" not in diamond_dag
+        assert ("a", "b") not in diamond_dag.edges()
+        assert ("b", "d") not in diamond_dag.edges()
+        assert diamond_dag.parents("d") == ["c"]
+
+    def test_remove_unknown_node_raises(self):
+        dag = Dag()
+        with pytest.raises(UnknownNodeError):
+            dag.remove_node("nope")
+
+
+class TestQueries:
+    def test_parents_and_children(self, diamond_dag):
+        assert set(diamond_dag.children("a")) == {"b", "c"}
+        assert set(diamond_dag.parents("d")) == {"b", "c"}
+        assert diamond_dag.parents("a") == []
+
+    def test_roots_and_sinks(self, diamond_dag):
+        assert diamond_dag.roots() == ["a"]
+        assert diamond_dag.sinks() == ["d"]
+
+    def test_ancestors_excludes_self(self, diamond_dag):
+        assert diamond_dag.ancestors("d") == {"a", "b", "c"}
+        assert diamond_dag.ancestors("a") == set()
+
+    def test_descendants(self, diamond_dag):
+        assert diamond_dag.descendants("a") == {"b", "c", "d"}
+        assert diamond_dag.descendants("d") == set()
+
+    def test_topological_order_respects_edges(self, diamond_dag):
+        order = diamond_dag.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+        assert len(order) == 4
+
+    def test_topological_order_is_stable_for_chain(self, chain_dag):
+        assert chain_dag.topological_order() == ["a", "b", "c", "d"]
+
+    def test_iteration_yields_node_names(self, chain_dag):
+        assert list(chain_dag) == ["a", "b", "c", "d"]
+
+    def test_unknown_node_queries_raise(self, chain_dag):
+        with pytest.raises(UnknownNodeError):
+            chain_dag.parents("zzz")
+        with pytest.raises(UnknownNodeError):
+            chain_dag.ancestors("zzz")
+
+
+class TestDerivedGraphs:
+    def test_subgraph_keeps_induced_edges(self, diamond_dag):
+        sub = diamond_dag.subgraph(["a", "b", "d"])
+        assert set(sub.nodes()) == {"a", "b", "d"}
+        assert set(sub.edges()) == {("a", "b"), ("b", "d")}
+
+    def test_subgraph_unknown_node_raises(self, diamond_dag):
+        with pytest.raises(UnknownNodeError):
+            diamond_dag.subgraph(["a", "zzz"])
+
+    def test_map_payloads_preserves_structure(self, diamond_dag):
+        mapped = diamond_dag.map_payloads(lambda name, payload: name.upper())
+        assert mapped.payload("a") == "A"
+        assert set(mapped.edges()) == set(diamond_dag.edges())
+
+    def test_copy_is_structural(self, diamond_dag):
+        clone = diamond_dag.copy()
+        clone.add_node("e")
+        clone.add_edge("d", "e")
+        assert "e" not in diamond_dag
+        assert ("d", "e") not in diamond_dag.edges()
+
+    def test_empty_dag_topological_order(self):
+        assert Dag().topological_order() == []
+
+
+class TestNodeState:
+    def test_states_have_expected_values(self):
+        assert NodeState.COMPUTE.value == "compute"
+        assert NodeState.LOAD.value == "load"
+        assert NodeState.PRUNE.value == "prune"
+
+    def test_states_are_distinct(self):
+        assert len({NodeState.COMPUTE, NodeState.LOAD, NodeState.PRUNE}) == 3

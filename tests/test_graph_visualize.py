@@ -1,0 +1,49 @@
+"""Tests for ASCII / DOT rendering of DAGs and plans."""
+
+from repro.graph.dag import Dag, NodeState
+from repro.graph.visualize import plan_annotations, to_ascii, to_dot
+
+
+def test_ascii_contains_all_nodes(diamond_dag):
+    text = to_ascii(diamond_dag)
+    for name in diamond_dag.nodes():
+        assert name in text
+
+
+def test_ascii_marks_reappearing_nodes(diamond_dag):
+    text = to_ascii(diamond_dag)
+    assert text.count("shown above") == 1  # 'd' is reachable from both b and c
+
+
+def test_ascii_includes_annotations(diamond_dag):
+    text = to_ascii(diamond_dag, annotations={"b": "load"})
+    assert "b [load]" in text
+
+
+def test_ascii_empty_dag_has_header():
+    assert "0 nodes" in to_ascii(Dag("empty"))
+
+
+def test_dot_contains_edges_and_nodes(diamond_dag):
+    dot = to_dot(diamond_dag)
+    assert '"a" -> "b";' in dot
+    assert '"c" -> "d";' in dot
+    assert dot.startswith('digraph "diamond"')
+    assert dot.rstrip().endswith("}")
+
+
+def test_dot_applies_colors_and_annotations(diamond_dag):
+    dot = to_dot(diamond_dag, annotations={"a": "compute"}, colors={"a": "#ff0000"})
+    assert "compute" in dot
+    assert "#ff0000" in dot
+
+
+def test_plan_annotations_formats_states_and_runtimes():
+    notes = plan_annotations({"x": NodeState.LOAD, "y": NodeState.COMPUTE}, runtimes={"y": 1.234})
+    assert notes["x"] == "load"
+    assert notes["y"].startswith("compute, 1.234")
+
+
+def test_plan_annotations_without_runtimes():
+    notes = plan_annotations({"x": NodeState.PRUNE})
+    assert notes == {"x": "prune"}

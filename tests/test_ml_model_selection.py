@@ -1,0 +1,75 @@
+"""Tests for train/validation splitting and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import accuracy
+from repro.ml.model_selection import GridSearch, train_validation_split
+
+
+class TestTrainValidationSplit:
+    def test_partition_sizes(self):
+        X = np.arange(20).reshape(10, 2)
+        y = list(range(10))
+        X_train, y_train, X_validation, y_validation = train_validation_split(X, y, validation_fraction=0.3, seed=0)
+        assert len(y_validation) == 3
+        assert len(y_train) == 7
+        assert X_train.shape == (7, 2)
+
+    def test_partition_is_disjoint_and_complete(self):
+        X = np.arange(10).reshape(10, 1)
+        y = list(range(10))
+        _X_train, y_train, _X_validation, y_validation = train_validation_split(X, y, seed=1)
+        assert sorted(y_train + y_validation) == y
+
+    def test_seed_controls_shuffle(self):
+        X = np.arange(10).reshape(10, 1)
+        y = list(range(10))
+        first = train_validation_split(X, y, seed=2)[3]
+        second = train_validation_split(X, y, seed=2)[3]
+        third = train_validation_split(X, y, seed=3)[3]
+        assert first == second
+        assert first != third
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(MLError):
+            train_validation_split(np.zeros((4, 1)), [0, 1, 0, 1], validation_fraction=1.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MLError):
+            train_validation_split(np.zeros((4, 1)), [0, 1])
+
+
+class TestGridSearch:
+    def make_data(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(120, 2))
+        y = (X[:, 0] > 0).astype(int).tolist()
+        return X, y
+
+    def test_candidates_enumerates_grid(self):
+        search = GridSearch(LogisticRegression, {"reg_param": [0.0, 0.1], "max_iter": [10, 20]}, accuracy)
+        assert len(search.candidates()) == 4
+
+    def test_fit_selects_best_params(self):
+        X, y = self.make_data()
+        search = GridSearch(
+            LogisticRegression,
+            {"reg_param": [0.0, 50.0], "max_iter": [100]},
+            accuracy,
+            seed=0,
+        ).fit(X, y)
+        assert search.best_params()["reg_param"] == 0.0
+        assert 0.0 <= search.best_score() <= 1.0
+        assert len(search.results_) == 2
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(MLError):
+            GridSearch(LogisticRegression, {}, accuracy)
+
+    def test_best_before_fit_raises(self):
+        search = GridSearch(LogisticRegression, {"reg_param": [0.0]}, accuracy)
+        with pytest.raises(MLError):
+            search.best_params()

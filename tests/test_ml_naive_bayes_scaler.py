@@ -1,0 +1,86 @@
+"""Tests for BernoulliNaiveBayes and StandardScaler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml.naive_bayes import BernoulliNaiveBayes
+from repro.ml.scaler import StandardScaler
+
+
+class TestBernoulliNaiveBayes:
+    def make_data(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        # Feature 0 fires mostly for class 1, feature 1 mostly for class 0.
+        X = np.zeros((n, 2))
+        X[:, 0] = (rng.random(n) < np.where(y == 1, 0.9, 0.1)).astype(float)
+        X[:, 1] = (rng.random(n) < np.where(y == 0, 0.85, 0.15)).astype(float)
+        return X, y.tolist()
+
+    def test_learns_informative_features(self):
+        X, y = self.make_data()
+        model = BernoulliNaiveBayes().fit(X, y)
+        accuracy = np.mean([p == t for p, t in zip(model.predict(X), y)])
+        assert accuracy > 0.85
+
+    def test_log_probabilities_normalized(self):
+        X, y = self.make_data(100)
+        log_proba = BernoulliNaiveBayes().fit(X, y).predict_log_proba(X)
+        assert np.allclose(np.exp(log_proba).sum(axis=1), 1.0)
+
+    def test_binarization_threshold(self):
+        X = np.array([[0.4], [0.6]])
+        model = BernoulliNaiveBayes(binarize_threshold=0.5)
+        assert model._binarize(X).tolist() == [[0.0], [1.0]]
+
+    def test_string_labels_supported(self):
+        X, y = self.make_data(100)
+        labels = ["hi" if value else "lo" for value in y]
+        model = BernoulliNaiveBayes().fit(X, labels)
+        assert set(model.predict(X)) <= {"hi", "lo"}
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(MLError):
+            BernoulliNaiveBayes(alpha=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MLError):
+            BernoulliNaiveBayes().fit(np.zeros((3, 2)), [0, 1])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            BernoulliNaiveBayes().predict(np.zeros((1, 2)))
+
+    def test_get_params(self):
+        assert BernoulliNaiveBayes(alpha=2.0).get_params()["alpha"] == 2.0
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 3))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.array([[1.0, 2.0], [1.0, 4.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_transform_uses_train_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_without_mean_or_std(self):
+        X = np.array([[2.0], [4.0]])
+        centered_only = StandardScaler(with_std=False).fit_transform(X)
+        assert np.allclose(centered_only.mean(), 0.0)
+        scaled_only = StandardScaler(with_mean=False).fit_transform(X)
+        assert scaled_only.min() > 0.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((1, 1)))

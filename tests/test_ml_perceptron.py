@@ -1,0 +1,125 @@
+"""Tests for the structured perceptron sequence tagger."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml.perceptron import StructuredPerceptron
+
+
+def toy_corpus(n_sentences=80, seed=0):
+    """Sentences where tokens with the 'name' feature are B-PER, others O."""
+    rng = np.random.default_rng(seed)
+    sentences, tags = [], []
+    for _ in range(n_sentences):
+        length = rng.integers(2, 6)
+        sentence, sentence_tags = [], []
+        for position in range(length):
+            if rng.random() < 0.3:
+                sentence.append({"is_name": 1.0, f"pos={position}": 1.0})
+                sentence_tags.append("B-PER")
+            else:
+                sentence.append({"is_word": 1.0, f"pos={position}": 1.0})
+                sentence_tags.append("O")
+        sentences.append(sentence)
+        tags.append(sentence_tags)
+    return sentences, tags
+
+
+class TestTraining:
+    def test_learns_toy_tagging_task(self):
+        sentences, tags = toy_corpus()
+        model = StructuredPerceptron(epochs=5, seed=1).fit(sentences, tags)
+        predictions = model.predict(sentences)
+        correct = sum(p == t for ps, ts in zip(predictions, tags) for p, t in zip(ps, ts))
+        total = sum(len(ts) for ts in tags)
+        assert correct / total > 0.95
+
+    def test_averaging_changes_weights(self):
+        sentences, tags = toy_corpus(30)
+        averaged = StructuredPerceptron(epochs=2, averaged=True, seed=0).fit(sentences, tags)
+        raw = StructuredPerceptron(epochs=2, averaged=False, seed=0).fit(sentences, tags)
+        assert not np.array_equal(averaged.transition_weights_, raw.transition_weights_)
+
+    def test_tags_discovered_from_training_data(self):
+        sentences, tags = toy_corpus(10)
+        model = StructuredPerceptron(epochs=1).fit(sentences, tags)
+        assert set(model.tags_) == {"B-PER", "O"}
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MLError):
+            StructuredPerceptron().fit([[{"a": 1.0}]], [])
+
+    def test_token_tag_mismatch_rejected(self):
+        with pytest.raises(MLError):
+            StructuredPerceptron(epochs=1).fit([[{"a": 1.0}, {"b": 1.0}]], [["O"]])
+
+    def test_empty_tagset_rejected(self):
+        with pytest.raises(MLError):
+            StructuredPerceptron().fit([], [])
+
+    def test_invalid_epochs_rejected(self):
+        with pytest.raises(MLError):
+            StructuredPerceptron(epochs=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            StructuredPerceptron().predict([[{"a": 1.0}]])
+
+    def test_deterministic_given_seed(self):
+        sentences, tags = toy_corpus(20)
+        first = StructuredPerceptron(epochs=2, seed=7).fit(sentences, tags).predict(sentences)
+        second = StructuredPerceptron(epochs=2, seed=7).fit(sentences, tags).predict(sentences)
+        assert first == second
+
+
+class TestViterbi:
+    def brute_force_best(self, sentence, weights, transitions, tags):
+        """Exhaustive search over tag sequences for cross-checking Viterbi."""
+        n_tags = len(tags)
+        best_score, best_seq = float("-inf"), None
+        for assignment in itertools.product(range(n_tags), repeat=len(sentence)):
+            score = 0.0
+            previous = n_tags  # start state
+            for position, tag in enumerate(assignment):
+                for name, value in sentence[position].items():
+                    if name in weights:
+                        score += value * weights[name][tag]
+                score += transitions[previous, tag]
+                previous = tag
+            if score > best_score:
+                best_score, best_seq = score, list(assignment)
+        return best_seq
+
+    def test_viterbi_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        tags = ["A", "B", "C"]
+        n_tags = len(tags)
+        weights = {f"f{i}": rng.normal(size=n_tags) for i in range(4)}
+        transitions = rng.normal(size=(n_tags + 1, n_tags))
+        for _ in range(10):
+            length = rng.integers(1, 5)
+            sentence = [
+                {f"f{rng.integers(4)}": float(rng.normal()) for _ in range(2)} for _ in range(length)
+            ]
+            expected = self.brute_force_best(sentence, weights, transitions, tags)
+            actual = StructuredPerceptron._viterbi_indices(sentence, weights, transitions, n_tags)
+            # Compare scores rather than sequences to tolerate exact ties.
+            def score_of(seq):
+                total, previous = 0.0, n_tags
+                for position, tag in enumerate(seq):
+                    for name, value in sentence[position].items():
+                        if name in weights:
+                            total += value * weights[name][tag]
+                    total += transitions[previous, tag]
+                    previous = tag
+                return total
+
+            assert score_of(actual) == pytest.approx(score_of(expected))
+
+    def test_empty_sentence_predicts_empty(self):
+        sentences, tags = toy_corpus(10)
+        model = StructuredPerceptron(epochs=1).fit(sentences, tags)
+        assert model.predict([[]]) == [[]]

@@ -1,0 +1,75 @@
+"""Tests for the cost estimator feeding the optimizers."""
+
+import pytest
+
+from repro.compiler.codegen import compile_workflow
+from repro.compiler.slicing import slice_to_outputs
+from repro.optimizer.cost_model import CostDefaults, CostEstimator, CostRecord, NodeCosts
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+@pytest.fixture
+def compiled(tiny_census_config):
+    return slice_to_outputs(compile_workflow(build_census_workflow(CensusVariant(data_config=tiny_census_config))))
+
+
+class TestNodeCosts:
+    def test_negative_values_clamped(self):
+        costs = NodeCosts(compute_cost=-1.0, load_cost=-2.0, output_size=-3.0)
+        assert costs.compute_cost == 0.0 and costs.load_cost == 0.0 and costs.output_size == 0.0
+
+
+class TestCostDefaults:
+    def test_load_and_write_costs_scale_with_size(self):
+        defaults = CostDefaults(read_bandwidth=100.0, write_bandwidth=50.0, io_overhead=1.0)
+        assert defaults.load_cost_for_size(200.0) == pytest.approx(3.0)
+        assert defaults.write_cost_for_size(200.0) == pytest.approx(5.0)
+
+    def test_negative_size_treated_as_zero(self):
+        defaults = CostDefaults(io_overhead=0.5)
+        assert defaults.load_cost_for_size(-10.0) == pytest.approx(0.5)
+
+
+class TestCostEstimator:
+    def test_defaults_used_for_unknown_nodes(self, compiled):
+        costs = CostEstimator().estimate(compiled)
+        for name in compiled.nodes():
+            assert costs[name].compute_cost == CostDefaults().default_compute_cost
+            assert not costs[name].materialized
+
+    def test_history_overrides_defaults(self, compiled):
+        signature = compiled.signature_of("rows")
+        history = {signature: CostRecord(compute_cost=9.0, output_size=500.0, operator_type="CsvScanner")}
+        costs = CostEstimator().estimate(compiled, history=history)
+        assert costs["rows"].compute_cost == 9.0
+        assert costs["rows"].output_size == 500.0
+
+    def test_operator_type_average_used_for_new_nodes_of_known_type(self, compiled):
+        history = {
+            "other-signature": CostRecord(compute_cost=4.0, output_size=100.0, operator_type="FieldExtractor"),
+            "another-signature": CostRecord(compute_cost=6.0, output_size=300.0, operator_type="FieldExtractor"),
+        }
+        costs = CostEstimator().estimate(compiled, history=history)
+        assert costs["age"].compute_cost == pytest.approx(5.0)
+        assert costs["age"].output_size == pytest.approx(200.0)
+
+    def test_materialized_signature_marks_loadable_and_sets_size(self, compiled):
+        signature = compiled.signature_of("income")
+        costs = CostEstimator().estimate(compiled, materialized_sizes={signature: 4096.0})
+        assert costs["income"].materialized
+        assert costs["income"].output_size == 4096.0
+        # Load cost follows the bandwidth model over the artifact size.
+        assert costs["income"].load_cost == pytest.approx(CostDefaults().load_cost_for_size(4096.0))
+
+    def test_measured_load_cost_overrides_model(self, compiled):
+        signature = compiled.signature_of("income")
+        costs = CostEstimator().estimate(
+            compiled,
+            materialized_sizes={signature: 4096.0},
+            measured_load_costs={signature: 0.123},
+        )
+        assert costs["income"].load_cost == pytest.approx(0.123)
+
+    def test_unmaterialized_nodes_not_loadable(self, compiled):
+        costs = CostEstimator().estimate(compiled, materialized_sizes={})
+        assert not any(node_costs.materialized for node_costs in costs.values())

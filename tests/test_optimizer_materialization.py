@@ -1,0 +1,170 @@
+"""Tests for the materialization policies and the knapsack oracle."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizerError
+from repro.graph.dag import Dag
+from repro.optimizer.cost_model import NodeCosts
+from repro.optimizer.knapsack import KnapsackItem, knapsack_select
+from repro.optimizer.materialization import (
+    HelixOnlineMaterializer,
+    KnapsackOracleMaterializer,
+    MaterializeAll,
+    MaterializeNone,
+    ancestor_compute_total,
+    policy_by_name,
+    reuse_benefit,
+)
+
+
+@pytest.fixture
+def pipeline():
+    """chain: source -> features -> model with typical cost asymmetries."""
+    dag = Dag("pipe")
+    for name in ("source", "features", "model"):
+        dag.add_node(name)
+    dag.add_edge("source", "features")
+    dag.add_edge("features", "model")
+    costs = {
+        "source": NodeCosts(compute_cost=10.0, load_cost=1.0, output_size=1000.0),
+        "features": NodeCosts(compute_cost=50.0, load_cost=2.0, output_size=5000.0),
+        "model": NodeCosts(compute_cost=30.0, load_cost=0.1, output_size=100.0),
+    }
+    return dag, costs
+
+
+class TestCostHelpers:
+    def test_ancestor_compute_total_includes_self_and_ancestors(self, pipeline):
+        dag, costs = pipeline
+        assert ancestor_compute_total(dag, costs, "source") == 10.0
+        assert ancestor_compute_total(dag, costs, "features") == 60.0
+        assert ancestor_compute_total(dag, costs, "model") == 90.0
+
+    def test_reuse_benefit_subtracts_load_cost(self, pipeline):
+        dag, costs = pipeline
+        assert reuse_benefit(dag, costs, "features") == pytest.approx(58.0)
+
+    def test_reuse_benefit_never_negative(self):
+        dag = Dag("one")
+        dag.add_node("a")
+        costs = {"a": NodeCosts(compute_cost=1.0, load_cost=100.0)}
+        assert reuse_benefit(dag, costs, "a") == 0.0
+
+
+class TestHelixOnlinePolicy:
+    def test_materializes_when_recompute_dominates(self, pipeline):
+        dag, costs = pipeline
+        decision = HelixOnlineMaterializer().decide("features", dag, costs, remaining_budget=1e9)
+        assert decision.materialize
+        assert decision.score == pytest.approx(2 * 2.0 - 60.0)
+
+    def test_skips_when_load_dominates(self):
+        dag = Dag("cheap")
+        dag.add_node("a")
+        costs = {"a": NodeCosts(compute_cost=1.0, load_cost=10.0, output_size=10.0)}
+        decision = HelixOnlineMaterializer().decide("a", dag, costs, remaining_budget=1e9)
+        assert not decision.materialize
+        assert decision.score > 0
+
+    def test_respects_budget(self, pipeline):
+        dag, costs = pipeline
+        decision = HelixOnlineMaterializer().decide("features", dag, costs, remaining_budget=100.0)
+        assert not decision.materialize
+        assert decision.reason == "over budget"
+
+    def test_decision_records_context(self, pipeline):
+        dag, costs = pipeline
+        decision = HelixOnlineMaterializer().decide("model", dag, costs, remaining_budget=500.0)
+        assert decision.node == "model"
+        assert decision.size == 100.0
+        assert decision.remaining_budget == 500.0
+
+
+class TestTrivialPolicies:
+    def test_materialize_all_until_budget(self, pipeline):
+        dag, costs = pipeline
+        policy = MaterializeAll()
+        assert policy.decide("features", dag, costs, remaining_budget=1e9).materialize
+        assert not policy.decide("features", dag, costs, remaining_budget=10.0).materialize
+
+    def test_materialize_none_never(self, pipeline):
+        dag, costs = pipeline
+        assert not MaterializeNone().decide("features", dag, costs, remaining_budget=1e9).materialize
+
+    def test_policy_by_name_factory(self):
+        assert isinstance(policy_by_name("helix_online"), HelixOnlineMaterializer)
+        assert isinstance(policy_by_name("materialize_all"), MaterializeAll)
+        assert isinstance(policy_by_name("materialize_none"), MaterializeNone)
+        with pytest.raises(OptimizerError):
+            policy_by_name("magic")
+
+
+class TestKnapsackOracle:
+    def test_oracle_prefers_high_benefit_under_budget(self, pipeline):
+        dag, costs = pipeline
+        # Budget 5000 cannot hold everything (6100 B total).  The best feasible
+        # combination is {source, model} (benefit ~98.9) over {features} (58).
+        oracle = KnapsackOracleMaterializer(dag, costs, budget=5000.0)
+        assert oracle.selected_ == {"source", "model"}
+        assert sum(costs[name].output_size for name in oracle.selected_) <= 5000.0
+        assert oracle.decide("model", dag, costs, remaining_budget=5000.0).materialize
+        assert not oracle.decide("features", dag, costs, remaining_budget=5000.0).materialize
+
+    def test_oracle_with_zero_budget_selects_nothing(self, pipeline):
+        dag, costs = pipeline
+        oracle = KnapsackOracleMaterializer(dag, costs, budget=0.0)
+        assert oracle.selected_ == set()
+
+
+class TestKnapsackSolver:
+    def brute_force(self, items, budget):
+        best = 0.0
+        for size in range(len(items) + 1):
+            for subset in itertools.combinations(items, size):
+                total_size = sum(item.size for item in subset)
+                if total_size <= budget:
+                    best = max(best, sum(item.benefit for item in subset))
+        return best
+
+    def test_simple_selection(self):
+        items = [KnapsackItem("a", 4.0, 10.0), KnapsackItem("b", 3.0, 7.0), KnapsackItem("c", 2.0, 8.0)]
+        selected, value = knapsack_select(items, budget=6.0, resolution=1.0)
+        assert selected == {"a", "c"}
+        assert value == pytest.approx(18.0)
+
+    def test_non_positive_benefit_ignored(self):
+        items = [KnapsackItem("a", 1.0, -5.0), KnapsackItem("b", 1.0, 0.0)]
+        selected, value = knapsack_select(items, budget=10.0)
+        assert selected == set() and value == 0.0
+
+    def test_oversized_item_ignored(self):
+        items = [KnapsackItem("big", 100.0, 99.0), KnapsackItem("small", 1.0, 1.0)]
+        selected, _ = knapsack_select(items, budget=10.0, resolution=1.0)
+        assert selected == {"small"}
+
+    def test_zero_budget(self):
+        assert knapsack_select([KnapsackItem("a", 1.0, 1.0)], budget=0.0) == (set(), 0.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(OptimizerError):
+            knapsack_select([], budget=-1.0)
+
+    def test_selection_respects_budget(self):
+        rng = np.random.default_rng(1)
+        items = [KnapsackItem(f"i{k}", float(rng.integers(1, 50)), float(rng.integers(1, 30))) for k in range(12)]
+        selected, _ = knapsack_select(items, budget=80.0, resolution=1.0)
+        assert sum(item.size for item in items if item.name in selected) <= 80.0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force_with_unit_resolution(self, seed):
+        rng = np.random.default_rng(seed)
+        items = [
+            KnapsackItem(f"i{k}", float(rng.integers(1, 10)), float(rng.integers(0, 15)))
+            for k in range(int(rng.integers(2, 9)))
+        ]
+        budget = float(rng.integers(5, 30))
+        _selected, value = knapsack_select(items, budget=budget, resolution=1.0)
+        assert value == pytest.approx(self.brute_force(items, budget))

@@ -1,0 +1,115 @@
+"""Tests for the Dinic max-flow solver, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OptimizerError
+from repro.optimizer.maxflow import FlowNetwork
+
+
+class TestBasics:
+    def test_single_edge(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 5.0)
+        assert network.max_flow(0, 1) == pytest.approx(5.0)
+
+    def test_series_edges_bottleneck(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 5.0)
+        network.add_edge(1, 2, 3.0)
+        assert network.max_flow(0, 2) == pytest.approx(3.0)
+
+    def test_parallel_paths_add_up(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 3.0)
+        network.add_edge(1, 3, 3.0)
+        network.add_edge(0, 2, 4.0)
+        network.add_edge(2, 3, 2.0)
+        assert network.max_flow(0, 3) == pytest.approx(5.0)
+
+    def test_disconnected_graph_zero_flow(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 1.0)
+        assert network.max_flow(0, 2) == 0.0
+
+    def test_classic_textbook_instance(self):
+        # CLRS-style example with a known max flow of 23.
+        network = FlowNetwork(6)
+        edges = [(0, 1, 16), (0, 2, 13), (1, 2, 10), (2, 1, 4), (1, 3, 12),
+                 (3, 2, 9), (2, 4, 14), (4, 3, 7), (3, 5, 20), (4, 5, 4)]
+        for u, v, c in edges:
+            network.add_edge(u, v, float(c))
+        assert network.max_flow(0, 5) == pytest.approx(23.0)
+
+    def test_min_cut_separates_source_from_sink(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1.0)
+        network.add_edge(1, 2, 10.0)
+        network.add_edge(2, 3, 1.0)
+        network.max_flow(0, 3)
+        source_side = network.min_cut_source_side(0)
+        assert 0 in source_side and 3 not in source_side
+
+    def test_negative_capacity_rejected(self):
+        network = FlowNetwork(2)
+        with pytest.raises(OptimizerError):
+            network.add_edge(0, 1, -1.0)
+
+    def test_same_source_and_sink_rejected(self):
+        network = FlowNetwork(2)
+        with pytest.raises(OptimizerError):
+            network.max_flow(0, 0)
+
+    def test_unknown_node_rejected(self):
+        network = FlowNetwork(2)
+        with pytest.raises(OptimizerError):
+            network.add_edge(0, 5, 1.0)
+
+    def test_add_node_extends_graph(self):
+        network = FlowNetwork(2)
+        new_node = network.add_node()
+        network.add_edge(0, new_node, 2.0)
+        network.add_edge(new_node, 1, 2.0)
+        assert network.max_flow(0, 1) == pytest.approx(2.0)
+
+    def test_edge_list_reports_forward_edges(self):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 3.0)
+        assert network.edge_list() == [(0, 1, 3.0)]
+
+
+class TestAgainstNetworkx:
+    def random_instance(self, seed, n_nodes=8, edge_probability=0.35):
+        rng = np.random.default_rng(seed)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(n_nodes))
+        network = FlowNetwork(n_nodes)
+        for u in range(n_nodes):
+            for v in range(n_nodes):
+                if u != v and rng.random() < edge_probability:
+                    capacity = float(rng.integers(1, 20))
+                    graph.add_edge(u, v, capacity=capacity)
+                    network.add_edge(u, v, capacity)
+        return graph, network
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_max_flow_matches_networkx(self, seed):
+        graph, network = self.random_instance(seed)
+        expected = nx.maximum_flow_value(graph, 0, 7) if graph.has_node(7) else 0.0
+        assert network.max_flow(0, 7) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_min_cut_value_equals_flow(self, seed):
+        """The capacity of the extracted cut must equal the max-flow value."""
+        graph, network = self.random_instance(seed + 100)
+        flow = network.max_flow(0, 7)
+        source_side = network.min_cut_source_side(0)
+        cut_capacity = sum(
+            data["capacity"]
+            for u, v, data in graph.edges(data=True)
+            if u in source_side and v not in source_side
+        )
+        assert cut_capacity == pytest.approx(flow)

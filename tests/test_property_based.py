@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import Dag, NodeState
+from repro.optimizer.cost_model import NodeCosts
+from repro.optimizer.knapsack import KnapsackItem, knapsack_select
+from repro.optimizer.project_selection import ProjectSelectionInstance, solve_project_selection
+from repro.optimizer.recomputation import (
+    compute_all_plan,
+    greedy_plan,
+    optimal_plan,
+    plan_cost,
+    reuse_all_plan,
+    validate_states,
+)
+from repro.text.tokenizer import sentence_split, tokenize
+from repro.ml.metrics import bio_spans
+
+
+# ---------------------------------------------------------------------------
+# Random DAG + costs strategy
+# ---------------------------------------------------------------------------
+@st.composite
+def dag_and_costs(draw, max_nodes=10):
+    n_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    dag = Dag("hypo")
+    names = [f"n{i}" for i in range(n_nodes)]
+    for name in names:
+        dag.add_node(name)
+    for child_index in range(1, n_nodes):
+        n_parents = draw(st.integers(min_value=0, max_value=min(3, child_index)))
+        parents = draw(
+            st.lists(st.integers(min_value=0, max_value=child_index - 1), min_size=n_parents, max_size=n_parents, unique=True)
+        )
+        for parent_index in parents:
+            dag.add_edge(names[parent_index], names[child_index])
+    costs = {}
+    for name in names:
+        costs[name] = NodeCosts(
+            compute_cost=draw(st.floats(min_value=0.1, max_value=50.0)),
+            load_cost=draw(st.floats(min_value=0.1, max_value=50.0)),
+            output_size=draw(st.floats(min_value=1.0, max_value=1e6)),
+            materialized=draw(st.booleans()),
+        )
+    outputs = [names[-1]]
+    return dag, costs, outputs
+
+
+class TestRecomputationProperties:
+    @given(dag_and_costs())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_plan_is_feasible_and_never_worse_than_heuristics(self, case):
+        dag, costs, outputs = case
+        optimal_states = optimal_plan(dag, costs, outputs)
+        validate_states(dag, costs, outputs, optimal_states)
+        optimal_cost = plan_cost(optimal_states, costs)
+        for policy in (greedy_plan, compute_all_plan, reuse_all_plan):
+            other = policy(dag, costs, outputs)
+            validate_states(dag, costs, outputs, other)
+            assert optimal_cost <= plan_cost(other, costs) + 1e-6
+
+    @given(dag_and_costs())
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_always_available(self, case):
+        dag, costs, outputs = case
+        states = optimal_plan(dag, costs, outputs)
+        for output in outputs:
+            assert states[output] in (NodeState.COMPUTE, NodeState.LOAD)
+
+    @given(dag_and_costs())
+    @settings(max_examples=40, deadline=None)
+    def test_plan_cost_bounded_by_compute_everything(self, case):
+        dag, costs, outputs = case
+        optimal_cost = plan_cost(optimal_plan(dag, costs, outputs), costs)
+        compute_everything = plan_cost(compute_all_plan(dag, costs, outputs), costs)
+        assert optimal_cost <= compute_everything + 1e-6
+
+
+class TestProjectSelectionProperties:
+    @given(
+        st.lists(st.floats(min_value=-20, max_value=20), min_size=1, max_size=8),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solution_is_closed_and_profit_consistent(self, profits, raw_edges):
+        instance = ProjectSelectionInstance()
+        for index, profit in enumerate(profits):
+            instance.add_item(index, profit)
+        for item, requirement in raw_edges:
+            if item < len(profits) and requirement < len(profits) and item > requirement:
+                instance.add_prerequisite(item, requirement)
+        solution = solve_project_selection(instance)
+        achieved = sum(instance.profits[item] for item in solution.selected)
+        assert abs(achieved - solution.profit) < 1e-6
+        assert solution.profit >= -1e-9  # the empty set is always available
+        for item, requirement in instance.prerequisites:
+            if item in solution.selected:
+                assert requirement in solution.selected
+
+
+class TestKnapsackProperties:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.5, max_value=50.0), st.floats(min_value=0.0, max_value=30.0)),
+            min_size=0,
+            max_size=10,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selection_respects_budget_and_positivity(self, raw_items, budget):
+        items = [KnapsackItem(f"i{k}", size, benefit) for k, (size, benefit) in enumerate(raw_items)]
+        selected, value = knapsack_select(items, budget=budget, resolution=1.0)
+        chosen = [item for item in items if item.name in selected]
+        assert sum(item.size for item in chosen) <= budget + 1e-9
+        assert value == sum(item.benefit for item in chosen)
+        assert all(item.benefit > 0 for item in chosen)
+
+
+class TestDagProperties:
+    @given(dag_and_costs())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_respects_every_edge(self, case):
+        dag, _costs, _outputs = case
+        order = dag.topological_order()
+        position = {name: index for index, name in enumerate(order)}
+        for parent, child in dag.edges():
+            assert position[parent] < position[child]
+
+    @given(dag_and_costs())
+    @settings(max_examples=40, deadline=None)
+    def test_ancestors_and_descendants_are_mirror_relations(self, case):
+        dag, _costs, _outputs = case
+        for node in dag.nodes():
+            for ancestor in dag.ancestors(node):
+                assert node in dag.descendants(ancestor)
+
+
+class TestTextProperties:
+    @given(st.text(max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_tokenize_and_split_never_crash_and_stay_within_input(self, text):
+        tokens = tokenize(text)
+        assert all(token for token in tokens)
+        sentences = sentence_split(text)
+        assert all(sentence.strip() for sentence in sentences)
+
+    @given(st.lists(st.sampled_from(["O", "B-PER", "I-PER"]), max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_bio_spans_are_disjoint_and_in_range(self, tags):
+        spans = sorted(bio_spans(tags))
+        previous_end = -1
+        for start, end, span_type in spans:
+            assert 0 <= start < end <= len(tags)
+            assert span_type == "PER"
+            assert start >= previous_end
+            previous_end = end

@@ -1,0 +1,106 @@
+"""Tests for the text-processing substrate."""
+
+import pytest
+
+from repro.text.ngrams import character_ngrams, ngram_counts, token_ngrams
+from repro.text.token_features import (
+    HONORIFICS,
+    context_window_features,
+    gazetteer_features,
+    shape_features,
+    word_shape,
+)
+from repro.text.tokenizer import sentence_split, tokenize, tokenize_document
+
+
+class TestTokenizer:
+    def test_tokenize_words_and_punctuation(self):
+        assert tokenize("Hello, world!") == ["Hello", ",", "world", "!"]
+
+    def test_tokenize_numbers_and_contractions(self):
+        assert tokenize("It's 3.5 miles") == ["It's", "3.5", "miles"]
+
+    def test_tokenize_empty(self):
+        assert tokenize("") == []
+
+    def test_sentence_split_on_terminal_punctuation(self):
+        text = "First sentence. Second one! Third?"
+        assert len(sentence_split(text)) == 3
+
+    def test_sentence_split_respects_abbreviations(self):
+        sentences = sentence_split("Dr. Smith arrived. He spoke briefly.")
+        assert len(sentences) == 2
+        assert sentences[0].startswith("Dr. Smith")
+
+    def test_sentence_split_empty(self):
+        assert sentence_split("   ") == []
+
+    def test_tokenize_document_structure(self):
+        document = tokenize_document("Ann spoke. Bob listened.")
+        assert len(document) == 2
+        assert document[0] == ["Ann", "spoke", "."]
+
+
+class TestNgrams:
+    def test_token_ngrams_bigrams(self):
+        assert token_ngrams(["a", "b", "c"], n=2) == ["a_b", "b_c"]
+
+    def test_token_ngrams_too_short(self):
+        assert token_ngrams(["a"], n=2) == []
+
+    def test_token_ngrams_invalid_n(self):
+        with pytest.raises(ValueError):
+            token_ngrams(["a"], n=0)
+
+    def test_character_ngrams_with_padding(self):
+        assert character_ngrams("ab", n=2) == ["^a", "ab", "b$"]
+
+    def test_character_ngrams_short_token(self):
+        assert character_ngrams("a", n=5) == ["^a$"]
+
+    def test_ngram_counts(self):
+        counts = ngram_counts(["a", "b", "a", "b"], n=2)
+        assert counts == {"a_b": 2, "b_a": 1}
+
+
+class TestTokenFeatures:
+    def test_word_shape_collapses_runs(self):
+        assert word_shape("Doris") == "Xx"
+        assert word_shape("UIUC") == "X"
+        assert word_shape("Helix-2018") == "Xx-d"
+
+    def test_shape_features_capitalization(self):
+        features = shape_features(["Doris", "spoke"], 0)
+        assert features["is_capitalized"] == 1.0
+        assert features["word=doris"] == 1.0
+        assert "sentence_start" in features
+
+    def test_shape_features_digits_and_caps(self):
+        features = shape_features(["UIUC", "2018"], 1)
+        assert "has_digit" in features
+        assert "sentence_start" not in features
+
+    def test_context_window_includes_padding(self):
+        features = context_window_features(["only"], 0, window=1)
+        assert features["ctx[-1]=<PAD>"] == 1.0
+        assert features["ctx[1]=<PAD>"] == 1.0
+
+    def test_context_window_honorific_detection(self):
+        features = context_window_features(["Dr.", "Smith"], 1, window=1)
+        assert features["prev_is_honorific"] == 1.0
+        assert "dr" in HONORIFICS
+
+    def test_context_window_neighbors(self):
+        features = context_window_features(["Ann", "met", "Bob"], 1, window=1)
+        assert features["ctx[-1]=ann"] == 1.0
+        assert features["ctx[1]=bob"] == 1.0
+
+    def test_gazetteer_features_lookup(self):
+        first, last = {"doris"}, {"xin"}
+        features = gazetteer_features(["Doris", "Xin"], 0, first, last)
+        assert features["in_first_name_gazetteer"] == 1.0
+        assert features["first_then_last"] == 1.0
+        assert gazetteer_features(["Doris", "Xin"], 1, first, last)["in_last_name_gazetteer"] == 1.0
+
+    def test_gazetteer_features_miss(self):
+        assert gazetteer_features(["table"], 0, {"doris"}, {"xin"}) == {}

@@ -1,0 +1,131 @@
+"""Tests for the workflow version store, diffing, and metric tracking."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.compiler.codegen import compile_workflow
+from repro.errors import VersioningError
+from repro.execution.stats import IterationReport
+from repro.versioning.diff import compare_versions, render_comparison
+from repro.versioning.metrics_tracker import MetricsTracker
+from repro.versioning.version_store import VersionStore
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+@pytest.fixture
+def variant(tiny_census_config):
+    return CensusVariant(data_config=tiny_census_config)
+
+
+def report_with(metrics, runtime=1.0, iteration=0):
+    return IterationReport(iteration=iteration, workflow_name="census", total_runtime=runtime, metrics=metrics)
+
+
+@pytest.fixture
+def store_with_versions(variant):
+    store = VersionStore()
+    wf1 = build_census_workflow(variant)
+    store.record(compile_workflow(wf1), report_with({"test_accuracy": 0.70}, 10.0), "initial", "initial", workflow=wf1)
+    wf2 = build_census_workflow(replace(variant, use_marital_status=True))
+    store.record(compile_workflow(wf2), report_with({"test_accuracy": 0.74}, 3.0), "add ms", "purple", workflow=wf2)
+    wf3 = build_census_workflow(replace(variant, use_marital_status=True, reg_param=0.01))
+    store.record(compile_workflow(wf3), report_with({"test_accuracy": 0.72}, 1.0), "reg 0.01", "orange", workflow=wf3)
+    return store
+
+
+class TestVersionStore:
+    def test_versions_are_sequential_and_linked(self, store_with_versions):
+        versions = store_with_versions.all()
+        assert [v.version_id for v in versions] == [1, 2, 3]
+        assert versions[1].parent_id == 1 and versions[2].parent_id == 2
+        assert versions[0].parent_id is None
+
+    def test_get_and_latest(self, store_with_versions):
+        assert store_with_versions.get(2).description == "add ms"
+        assert store_with_versions.latest().version_id == 3
+        with pytest.raises(VersioningError):
+            store_with_versions.get(99)
+
+    def test_latest_on_empty_store_raises(self):
+        with pytest.raises(VersioningError):
+            VersionStore().latest()
+
+    def test_best_version_by_metric(self, store_with_versions):
+        assert store_with_versions.best_version("test_accuracy").version_id == 2
+        assert store_with_versions.best_version("test_accuracy", higher_is_better=False).version_id == 1
+        with pytest.raises(VersioningError):
+            store_with_versions.best_version("auc")
+
+    def test_checkout_returns_editable_workflow_copy(self, store_with_versions):
+        workflow = store_with_versions.checkout(1)
+        assert "ms" not in workflow
+        workflow.mark_output("race")  # editing the copy must not corrupt the stored version
+        assert "race" not in store_with_versions.get(1).outputs
+
+    def test_log_lists_versions_newest_first(self, store_with_versions):
+        log = store_with_versions.log()
+        assert log.splitlines()[0].startswith("v3")
+        assert "add ms" in log
+
+    def test_record_captures_structure(self, store_with_versions):
+        version = store_with_versions.get(2)
+        assert "ms" in version.signatures
+        assert ("rows", "ms") in version.edges
+        assert version.categories["incPred"] == "orange"
+        assert "FieldExtractor" in version.operator_summaries["ms"]
+
+
+class TestVersionComparison:
+    def test_compare_identifies_changes(self, store_with_versions):
+        comparison = compare_versions(store_with_versions.get(1), store_with_versions.get(2))
+        assert "ms" in comparison.added_nodes
+        assert "income" in comparison.changed_nodes
+        assert "rows" in comparison.unchanged_nodes
+        assert ("rows", "ms") in comparison.added_edges
+        assert comparison.metric_deltas["test_accuracy"] == pytest.approx(0.04)
+        assert comparison.runtime_delta == pytest.approx(-7.0)
+
+    def test_compare_hyperparameter_only_change(self, store_with_versions):
+        comparison = compare_versions(store_with_versions.get(2), store_with_versions.get(3))
+        assert comparison.added_nodes == [] and comparison.removed_nodes == []
+        assert "incPred" in comparison.changed_nodes
+        assert "income" in comparison.unchanged_nodes
+
+    def test_render_comparison_mentions_markers(self, store_with_versions):
+        text = render_comparison(compare_versions(store_with_versions.get(1), store_with_versions.get(2)))
+        assert "+ ms" in text
+        assert "~ income" in text
+        assert "test_accuracy" in text
+
+    def test_render_no_structural_changes(self, store_with_versions):
+        same = compare_versions(store_with_versions.get(1), store_with_versions.get(1))
+        assert "(no structural changes)" in render_comparison(same)
+
+
+class TestMetricsTracker:
+    def test_metric_names_and_series(self, store_with_versions):
+        tracker = MetricsTracker(store_with_versions)
+        assert tracker.metric_names() == ["test_accuracy"]
+        series = tracker.series("test_accuracy")
+        assert series == [(1, 0.70), (2, 0.74), (3, 0.72)]
+        with pytest.raises(VersioningError):
+            tracker.series("auc")
+
+    def test_runtime_series(self, store_with_versions):
+        tracker = MetricsTracker(store_with_versions)
+        assert tracker.runtime_series() == [(1, 10.0), (2, 3.0), (3, 1.0)]
+
+    def test_table_rows(self, store_with_versions):
+        rows = MetricsTracker(store_with_versions).table()
+        assert len(rows) == 3
+        assert rows[1]["test_accuracy"] == 0.74
+        assert rows[0]["category"] == "initial"
+
+    def test_best_shortcut(self, store_with_versions):
+        assert MetricsTracker(store_with_versions).best("test_accuracy").version_id == 2
+
+    def test_ascii_plot_contains_every_version(self, store_with_versions):
+        plot = MetricsTracker(store_with_versions).ascii_plot("test_accuracy")
+        for version_id in (1, 2, 3):
+            assert f"v{version_id}" in plot

@@ -1,0 +1,132 @@
+"""Tests for the evaluation workloads (real and simulated)."""
+
+import pytest
+
+from repro.compiler.codegen import compile_workflow
+from repro.compiler.change_tracker import diff_workflows
+from repro.datagen.news import NewsConfig
+from repro.execution.simulator import SimIteration
+from repro.workloads.census_workload import CensusVariant, build_census_workflow, census_workload
+from repro.workloads.ie_workload import IEVariant, build_ie_workflow, ie_workload
+from repro.workloads.simulated import SimWorkloadBuilder, census_sim_workload, ie_sim_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestCensusWorkload:
+    def test_workflow_builds_and_compiles(self, tiny_census_config):
+        compiled = compile_workflow(build_census_workflow(CensusVariant(data_config=tiny_census_config)))
+        assert "income" in compiled.nodes()
+        assert compiled.outputs == ["predictions", "checked"]
+
+    def test_variant_flags_add_nodes(self, tiny_census_config):
+        variant = CensusVariant(
+            data_config=tiny_census_config,
+            use_marital_status=True,
+            use_capital_gain=True,
+            use_hours_interaction=True,
+            include_error_report=True,
+        )
+        workflow = build_census_workflow(variant)
+        for node in ("ms", "cg", "ageXhours", "errorReport"):
+            assert node in workflow
+        assert "errorReport" in workflow.outputs()
+
+    def test_workload_has_ten_iterations_with_category_mix(self):
+        spec = census_workload()
+        assert isinstance(spec, WorkloadSpec)
+        assert len(spec) == 10
+        categories = spec.categories()
+        assert categories[0] == "initial"
+        assert {"purple", "orange", "green"} <= set(categories)
+
+    def test_truncation(self):
+        assert len(census_workload(n_iterations=3)) == 3
+
+    def test_consecutive_iterations_differ_incrementally(self, tiny_census_config):
+        spec = census_workload(tiny_census_config, n_iterations=3)
+        compiled = [compile_workflow(item.build()) for item in spec]
+        diff_1_2 = diff_workflows(compiled[0], compiled[1])
+        assert "ms" in diff_1_2.added
+        diff_2_3 = diff_workflows(compiled[1], compiled[2])
+        assert diff_2_3.added == [] and "incPred" in diff_2_3.changed
+
+    def test_builders_are_deterministic(self, tiny_census_config):
+        spec = census_workload(tiny_census_config, n_iterations=2)
+        first = compile_workflow(spec.iterations[1].build())
+        second = compile_workflow(spec.iterations[1].build())
+        assert first.signatures == second.signatures
+
+
+class TestIEWorkload:
+    def test_workflow_builds_and_compiles(self, tiny_news_config):
+        compiled = compile_workflow(build_ie_workflow(IEVariant(data_config=tiny_news_config)))
+        assert "tagger" in compiled.nodes()
+        assert "predictions" in compiled.outputs
+
+    def test_variant_flags_change_structure(self, tiny_news_config):
+        variant = IEVariant(
+            data_config=tiny_news_config,
+            use_gazetteer=True,
+            use_char_ngrams=True,
+            include_mention_list=True,
+        )
+        workflow = build_ie_workflow(variant)
+        for node in ("gazetteer", "charNgrams", "mentions"):
+            assert node in workflow
+
+    def test_workload_sequence(self):
+        spec = ie_workload()
+        assert len(spec) == 10
+        assert spec.categories().count("purple") >= 3
+        assert spec.categories().count("orange") >= 3
+
+
+class TestSimulatedWorkloads:
+    def test_census_sim_has_ten_valid_iterations(self):
+        iterations = census_sim_workload()
+        assert len(iterations) == 10
+        assert all(isinstance(iteration, SimIteration) for iteration in iterations)
+
+    def test_ie_sim_has_ten_valid_iterations(self):
+        iterations = ie_sim_workload()
+        assert len(iterations) == 10
+
+    def test_unchanged_nodes_keep_signatures_across_iterations(self):
+        iterations = census_sim_workload()
+        # 'rows' is never edited, so its signature is stable throughout.
+        signatures = {iteration.signatures["rows"] for iteration in iterations}
+        assert len(signatures) == 1
+        # The learner is edited several times.
+        assert len({iteration.signatures["incPred"] for iteration in iterations}) > 2
+
+    def test_edits_propagate_to_descendants(self):
+        iterations = ie_sim_workload()
+        first, third = iterations[0], iterations[2]  # iteration 3 edits the tagger
+        assert first.signatures["tagger"] != third.signatures["tagger"]
+        assert first.signatures["predictions"] != third.signatures["predictions"]
+        assert first.signatures["corpus"] == third.signatures["corpus"]
+
+    def test_structural_additions_change_consumer_signatures(self):
+        iterations = census_sim_workload()
+        # Iteration 2 adds the marital-status extractor feeding 'income'.
+        assert iterations[0].signatures["income"] != iterations[1].signatures["income"]
+
+    def test_scale_multiplies_costs(self):
+        base = census_sim_workload(scale=1.0)[0]
+        doubled = census_sim_workload(scale=2.0)[0]
+        assert doubled.dag.payload("rows").compute_cost == pytest.approx(2 * base.dag.payload("rows").compute_cost)
+
+    def test_truncation(self):
+        assert len(ie_sim_workload(n_iterations=4)) == 4
+
+    def test_builder_rejects_editing_unknown_node(self):
+        from repro.errors import OptimizerError
+        from repro.execution.simulator import SimNode
+
+        builder = SimWorkloadBuilder("w")
+        with pytest.raises(OptimizerError):
+            builder.add_iteration("x", "purple", [SimNode("a", 1.0, 1.0)], [], ["a"], edited=["ghost"])
+
+    def test_category_labels_match_paper_colors(self):
+        iterations = census_sim_workload()
+        assert {iteration.category for iteration in iterations} <= {"initial", "purple", "orange", "green"}
