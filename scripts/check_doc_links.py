@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Verify that repo paths referenced from README.md and docs/ actually exist.
+
+Scans markdown files for references that look like repository paths —
+``src/repro/...``, ``tests/...``, ``docs/...``, ``examples/...``,
+``benchmarks/...``, ``scripts/...`` — inside inline code spans, code blocks,
+and markdown links, and fails (exit 1) listing every reference that does not
+resolve to a file or directory.  Run from anywhere::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+#: Path-looking tokens rooted at a known top-level directory.
+PATH_PATTERN = re.compile(
+    r"(?<![\w/.-])((?:src|tests|docs|examples|benchmarks|scripts|\.github)/[\w./-]*[\w-])"
+)
+
+
+def referenced_paths(text: str) -> list:
+    """Every repo-relative path-looking reference in ``text``, deduplicated."""
+    seen = []
+    for match in PATH_PATTERN.finditer(text):
+        token = match.group(1).rstrip(".")
+        # `src/repro/*` glob-style references: check the parent directory.
+        token = token.split("*", 1)[0].rstrip("/")
+        if token and token not in seen:
+            seen.append(token)
+    return seen
+
+
+def main() -> int:
+    missing = []
+    checked = 0
+    for doc in DOC_FILES:
+        if not doc.exists():
+            missing.append((doc.relative_to(REPO_ROOT), "(document itself is missing)"))
+            continue
+        for token in referenced_paths(doc.read_text(encoding="utf-8")):
+            checked += 1
+            if not (REPO_ROOT / token).exists():
+                missing.append((doc.relative_to(REPO_ROOT), token))
+    if missing:
+        print("Broken repo-path references:")
+        for doc, token in missing:
+            print(f"  {doc}: {token}")
+        return 1
+    print(f"ok: {checked} path references across {len(DOC_FILES)} documents all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

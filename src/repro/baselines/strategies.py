@@ -82,6 +82,7 @@ class ExecutionStrategy:
         self,
         storage_budget: float = float("inf"),
         defaults: CostDefaults = CostDefaults(),
+        parallelism: int = 1,
     ) -> WorkflowSimulator:
         """Build a :class:`WorkflowSimulator` configured for this strategy."""
         return WorkflowSimulator(
@@ -93,6 +94,7 @@ class ExecutionStrategy:
             cross_iteration_reuse=self.cross_iteration_reuse,
             category_cost_multipliers=self.multipliers(),
             system=self.name,
+            parallelism=parallelism,
         )
 
 

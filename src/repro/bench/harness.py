@@ -45,6 +45,22 @@ class ComparisonResult:
     def cumulative(self, system: str) -> float:
         return sum(self.runtimes(system))
 
+    def wall_clock_runtimes(self, system: str) -> List[float]:
+        """Per-iteration elapsed times (0.0 entries when not recorded)."""
+        return [report.wall_clock_runtime for report in self.reports_by_system[system]]
+
+    def cumulative_wall_clock(self, system: str) -> float:
+        return sum(self.wall_clock_runtimes(system))
+
+    def parallel_speedup(self, system: str) -> float:
+        """Cumulative node time over cumulative wall clock — the true speedup
+        realized by the wavefront scheduler for ``system`` (1.0 when
+        wall-clock times were not recorded)."""
+        wall = self.cumulative_wall_clock(system)
+        if wall <= 0.0:
+            return 1.0
+        return self.cumulative(system) / wall
+
     def cumulative_by_system(self) -> Dict[str, float]:
         return {system: self.cumulative(system) for system in self.reports_by_system}
 
@@ -86,15 +102,24 @@ def run_simulated_comparison(
     strategies: Sequence[ExecutionStrategy],
     storage_budget: float = float("inf"),
     defaults: CostDefaults = CostDefaults(),
+    parallelism: int = 1,
 ) -> ComparisonResult:
-    """Replay ``iterations`` once per strategy through the virtual-clock simulator."""
+    """Replay ``iterations`` once per strategy through the virtual-clock simulator.
+
+    ``parallelism`` models the wavefront scheduler's worker count: the
+    simulator reports a per-iteration ``wall_clock_runtime`` packed onto that
+    many virtual workers while ``total_runtime`` (the paper's metric) stays
+    the serial cumulative cost.
+    """
     result = ComparisonResult(
         workload=workload_name,
         categories=[iteration.category for iteration in iterations],
         descriptions=[iteration.description for iteration in iterations],
     )
     for strategy in strategies:
-        simulator = strategy.simulator(storage_budget=storage_budget, defaults=defaults)
+        simulator = strategy.simulator(
+            storage_budget=storage_budget, defaults=defaults, parallelism=parallelism
+        )
         simulation = simulator.run(list(iterations))
         result.reports_by_system[strategy.name] = simulation.reports
     return result
@@ -105,8 +130,15 @@ def run_real_comparison(
     strategies: Sequence[ExecutionStrategy],
     workspace_root: Optional[str] = None,
     storage_budget: Optional[float] = None,
+    backend: str = "serial",
+    parallelism: int = 1,
 ) -> ComparisonResult:
-    """Execute a real workload end to end, once per strategy, in isolated workspaces."""
+    """Execute a real workload end to end, once per strategy, in isolated workspaces.
+
+    ``backend``/``parallelism`` select the wavefront scheduler's worker pool
+    for every session (see :mod:`repro.execution.scheduler`); results are
+    backend-independent, only wall-clock time changes.
+    """
     if workspace_root is None:
         workspace_root = tempfile.mkdtemp(prefix="helix_bench_")
     result = ComparisonResult(
@@ -116,7 +148,13 @@ def run_real_comparison(
     )
     for strategy in strategies:
         workspace = os.path.join(workspace_root, strategy.name)
-        session = HelixSession(workspace=workspace, strategy=strategy, storage_budget=storage_budget)
+        session = HelixSession(
+            workspace=workspace,
+            strategy=strategy,
+            storage_budget=storage_budget,
+            backend=backend,
+            parallelism=parallelism,
+        )
         reports: List[IterationReport] = []
         for spec in workload.iterations:
             run = session.run(spec.build(), description=spec.description, change_category=spec.category)

@@ -16,6 +16,7 @@ harness uses) and returns a process exit code of 0 on success.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import tempfile
 from typing import Optional, Sequence
@@ -27,6 +28,7 @@ from repro.core.suggestions import suggest_modifications
 from repro.datagen.census import CensusConfig
 from repro.datagen.news import NewsConfig
 from repro.errors import HelixError
+from repro.execution.scheduler import BACKENDS
 from repro.versioning.metrics_tracker import MetricsTracker
 from repro.versioning.persistence import load_version_store
 from repro.workloads.census_workload import CensusVariant, build_census_workflow, census_workload
@@ -40,6 +42,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     reproduce = subparsers.add_parser("reproduce", help="regenerate a paper figure (simulated, paper scale)")
     reproduce.add_argument("figure", choices=["fig2a", "fig2b"], help="which figure to regenerate")
+    reproduce.add_argument(
+        "--parallelism", type=int, default=1,
+        help="virtual worker count: also report modeled wall-clock time on this many workers",
+    )
 
     run = subparsers.add_parser("run", help="run an evaluation workload with the real engine")
     run.add_argument("workload", choices=["census", "ie"], help="which application to run")
@@ -47,6 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--iterations", type=int, default=10, help="number of workflow iterations")
     run.add_argument("--scale", type=int, default=1000, help="training-set size (rows or documents x10)")
     run.add_argument("--workspace", default=None, help="workspace directory (default: a fresh temp dir)")
+    run.add_argument(
+        "--backend", default="serial", choices=sorted(BACKENDS),
+        help="wavefront scheduler worker pool (process requires picklable operators)",
+    )
+    run.add_argument(
+        "--parallelism", type=int, default=None,
+        help="worker count for thread/process backends (default: one per CPU)",
+    )
 
     versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
     versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
@@ -58,17 +72,19 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_reproduce(figure: str, out=None) -> int:
+def _command_reproduce(figure: str, parallelism: int = 1, out=None) -> int:
     out = out or sys.stdout
     defaults = sim_defaults()
     if figure == "fig2a":
-        result = run_simulated_comparison("figure2a_ie", ie_sim_workload(), [HELIX, DEEPDIVE], defaults=defaults)
+        result = run_simulated_comparison(
+            "figure2a_ie", ie_sim_workload(), [HELIX, DEEPDIVE], defaults=defaults, parallelism=parallelism
+        )
         reduction = 1.0 - result.cumulative("helix") / result.cumulative("deepdive")
         print(result.render(), file=out)
         print(f"HELIX reduction vs DeepDive: {reduction:.0%} (paper: ~60%)", file=out)
     else:
         result = run_simulated_comparison(
-            "figure2b_census", census_sim_workload(), [HELIX, KEYSTONEML], defaults=defaults
+            "figure2b_census", census_sim_workload(), [HELIX, KEYSTONEML], defaults=defaults, parallelism=parallelism
         )
         print(result.render(), file=out)
         print(
@@ -76,11 +92,31 @@ def _command_reproduce(figure: str, out=None) -> int:
             "(paper: nearly an order of magnitude)",
             file=out,
         )
+    if parallelism > 1:
+        print(
+            f"modeled wall clock on {parallelism} workers: " + ", ".join(
+                f"{system}={result.cumulative_wall_clock(system):.1f}s "
+                f"({result.parallel_speedup(system):.2f}x)"
+                for system in result.systems()
+            ),
+            file=out,
+        )
     return 0
 
 
-def _command_run(workload: str, strategy_name: str, iterations: int, scale: int, workspace: Optional[str], out=None) -> int:
+def _command_run(
+    workload: str,
+    strategy_name: str,
+    iterations: int,
+    scale: int,
+    workspace: Optional[str],
+    backend: str = "serial",
+    parallelism: Optional[int] = None,
+    out=None,
+) -> int:
     out = out or sys.stdout
+    if parallelism is None:
+        parallelism = 1 if backend == "serial" else (os.cpu_count() or 1)
     strategy = strategy_by_name(strategy_name)
     workspace = workspace or tempfile.mkdtemp(prefix=f"helix_cli_{workload}_")
     if workload == "census":
@@ -90,7 +126,9 @@ def _command_run(workload: str, strategy_name: str, iterations: int, scale: int,
             NewsConfig(n_train_docs=max(20, scale // 20), n_test_docs=max(8, scale // 80), sentences_per_doc=5, seed=11),
             n_iterations=iterations,
         )
-    result = run_real_comparison(spec, [strategy], workspace_root=workspace)
+    result = run_real_comparison(
+        spec, [strategy], workspace_root=workspace, backend=backend, parallelism=parallelism
+    )
     reports = result.reports_by_system[strategy.name]
     rows = [
         {
@@ -98,13 +136,20 @@ def _command_run(workload: str, strategy_name: str, iterations: int, scale: int,
             "category": report.change_category,
             "description": report.description,
             "runtime_s": round(report.total_runtime, 3),
+            "wall_s": round(report.wall_clock_runtime, 3),
             "reuse": round(report.reuse_fraction(), 2),
             **{key: round(value, 4) for key, value in report.metrics.items() if key.endswith("accuracy") or key.endswith("f1")},
         }
         for report in reports
     ]
     print(format_table(rows), file=out)
-    print(f"cumulative runtime: {sum(r.total_runtime for r in reports):.3f}s   workspace: {workspace}", file=out)
+    print(
+        f"cumulative runtime: {sum(r.total_runtime for r in reports):.3f}s   "
+        f"wall clock: {result.cumulative_wall_clock(strategy.name):.3f}s "
+        f"({result.parallel_speedup(strategy.name):.2f}x, backend={backend} x{parallelism})   "
+        f"workspace: {workspace}",
+        file=out,
+    )
     return 0
 
 
@@ -140,9 +185,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         if args.command == "reproduce":
-            return _command_reproduce(args.figure)
+            return _command_reproduce(args.figure, parallelism=args.parallelism)
         if args.command == "run":
-            return _command_run(args.workload, args.strategy, args.iterations, args.scale, args.workspace)
+            return _command_run(
+                args.workload, args.strategy, args.iterations, args.scale, args.workspace,
+                backend=args.backend, parallelism=args.parallelism,
+            )
         if args.command == "versions":
             return _command_versions(args.workspace, args.metric)
         if args.command == "suggest":

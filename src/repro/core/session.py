@@ -1,4 +1,27 @@
-"""The HelixSession: end-to-end driver for iterative workflow development."""
+"""The HelixSession: end-to-end driver for iterative workflow development.
+
+A session wires every layer of the reproduction together: it compiles a
+:class:`~repro.dsl.workflow.Workflow` to an operator DAG, slices it to the
+declared outputs, asks the recomputation optimizer for a
+COMPUTE/LOAD/PRUNE state assignment, executes the resulting physical plan on
+the wavefront scheduler, and records the iteration as a browsable version.
+Artifacts, version records, and the measured cost database all persist in the
+workspace directory, so reuse works across process restarts too.
+
+Usage::
+
+    from repro.core.session import HelixSession
+    from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+    session = HelixSession("/tmp/ws", backend="thread", parallelism=4)
+
+    first = session.run(build_census_workflow(), description="initial")
+    edited = build_census_workflow(CensusVariant(age_bins=8))   # an iteration edit
+    second = session.run(edited, description="wider age buckets")
+    assert second.report.reuse_fraction() > 0   # unchanged operators were reused
+    print(second.report.total_runtime,          # cumulative node seconds
+          second.report.wall_clock_runtime)     # true elapsed seconds
+"""
 
 from __future__ import annotations
 
@@ -14,6 +37,7 @@ from repro.compiler.slicing import slice_to_outputs
 from repro.dsl.operators import ChangeCategory
 from repro.dsl.workflow import Workflow
 from repro.execution.engine import ExecutionEngine, ExecutionResult
+from repro.execution.scheduler import WorkerBackend, backend_by_name
 from repro.execution.stats import IterationReport, RunHistory
 from repro.execution.store import ArtifactStore
 from repro.execution.simulator import RECOMPUTATION_POLICIES
@@ -57,6 +81,13 @@ class HelixSession:
         the comparison systems over the identical workflow.
     storage_budget:
         Maximum bytes of materialized intermediates (``None`` = unlimited).
+    backend:
+        Worker backend for the wavefront scheduler — ``"serial"`` (default),
+        ``"thread"``, or ``"process"`` — or a ready-made
+        :class:`~repro.execution.scheduler.WorkerBackend` instance.
+    parallelism:
+        Worker count for the ``thread``/``process`` backends (ignored by
+        ``serial``); ``None`` means one worker per CPU.
     """
 
     def __init__(
@@ -65,9 +96,12 @@ class HelixSession:
         strategy: ExecutionStrategy = HELIX,
         storage_budget: Optional[float] = None,
         cost_defaults: CostDefaults = CostDefaults(),
+        backend: "str | WorkerBackend" = "serial",
+        parallelism: Optional[int] = None,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
+        self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
         os.makedirs(workspace, exist_ok=True)
         self.store = ArtifactStore(os.path.join(workspace, "artifacts"), budget_bytes=storage_budget)
         self.history = RunHistory()
@@ -139,7 +173,7 @@ class HelixSession:
         policy = self.strategy.make_materialization_policy(
             compiled.dag, costs, self.store.remaining_budget()
         )
-        engine = ExecutionEngine(self.store, policy)
+        engine = ExecutionEngine(self.store, policy, backend=self.backend)
 
         diff = diff_workflows(self._previous_compiled, compiled) if self._previous_compiled else None
         if not change_category:

@@ -6,6 +6,26 @@ set of declared outputs — the Python analogue of the paper's single Scala
 ``Workflow`` object (or copying and editing an existing one); the change
 tracker in the compiler figures out which operators actually changed, so the
 user never annotates changes by hand.
+
+Declarations must reference only earlier declarations (declaration order is a
+topological order), mirroring the DSL's ``refers_to``/``results_from``
+statements.  A workflow never executes itself — hand it to
+:meth:`repro.core.session.HelixSession.run`, which compiles, optimizes, and
+runs it.
+
+Usage::
+
+    from repro.dsl.operators import FieldExtractor, SyntheticCensusSource
+    from repro.dsl.workflow import Workflow
+
+    wf = Workflow("census")
+    wf.add("rows", SyntheticCensusSource(config))
+    wf.add("age", FieldExtractor("rows", field="age"))
+    wf.mark_output("age")
+
+    edited = wf.copy()                                       # next iteration
+    edited.replace("age", FieldExtractor("rows", field="education"))
+    print(edited.describe())                                 # Figure-1a-style listing
 """
 
 from __future__ import annotations

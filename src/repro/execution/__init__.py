@@ -1,10 +1,13 @@
-"""Execution layer: artifact store, runtime statistics, real engine, simulator.
+"""Execution layer: artifact store, runtime statistics, scheduler, engine, simulator.
 
 The :class:`~repro.execution.engine.ExecutionEngine` interprets a physical
 plan produced by the compiler + recomputation optimizer: it computes, loads,
-or skips each node, records wall-clock statistics, and consults the
-materialization policy after every computed node (the online constraint from
-Section 2.3 of the paper).
+or skips each node, records both cumulative and wall-clock statistics, and
+consults the materialization policy after every computed node (the online
+constraint from Section 2.3 of the paper).  The actual scheduling — wave
+decomposition of the DAG, dispatch to serial/thread/process worker backends,
+and asynchronous artifact writes — lives in
+:mod:`~repro.execution.scheduler`.
 
 The :mod:`~repro.execution.simulator` executes *cost-annotated* DAGs against a
 virtual clock using the exact same optimizer code, which lets the benchmark
@@ -12,6 +15,18 @@ harness replay paper-scale multi-hour workloads deterministically in seconds.
 """
 
 from repro.execution.engine import ExecutionEngine, ExecutionResult
+from repro.execution.scheduler import (
+    BACKENDS,
+    AsyncMaterializer,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    WavefrontScheduler,
+    WorkerBackend,
+    backend_by_name,
+    wave_decomposition,
+    wave_levels,
+)
 from repro.execution.simulator import SimIteration, SimNode, SimulationResult, WorkflowSimulator, sim_dag
 from repro.execution.stats import IterationReport, NodeRunStats, RunHistory
 from repro.execution.store import ArtifactMeta, ArtifactStore
@@ -24,6 +39,16 @@ __all__ = [
     "RunHistory",
     "ExecutionEngine",
     "ExecutionResult",
+    "WavefrontScheduler",
+    "WorkerBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "AsyncMaterializer",
+    "BACKENDS",
+    "backend_by_name",
+    "wave_decomposition",
+    "wave_levels",
     "SimNode",
     "SimIteration",
     "SimulationResult",

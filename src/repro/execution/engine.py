@@ -1,6 +1,6 @@
-"""The execution engine: interprets physical plans over real operators.
+"""The execution engine: a thin orchestrator over the wavefront scheduler.
 
-For each node of the plan, in topological order:
+For each node of a physical plan:
 
 * ``PRUNE``   — skip entirely;
 * ``LOAD``    — read the artifact whose signature matches the node from the
@@ -8,47 +8,78 @@ For each node of the plan, in topological order:
 * ``COMPUTE`` — run the operator on its parents' in-memory values, timing the
   run, then immediately ask the materialization policy whether to persist the
   result (the *online* constraint: the decision is made the moment the
-  operator finishes, never deferred).
+  operator finishes, never deferred — only the disk write itself may be
+  overlapped with later computation).
 
 The engine never decides *what* to reuse — that is the recomputation
-optimizer's job, already baked into the plan's states.
+optimizer's job, already baked into the plan's states.  Nor does it decide
+*how* nodes run: scheduling (wave decomposition, worker dispatch, asynchronous
+materialization) lives in :mod:`repro.execution.scheduler`; this class merely
+binds a store, a materialization policy, and a worker backend together behind
+the stable ``execute`` entry point the session and the tests program against.
+
+Usage::
+
+    from repro.execution.engine import ExecutionEngine
+    from repro.execution.scheduler import ThreadPoolBackend
+    from repro.execution.store import ArtifactStore
+    from repro.optimizer.materialization import HelixOnlineMaterializer
+
+    store = ArtifactStore("/tmp/workspace/artifacts")
+    engine = ExecutionEngine(store, HelixOnlineMaterializer(),
+                             backend=ThreadPoolBackend(parallelism=4))
+    result = engine.execute(plan, costs)          # plan from HelixSession.plan()
+    print(result.report.total_runtime,            # cumulative node time
+          result.report.wall_clock_runtime)       # true elapsed time
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.compiler.plan import PhysicalPlan
-from repro.errors import ExecutionError, PlanError
-from repro.execution.stats import IterationReport, NodeRunStats
+from repro.execution.scheduler import (
+    ExecutionResult,
+    SerialBackend,
+    WavefrontScheduler,
+    WorkerBackend,
+)
 from repro.execution.store import ArtifactStore
-from repro.graph.dag import NodeState
 from repro.optimizer.cost_model import NodeCosts
-from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy, MaterializeNone
+from repro.optimizer.materialization import MaterializationPolicy
 
-
-@dataclass
-class ExecutionResult:
-    """Everything the session needs back from one engine run."""
-
-    report: IterationReport
-    outputs: Dict[str, Any] = field(default_factory=dict)
-    values: Dict[str, Any] = field(default_factory=dict)
-    decisions: Dict[str, MaterializationDecision] = field(default_factory=dict)
+__all__ = ["ExecutionEngine", "ExecutionResult"]
 
 
 class ExecutionEngine:
-    """Executes physical plans against an artifact store."""
+    """Executes physical plans against an artifact store.
+
+    Parameters
+    ----------
+    store:
+        Artifact store for LOAD reads and materialization writes.
+    materialization_policy:
+        Online policy consulted after every computed node; defaults to
+        :class:`~repro.optimizer.materialization.MaterializeNone`.
+    backend:
+        Worker backend the scheduler dispatches each wave's COMPUTE nodes to;
+        defaults to :class:`~repro.execution.scheduler.SerialBackend`, which
+        reproduces the original one-node-at-a-time behaviour exactly.
+    """
 
     def __init__(
         self,
         store: ArtifactStore,
         materialization_policy: Optional[MaterializationPolicy] = None,
+        backend: Optional[WorkerBackend] = None,
     ) -> None:
         self.store = store
-        self.materialization_policy = materialization_policy or MaterializeNone()
+        self.backend = backend or SerialBackend()
+        self.scheduler = WavefrontScheduler(store, materialization_policy, self.backend)
+
+    @property
+    def materialization_policy(self) -> MaterializationPolicy:
+        return self.scheduler.materialization_policy
 
     def execute(
         self,
@@ -60,105 +91,11 @@ class ExecutionEngine:
         system: str = "helix",
     ) -> ExecutionResult:
         """Run ``plan`` and return values plus a fully populated report."""
-        compiled = plan.compiled
-        dag = compiled.dag
-        values: Dict[str, Any] = {}
-        node_stats: Dict[str, NodeRunStats] = {}
-        decisions: Dict[str, MaterializationDecision] = {}
-        total_runtime = 0.0
-
-        for name in dag.topological_order():
-            state = plan.state_of(name)
-            operator = compiled.operator(name)
-            signature = compiled.signature_of(name)
-            category = compiled.categories.get(name, operator.category)
-            stats = NodeRunStats(
-                node=name,
-                signature=signature,
-                operator_type=type(operator).__name__,
-                category=getattr(category, "value", str(category)),
-                state=state,
-            )
-
-            if state is NodeState.PRUNE:
-                node_stats[name] = stats
-                continue
-
-            if state is NodeState.LOAD:
-                if not self.store.has(signature):
-                    raise PlanError(f"plan loads node {name!r} but its artifact is not in the store")
-                value, load_time = self.store.get(signature)
-                stats.load_time = load_time
-                stats.output_size = self.store.meta(signature).size
-                stats.materialized = True
-                values[name] = value
-            else:  # COMPUTE
-                inputs = {}
-                for parent in operator.dependencies():
-                    if parent not in values:
-                        raise ExecutionError(
-                            f"node {name!r} needs input {parent!r} which is neither computed nor loaded"
-                        )
-                    inputs[parent] = values[parent]
-                started = time.perf_counter()
-                try:
-                    value = operator.apply(inputs)
-                except Exception as exc:
-                    raise ExecutionError(f"operator for node {name!r} failed: {exc}") from exc
-                stats.compute_time = time.perf_counter() - started
-                values[name] = value
-
-                # Online materialization decision, made immediately on completion.
-                decision = self.materialization_policy.decide(
-                    node=name,
-                    dag=dag,
-                    costs=costs,
-                    remaining_budget=self.store.remaining_budget(),
-                )
-                decisions[name] = decision
-                if decision.materialize and not self.store.has(signature):
-                    write_started = time.perf_counter()
-                    meta = self.store.put(signature, name, value)
-                    stats.materialize_time = time.perf_counter() - write_started
-                    stats.output_size = meta.size
-                    stats.materialized = True
-                else:
-                    stats.output_size = costs[name].output_size if name in costs else 0.0
-
-            total_runtime += stats.total_time()
-            node_stats[name] = stats
-
-        report = IterationReport(
+        return self.scheduler.run(
+            plan,
+            costs,
             iteration=iteration,
-            workflow_name=compiled.workflow_name,
             description=description,
             change_category=change_category,
             system=system,
-            total_runtime=total_runtime,
-            node_stats=node_stats,
-            states=dict(plan.states),
-            storage_used=self.store.used_bytes(),
         )
-        report.metrics = _collect_metrics(compiled.outputs, values)
-        outputs = {name: values[name] for name in compiled.outputs if name in values}
-        return ExecutionResult(report=report, outputs=outputs, values=values, decisions=decisions)
-
-
-def _collect_metrics(output_names, values: Dict[str, Any]) -> Dict[str, float]:
-    """Outputs that look like metric dictionaries flow into the report.
-
-    Keys are prefixed with the output node name only when more than one output
-    produces metrics, so the common single-evaluator case reads naturally
-    (``test_accuracy`` rather than ``checked.test_accuracy``).
-    """
-    metric_outputs = [
-        name for name in output_names
-        if isinstance(values.get(name), dict)
-        and any(isinstance(item, (int, float)) and not isinstance(item, bool) for item in values[name].values())
-    ]
-    metrics: Dict[str, float] = {}
-    for name in metric_outputs:
-        for key, item in values[name].items():
-            if isinstance(item, (int, float)) and not isinstance(item, bool):
-                metrics[f"{name}.{key}" if len(metric_outputs) > 1 else key] = float(item)
-    return metrics

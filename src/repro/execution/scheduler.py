@@ -1,0 +1,520 @@
+"""Parallel wavefront scheduler: the runtime that actually executes plans.
+
+The serial engine interpreted a physical plan one node at a time, leaving the
+DAG's natural parallelism (independent featurization / extraction / model
+branches) on the table.  This module replaces that loop with a *wavefront*
+schedule:
+
+1. :func:`wave_decomposition` partitions the plan's nodes into dependency
+   levels — wave *k* contains exactly the nodes whose longest path from a root
+   has *k* edges, so every node's parents live in strictly earlier waves;
+2. each wave's COMPUTE nodes are dispatched together to a pluggable
+   :class:`WorkerBackend` (:class:`SerialBackend`, :class:`ThreadPoolBackend`,
+   or :class:`ProcessPoolBackend` for picklable operators);
+3. artifact-store writes are overlapped with computation: the online
+   materialization *decision* is still made the moment an operator finishes
+   (the paper's online constraint), but the pickled payload is handed to an
+   :class:`AsyncMaterializer` with a bounded write queue and persisted by a
+   background writer thread while later waves run.
+
+Determinism is a hard requirement — a parallel run must produce the same
+outputs, the same materialization decisions, and the same plan accounting as a
+serial run.  Three mechanisms guarantee it:
+
+* results are folded back into the value map in topological order, wave by
+  wave, never in completion order;
+* materialization decisions are made on the main thread in topological order
+  against a *logical* storage budget that is debited synchronously at decision
+  time (serialization is synchronous; only the disk write is deferred), so the
+  budget a decision observes never depends on writer-thread timing;
+* the bounded queue applies back-pressure instead of dropping writes, and
+  :meth:`AsyncMaterializer.drain` re-raises any writer error at the end of the
+  run, so a ``materialize=True`` decision is never silently lost.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+import time
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.compiler.plan import PhysicalPlan
+from repro.errors import BudgetExceededError, ExecutionError, PlanError
+from repro.execution.stats import IterationReport, NodeRunStats
+from repro.execution.store import ArtifactStore
+from repro.graph.dag import Dag, NodeState
+from repro.optimizer.cost_model import NodeCosts
+from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy, MaterializeNone
+
+
+@dataclass
+class ExecutionResult:
+    """Everything the session needs back from one engine run.
+
+    ``outputs`` maps declared workflow outputs to their values; ``values``
+    holds every non-pruned node's value; ``decisions`` records the online
+    materialization decision made for every computed node (whether or not the
+    artifact was ultimately written).
+    """
+
+    report: IterationReport
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    values: Dict[str, Any] = field(default_factory=dict)
+    decisions: Dict[str, MaterializationDecision] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Wave decomposition
+# ----------------------------------------------------------------------
+def wave_levels(dag: Dag) -> Dict[str, int]:
+    """Longest-path-from-a-root level of every node (roots are level 0)."""
+    levels: Dict[str, int] = {}
+    for name in dag.topological_order():
+        parents = dag.parents(name)
+        levels[name] = 0 if not parents else 1 + max(levels[parent] for parent in parents)
+    return levels
+
+
+def wave_decomposition(dag: Dag) -> List[List[str]]:
+    """Partition ``dag`` into dependency waves.
+
+    Wave ``k`` holds the nodes whose longest path from a root has exactly
+    ``k`` edges; all parents of a node live in strictly earlier waves, so the
+    nodes of one wave are mutually independent and may run concurrently.
+    Within a wave, nodes keep their topological-order position, which makes
+    the concatenation of all waves a valid (and deterministic) topological
+    order of the whole DAG.
+    """
+    levels = wave_levels(dag)
+    if not levels:
+        return []
+    waves: List[List[str]] = [[] for _ in range(max(levels.values()) + 1)]
+    for name in dag.topological_order():
+        waves[levels[name]].append(name)
+    return waves
+
+
+# ----------------------------------------------------------------------
+# Worker backends
+# ----------------------------------------------------------------------
+def _apply_timed(operator: Any, inputs: Dict[str, Any]) -> Tuple[Any, float]:
+    """Run one operator, returning ``(value, elapsed_seconds)``.
+
+    Module-level so :class:`ProcessPoolBackend` can ship it to workers.
+    """
+    started = time.perf_counter()
+    value = operator.apply(inputs)
+    return value, time.perf_counter() - started
+
+
+#: One unit of work: ``(node_name, operator, inputs)``.
+ComputeTask = Tuple[str, Any, Dict[str, Any]]
+
+
+class WorkerBackend:
+    """Interface for wave execution: run a batch of independent compute tasks.
+
+    ``run_wave`` must return one ``(value, elapsed)`` pair per task, in task
+    order.  Operator exceptions must be wrapped in :class:`ExecutionError`
+    naming the failing node.  Pooled backends create their worker pool lazily
+    on first use and reuse it across waves and iterations; call
+    :meth:`close` to release workers early (they are otherwise reclaimed at
+    interpreter exit).
+    """
+
+    name = "base"
+    parallelism = 1
+
+    def run_wave(self, tasks: Sequence[ComputeTask]) -> List[Tuple[Any, float]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker pool held by the backend (no-op by default)."""
+
+
+class SerialBackend(WorkerBackend):
+    """Run the wave's tasks one after another on the calling thread."""
+
+    name = "serial"
+    parallelism = 1
+
+    def run_wave(self, tasks: Sequence[ComputeTask]) -> List[Tuple[Any, float]]:
+        results = []
+        for node, operator, inputs in tasks:
+            try:
+                results.append(_apply_timed(operator, inputs))
+            except Exception as exc:
+                raise ExecutionError(f"operator for node {node!r} failed: {exc}") from exc
+        return results
+
+
+class _PooledBackend(WorkerBackend):
+    """Shared lazy-pool machinery for the thread and process backends."""
+
+    def __init__(self, parallelism: Optional[int] = None) -> None:
+        if parallelism is None:
+            parallelism = os.cpu_count() or 1
+        if parallelism < 1:
+            raise ExecutionError(f"{self.name} backend needs parallelism >= 1, got {parallelism}")
+        self.parallelism = parallelism
+        self._pool: Optional[Executor] = None
+
+    def _make_pool(self) -> Executor:
+        raise NotImplementedError
+
+    def _submit_wave(self, tasks: Sequence[ComputeTask]) -> List[Tuple[Any, float]]:
+        if len(tasks) == 1:  # no point paying pool overhead for a lone node
+            return SerialBackend().run_wave(tasks)
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures = [self._pool.submit(_apply_timed, operator, inputs) for _node, operator, inputs in tasks]
+        return _collect(tasks, futures)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Dispatch each wave to a shared thread pool.
+
+    Threads share the interpreter, so this backend helps whenever operators
+    release the GIL (numpy kernels, disk and network I/O, sleeps) and is
+    always safe: operators and values never cross a process boundary.
+    """
+
+    name = "thread"
+
+    def _make_pool(self) -> Executor:
+        return ThreadPoolExecutor(max_workers=self.parallelism, thread_name_prefix="helix-wave")
+
+    def run_wave(self, tasks: Sequence[ComputeTask]) -> List[Tuple[Any, float]]:
+        return self._submit_wave(tasks)
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Dispatch each wave to a shared pool of worker processes (true CPU parallelism).
+
+    Operators, their inputs, and their outputs must all be picklable; a
+    non-picklable operator raises a clear :class:`ExecutionError` *before*
+    anything is submitted, naming the offending node.
+    """
+
+    name = "process"
+
+    def _make_pool(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.parallelism)
+
+    def run_wave(self, tasks: Sequence[ComputeTask]) -> List[Tuple[Any, float]]:
+        for node, operator, _inputs in tasks:
+            try:
+                pickle.dumps(operator, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise ExecutionError(
+                    f"operator for node {node!r} ({type(operator).__name__}) is not picklable and "
+                    f"cannot run on the {self.name!r} backend: {exc}. Use --backend thread instead."
+                ) from exc
+        return self._submit_wave(tasks)
+
+
+def _collect(tasks: Sequence[ComputeTask], futures) -> List[Tuple[Any, float]]:
+    """Gather futures in task order, wrapping the first failure."""
+    results = []
+    for (node, _operator, _inputs), future in zip(tasks, futures):
+        try:
+            results.append(future.result())
+        except ExecutionError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(f"operator for node {node!r} failed: {exc}") from exc
+    return results
+
+
+#: Backend registry keyed by the names used on the CLI and in session configs.
+BACKENDS: Dict[str, Callable[[Optional[int]], WorkerBackend]] = {
+    "serial": lambda parallelism: SerialBackend(),
+    "thread": lambda parallelism: ThreadPoolBackend(parallelism),
+    "process": lambda parallelism: ProcessPoolBackend(parallelism),
+}
+
+
+def backend_by_name(name: str, parallelism: Optional[int] = None) -> WorkerBackend:
+    """Instantiate a registered backend (``serial``, ``thread``, ``process``).
+
+    ``parallelism=None`` lets a pooled backend default to the machine's CPU
+    count — the right call for users who picked a parallel backend without
+    choosing a worker count.
+    """
+    if name not in BACKENDS:
+        raise ExecutionError(f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}")
+    return BACKENDS[name](parallelism)
+
+
+# ----------------------------------------------------------------------
+# Asynchronous materialization
+# ----------------------------------------------------------------------
+class AsyncMaterializer:
+    """Background writer that overlaps artifact persistence with computation.
+
+    Payloads are already pickled when they arrive (serialization happens
+    synchronously so budget accounting stays deterministic); the writer thread
+    only pays the disk write.  The queue is *bounded*: when it fills, the
+    producing thread blocks instead of dropping the write, so every accepted
+    decision is eventually persisted.  Writer-side failures are stashed and
+    re-raised by :meth:`drain`.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, store: ArtifactStore, queue_size: int = 8) -> None:
+        self.store = store
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_size))
+        self._errors: List[BaseException] = []
+        self._written = 0
+        self._thread: Optional[threading.Thread] = None
+
+    def _ensure_started(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._loop, name="helix-materializer", daemon=True)
+            self._thread.start()
+
+    def submit(self, signature: str, node_name: str, payload: bytes, stats: NodeRunStats) -> None:
+        """Enqueue one pickled artifact for persistence (blocks when the queue is full)."""
+        self._ensure_started()
+        self._queue.put((signature, node_name, payload, stats))
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                self._queue.task_done()
+                return
+            signature, node_name, payload, stats = item
+            try:
+                started = time.perf_counter()
+                meta = self.store.put_bytes(signature, node_name, payload)
+                stats.materialize_time += time.perf_counter() - started
+                stats.output_size = meta.size
+                stats.materialized = True
+                self._written += 1
+            except BaseException as exc:  # surfaced by drain()
+                self._errors.append(exc)
+            finally:
+                self._queue.task_done()
+
+    def drain(self) -> int:
+        """Block until every queued write has landed; re-raise the first failure.
+
+        Returns the number of artifacts written by this materializer so far.
+        """
+        if self._thread is not None:
+            self._queue.put(self._SENTINEL)
+            self._queue.join()
+            self._thread.join()
+            self._thread = None
+        if self._errors:
+            error = self._errors[0]
+            self._errors = []
+            raise error
+        return self._written
+
+
+# ----------------------------------------------------------------------
+# The scheduler
+# ----------------------------------------------------------------------
+class WavefrontScheduler:
+    """Executes physical plans wave by wave over a worker backend.
+
+    The scheduler owns the full node lifecycle — PRUNE bookkeeping, LOAD reads,
+    COMPUTE dispatch, online materialization decisions, and asynchronous
+    artifact writes — and produces the :class:`ExecutionResult` the session
+    consumes.  :class:`~repro.execution.engine.ExecutionEngine` is a thin
+    facade over this class.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        materialization_policy: Optional[MaterializationPolicy] = None,
+        backend: Optional[WorkerBackend] = None,
+        write_queue_size: int = 8,
+    ) -> None:
+        self.store = store
+        self.materialization_policy = materialization_policy or MaterializeNone()
+        self.backend = backend or SerialBackend()
+        self.write_queue_size = write_queue_size
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        plan: PhysicalPlan,
+        costs: Mapping[str, NodeCosts],
+        iteration: int = 0,
+        description: str = "",
+        change_category: str = "",
+        system: str = "helix",
+    ) -> ExecutionResult:
+        """Execute ``plan`` and return values plus a fully populated report."""
+        compiled = plan.compiled
+        dag = compiled.dag
+        values: Dict[str, Any] = {}
+        node_stats: Dict[str, NodeRunStats] = {}
+        decisions: Dict[str, MaterializationDecision] = {}
+        writer = AsyncMaterializer(self.store, queue_size=self.write_queue_size)
+        # Budget accounting is *logical*: debited at decision time, not at
+        # write-completion time, so decisions cannot race the writer thread
+        # and a parallel run decides exactly what a serial run would.
+        logical_budget = self.store.remaining_budget()
+        pending_signatures: set = set()
+
+        wall_started = time.perf_counter()
+        try:
+            for wave_index, wave in enumerate(wave_decomposition(dag)):
+                compute_nodes: List[str] = []
+                tasks: List[ComputeTask] = []
+                for name in wave:
+                    state = plan.state_of(name)
+                    operator = compiled.operator(name)
+                    signature = compiled.signature_of(name)
+                    category = compiled.categories.get(name, operator.category)
+                    stats = NodeRunStats(
+                        node=name,
+                        signature=signature,
+                        operator_type=type(operator).__name__,
+                        category=getattr(category, "value", str(category)),
+                        state=state,
+                        wave=wave_index,
+                    )
+                    node_stats[name] = stats
+
+                    if state is NodeState.PRUNE:
+                        continue
+                    if state is NodeState.LOAD:
+                        if not self.store.has(signature):
+                            raise PlanError(
+                                f"plan loads node {name!r} but its artifact is not in the store"
+                            )
+                        value, load_time = self.store.get(signature)
+                        stats.load_time = load_time
+                        stats.output_size = self.store.meta(signature).size
+                        stats.materialized = True
+                        values[name] = value
+                        continue
+                    # COMPUTE: gather inputs from earlier waves.
+                    inputs = {}
+                    for parent in operator.dependencies():
+                        if parent not in values:
+                            raise ExecutionError(
+                                f"node {name!r} (wave {wave_index}, backend {self.backend.name!r}) "
+                                f"needs input {parent!r} which is neither computed nor loaded"
+                            )
+                        inputs[parent] = values[parent]
+                    compute_nodes.append(name)
+                    tasks.append((name, operator, inputs))
+
+                if not tasks:
+                    continue
+                results = self.backend.run_wave(tasks)
+                # Fold results back and decide materialization in wave order
+                # (deterministic, equal to topological order).
+                for name, (value, elapsed) in zip(compute_nodes, results):
+                    stats = node_stats[name]
+                    stats.compute_time = elapsed
+                    values[name] = value
+                    logical_budget = self._decide_and_enqueue(
+                        name, value, compiled, dag, costs, stats, decisions,
+                        writer, logical_budget, pending_signatures,
+                    )
+            writer.drain()
+        except BaseException:
+            # Never leave the writer thread running behind an exception; a
+            # secondary writer error must not mask the primary failure.
+            try:
+                writer.drain()
+            except BaseException:
+                pass
+            raise
+        wall_clock = time.perf_counter() - wall_started
+
+        total_runtime = sum(stats.total_time() for stats in node_stats.values())
+        report = IterationReport(
+            iteration=iteration,
+            workflow_name=compiled.workflow_name,
+            description=description,
+            change_category=change_category,
+            system=system,
+            total_runtime=total_runtime,
+            wall_clock_runtime=wall_clock,
+            backend=self.backend.name,
+            parallelism=self.backend.parallelism,
+            node_stats=node_stats,
+            states=dict(plan.states),
+            storage_used=self.store.used_bytes(),
+        )
+        report.metrics = _collect_metrics(compiled.outputs, values)
+        outputs = {name: values[name] for name in compiled.outputs if name in values}
+        return ExecutionResult(report=report, outputs=outputs, values=values, decisions=decisions)
+
+    # ------------------------------------------------------------------
+    def _decide_and_enqueue(
+        self,
+        name: str,
+        value: Any,
+        compiled,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        stats: NodeRunStats,
+        decisions: Dict[str, MaterializationDecision],
+        writer: AsyncMaterializer,
+        logical_budget: float,
+        pending_signatures: set,
+    ) -> float:
+        """Make the online decision for one finished node; returns the new budget."""
+        signature = compiled.signature_of(name)
+        decision = self.materialization_policy.decide(
+            node=name, dag=dag, costs=costs, remaining_budget=logical_budget
+        )
+        decisions[name] = decision
+        already = signature in pending_signatures or self.store.has(signature)
+        if decision.materialize and not already:
+            serialize_started = time.perf_counter()
+            payload = self.store.serialize(name, value)
+            stats.materialize_time += time.perf_counter() - serialize_started
+            size = float(len(payload))
+            if size > logical_budget:
+                raise BudgetExceededError(
+                    f"materializing {name!r} ({size:.0f} B) would exceed the remaining "
+                    f"budget ({logical_budget:.0f} B)"
+                )
+            pending_signatures.add(signature)
+            writer.submit(signature, name, payload, stats)
+            logical_budget -= size
+        else:
+            stats.output_size = costs[name].output_size if name in costs else 0.0
+        return logical_budget
+
+
+def _collect_metrics(output_names, values: Dict[str, Any]) -> Dict[str, float]:
+    """Outputs that look like metric dictionaries flow into the report.
+
+    Keys are prefixed with the output node name only when more than one output
+    produces metrics, so the common single-evaluator case reads naturally
+    (``test_accuracy`` rather than ``checked.test_accuracy``).
+    """
+    metric_outputs = [
+        name for name in output_names
+        if isinstance(values.get(name), dict)
+        and any(isinstance(item, (int, float)) and not isinstance(item, bool) for item in values[name].values())
+    ]
+    metrics: Dict[str, float] = {}
+    for name in metric_outputs:
+        for key, item in values[name].items():
+            if isinstance(item, (int, float)) and not isinstance(item, bool):
+                metrics[f"{name}.{key}" if len(metric_outputs) > 1 else key] = float(item)
+    return metrics

@@ -17,7 +17,38 @@ from repro.optimizer.cost_model import CostRecord
 
 @dataclass
 class NodeRunStats:
-    """What happened to one node during one iteration."""
+    """What happened to one node during one iteration.
+
+    Fields
+    ------
+    node:
+        Node name within the compiled DAG.
+    signature:
+        Content hash identifying the computation (the artifact-store key).
+    operator_type:
+        Class name of the operator (``"SimNode"`` for simulated runs).
+    category:
+        Iteration-change category color (``purple``/``orange``/``green``/``source``).
+    state:
+        The recomputation optimizer's verdict: COMPUTE, LOAD, or PRUNE.
+    compute_time:
+        Seconds spent running the operator (0 unless state is COMPUTE).
+    load_time:
+        Seconds spent reading the artifact from the store (0 unless LOAD).
+    materialize_time:
+        Seconds spent serializing + persisting the output.  With the
+        asynchronous materializer this work overlaps later computation, so it
+        contributes to :meth:`total_time` (cumulative accounting) but not
+        necessarily to the iteration's wall clock.
+    output_size:
+        Output size in bytes (exact when materialized/loaded, estimated otherwise).
+    materialized:
+        True once the node's artifact is durably in the store.
+    wave:
+        Index of the dependency wave the scheduler ran this node in
+        (-1 when the node never went through the wavefront scheduler,
+        e.g. simulated runs).
+    """
 
     node: str
     signature: str
@@ -29,14 +60,48 @@ class NodeRunStats:
     materialize_time: float = 0.0
     output_size: float = 0.0
     materialized: bool = False
+    wave: int = -1
 
     def total_time(self) -> float:
+        """Cumulative work attributed to this node (compute + load + materialize)."""
         return self.compute_time + self.load_time + self.materialize_time
 
 
 @dataclass
 class IterationReport:
-    """The outcome of executing one workflow iteration."""
+    """The outcome of executing one workflow iteration.
+
+    Fields
+    ------
+    iteration:
+        Zero-based iteration index within the session.
+    workflow_name:
+        Name of the executed workflow.
+    description / change_category:
+        Human-readable edit summary and its Figure-2 color category.
+    system:
+        Strategy name that produced the run (``helix``, ``deepdive``, ...).
+    total_runtime:
+        *Cumulative* node time: the sum of every node's compute + load +
+        materialize seconds.  This is the paper's cost metric and is
+        backend-independent — parallel execution does not shrink it.
+    wall_clock_runtime:
+        True elapsed seconds for the iteration.  With a parallel backend this
+        is lower than ``total_runtime``; their ratio is the realized speedup
+        (:meth:`parallel_speedup`).  0.0 when unknown (hand-built reports).
+    backend / parallelism:
+        Worker backend name and its worker count (``serial``/1 by default,
+        ``virtual`` for simulated runs).
+    node_stats:
+        Per-node :class:`NodeRunStats`, keyed by node name.
+    metrics:
+        Numeric workflow outputs (e.g. ``test_accuracy``) harvested from
+        metric-shaped output dictionaries.
+    states:
+        The plan's full node → :class:`NodeState` assignment.
+    storage_used:
+        Bytes of materialized artifacts in the store after the iteration.
+    """
 
     iteration: int
     workflow_name: str
@@ -44,6 +109,9 @@ class IterationReport:
     change_category: str = ""
     system: str = "helix"
     total_runtime: float = 0.0
+    wall_clock_runtime: float = 0.0
+    backend: str = "serial"
+    parallelism: int = 1
     node_stats: Dict[str, NodeRunStats] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     states: Dict[str, NodeState] = field(default_factory=dict)
@@ -64,6 +132,17 @@ class IterationReport:
 
     def n_in_state(self, state: NodeState) -> int:
         return sum(1 for stats in self.node_stats.values() if stats.state is state)
+
+    def parallel_speedup(self) -> float:
+        """Cumulative node time over wall-clock time: the realized speedup.
+
+        1.0 for a serial run (modulo scheduling overhead); > 1.0 when the
+        wavefront scheduler overlapped independent branches or writes.
+        Returns 1.0 when wall-clock time was not recorded.
+        """
+        if self.wall_clock_runtime <= 0.0:
+            return 1.0
+        return self.total_runtime / self.wall_clock_runtime
 
     def reuse_fraction(self) -> float:
         """Fraction of plan nodes that avoided recomputation (loaded or pruned)."""
@@ -90,6 +169,11 @@ class IterationReport:
             "loaded": self.n_in_state(NodeState.LOAD),
             "pruned": self.n_in_state(NodeState.PRUNE),
             "storage": round(self.storage_used, 0),
+            **(
+                {"wall_clock": round(self.wall_clock_runtime, 4), "backend": self.backend}
+                if self.wall_clock_runtime > 0.0
+                else {}
+            ),
             **{f"metric:{key}": round(value, 4) for key, value in self.metrics.items()},
         }
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -60,6 +61,10 @@ class ArtifactStore:
         self.budget_bytes = budget_bytes
         os.makedirs(root, exist_ok=True)
         self._catalog: Dict[str, ArtifactMeta] = {}
+        # The wavefront scheduler's background materializer writes artifacts
+        # while the main thread loads others; one re-entrant lock serializes
+        # every catalog read/mutation.
+        self._lock = threading.RLock()
         self._load_catalog()
 
     # ------------------------------------------------------------------
@@ -91,21 +96,26 @@ class ArtifactStore:
     # Queries
     # ------------------------------------------------------------------
     def has(self, signature: str) -> bool:
-        return signature in self._catalog
+        with self._lock:
+            return signature in self._catalog
 
     def meta(self, signature: str) -> ArtifactMeta:
-        if signature not in self._catalog:
-            raise StorageError(f"no artifact for signature {signature[:12]}...")
-        return self._catalog[signature]
+        with self._lock:
+            if signature not in self._catalog:
+                raise StorageError(f"no artifact for signature {signature[:12]}...")
+            return self._catalog[signature]
 
     def catalog(self) -> Dict[str, ArtifactMeta]:
-        return dict(self._catalog)
+        with self._lock:
+            return dict(self._catalog)
 
     def signatures(self) -> List[str]:
-        return list(self._catalog)
+        with self._lock:
+            return list(self._catalog)
 
     def used_bytes(self) -> float:
-        return sum(meta.size for meta in self._catalog.values())
+        with self._lock:
+            return sum(meta.size for meta in self._catalog.values())
 
     def remaining_budget(self) -> float:
         if self.budget_bytes is None:
@@ -114,19 +124,34 @@ class ArtifactStore:
 
     def sizes_by_signature(self) -> Dict[str, float]:
         """Signature → size map consumed by the cost estimator."""
-        return {signature: meta.size for signature, meta in self._catalog.items()}
+        with self._lock:
+            return {signature: meta.size for signature, meta in self._catalog.items()}
 
     def load_costs_by_signature(self) -> Dict[str, float]:
         """Signature → last measured load time, where available."""
-        return {
-            signature: meta.last_load_time
-            for signature, meta in self._catalog.items()
-            if meta.last_load_time is not None
-        }
+        with self._lock:
+            return {
+                signature: meta.last_load_time
+                for signature, meta in self._catalog.items()
+                if meta.last_load_time is not None
+            }
 
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    @staticmethod
+    def serialize(node_name: str, value: Any) -> bytes:
+        """Pickle ``value`` for storage, mapping failures to :class:`StorageError`.
+
+        Split out of :meth:`put` so the wavefront scheduler can serialize
+        synchronously (keeping budget accounting deterministic) and defer only
+        the disk write to its background materializer.
+        """
+        try:
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise StorageError(f"cannot serialize artifact for node {node_name!r}: {exc}") from exc
+
     def put(self, signature: str, node_name: str, value: Any) -> ArtifactMeta:
         """Serialize and persist ``value``; returns the catalog entry.
 
@@ -135,18 +160,32 @@ class ArtifactStore:
         refresh that keeps write accounting honest).
         """
         started = time.perf_counter()
-        try:
-            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        except (pickle.PicklingError, TypeError, AttributeError) as exc:
-            raise StorageError(f"cannot serialize artifact for node {node_name!r}: {exc}") from exc
+        payload = self.serialize(node_name, value)
+        return self.put_bytes(signature, node_name, payload, started_at=started)
+
+    def put_bytes(
+        self, signature: str, node_name: str, payload: bytes, started_at: Optional[float] = None
+    ) -> ArtifactMeta:
+        """Persist an already-serialized artifact; returns the catalog entry.
+
+        ``started_at`` (a ``perf_counter`` stamp) lets callers fold their own
+        serialization time into the recorded ``write_time``.  The disk write
+        happens *outside* the catalog lock so a background materializer never
+        stalls concurrent loads; the budget is re-checked and the catalog
+        updated atomically around it.  (With several concurrent writers the
+        pre-write budget check can transiently race; the wavefront scheduler
+        prevents that by debiting its logical budget before submitting.)
+        """
+        started = started_at if started_at is not None else time.perf_counter()
         size = float(len(payload))
-        existing = self._catalog.get(signature)
-        projected = self.used_bytes() - (existing.size if existing else 0.0) + size
-        if self.budget_bytes is not None and projected > self.budget_bytes:
-            raise BudgetExceededError(
-                f"materializing {node_name!r} ({size:.0f} B) would exceed the budget "
-                f"({projected:.0f} > {self.budget_bytes:.0f} B)"
-            )
+        with self._lock:
+            existing = self._catalog.get(signature)
+            projected = self.used_bytes() - (existing.size if existing else 0.0) + size
+            if self.budget_bytes is not None and projected > self.budget_bytes:
+                raise BudgetExceededError(
+                    f"materializing {node_name!r} ({size:.0f} B) would exceed the budget "
+                    f"({projected:.0f} > {self.budget_bytes:.0f} B)"
+                )
         filename = f"{signature}.pkl"
         path = os.path.join(self.root, filename)
         try:
@@ -163,8 +202,9 @@ class ArtifactStore:
             created_at=time.time(),
             filename=filename,
         )
-        self._catalog[signature] = meta
-        self._save_catalog()
+        with self._lock:
+            self._catalog[signature] = meta
+            self._save_catalog()
         return meta
 
     def get(self, signature: str) -> Tuple[Any, float]:
@@ -178,18 +218,20 @@ class ArtifactStore:
         except (OSError, pickle.UnpicklingError) as exc:
             raise StorageError(f"cannot load artifact {path}: {exc}") from exc
         elapsed = time.perf_counter() - started
-        meta.last_load_time = elapsed
-        self._save_catalog()
+        with self._lock:
+            meta.last_load_time = elapsed
+            self._save_catalog()
         return value, elapsed
 
     def delete(self, signature: str) -> None:
         """Remove one artifact and its catalog entry."""
-        meta = self.meta(signature)
-        path = os.path.join(self.root, meta.filename)
-        if os.path.exists(path):
-            os.remove(path)
-        del self._catalog[signature]
-        self._save_catalog()
+        with self._lock:
+            meta = self.meta(signature)
+            path = os.path.join(self.root, meta.filename)
+            if os.path.exists(path):
+                os.remove(path)
+            del self._catalog[signature]
+            self._save_catalog()
 
     def clear(self) -> None:
         """Remove every artifact (used by tests and by `--fresh` benchmark runs)."""

@@ -1,0 +1,34 @@
+"""The documentation suite must exist and reference only real repo paths."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO_ROOT / "scripts" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocumentationSuite:
+    def test_required_documents_exist(self):
+        for path in ("README.md", "docs/architecture.md", "docs/optimizer.md"):
+            assert (REPO_ROOT / path).exists(), f"missing required document {path}"
+
+    def test_all_path_references_resolve(self, capsys):
+        checker = load_checker()
+        exit_code = checker.main()
+        output = capsys.readouterr().out
+        assert exit_code == 0, f"broken documentation path references:\n{output}"
+
+    def test_checker_flags_missing_paths(self):
+        checker = load_checker()
+        refs = checker.referenced_paths("see `src/repro/no_such_module.py` and src/repro/cli.py")
+        assert "src/repro/no_such_module.py" in refs
+        assert "src/repro/cli.py" in refs
