@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Multi-tenant service benchmark: shared cost-aware cache vs isolated stores.
+
+Two experiments:
+
+1. **Sharing** — N concurrent tenants each replay the census (and, in full
+   mode, the IE) iteration sequence through one :class:`WorkflowService`.
+   The shared-cache deployment is compared against the isolated-stores
+   baseline (same service, same traffic, per-tenant private stores) on
+   aggregate throughput, p50/p95 request latency, cumulative compute
+   seconds, and cross-tenant cache hit rate.
+2. **Eviction** (full mode) — under a constrained cache budget, the
+   cost-aware policy (evict the lowest recompute-cost-saved per byte) is
+   compared against plain LRU on recompute seconds saved by cache hits.
+
+Run from the repo root::
+
+    python benchmarks/bench_service.py             # full comparison
+    python benchmarks/bench_service.py --smoke     # CI: 2 tenants, tiny data
+
+Exit code is non-zero when the run shows a regression: a zero cache hit rate
+in smoke mode, or (full mode) the shared cache failing the ISSUE-2
+acceptance bar (>= 1.5x throughput or >= 30% cumulative-compute reduction)
+or cost-aware eviction losing to LRU.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.datagen.census import CensusConfig  # noqa: E402
+from repro.datagen.news import NewsConfig  # noqa: E402
+from repro.service import CacheConfig, ServiceClient, ServiceConfig, WorkflowService  # noqa: E402
+from repro.workloads.census_workload import census_workload  # noqa: E402
+from repro.workloads.ie_workload import ie_workload  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def build_spec(workload: str, scale: int, iterations: int):
+    if workload == "census":
+        return census_workload(
+            CensusConfig(n_train=scale, n_test=max(60, scale // 5), seed=11), n_iterations=iterations
+        )
+    return ie_workload(
+        NewsConfig(
+            n_train_docs=max(12, scale // 20), n_test_docs=max(6, scale // 80),
+            sentences_per_doc=5, seed=11,
+        ),
+        n_iterations=iterations,
+    )
+
+
+def drive(
+    root: str,
+    workload: str,
+    n_tenants: int,
+    iterations: int,
+    scale: int,
+    workers: int,
+    shared: bool,
+    cache_config: Optional[CacheConfig] = None,
+) -> Dict[str, object]:
+    """Run one deployment over N tenants' traffic; return its metrics."""
+    config = ServiceConfig(
+        n_workers=workers,
+        shared_cache=shared,
+        cache=cache_config or CacheConfig(),
+    )
+    # One spec serves every tenant: each build callable constructs a fresh
+    # Workflow.  The sequences are finite (10 steps); clamp, don't crash.
+    spec = build_spec(workload, scale, iterations)
+    iterations = min(iterations, len(spec.iterations))
+    with WorkflowService(root, config) as service:
+        clients = [ServiceClient(service, f"tenant{index}") for index in range(n_tenants)]
+        started = time.perf_counter()
+        tickets = []
+        # Iteration-major interleaving: every tenant is live at once, each
+        # advancing through its own copy of the workflow sequence.
+        for iteration in range(iterations):
+            step = spec.iterations[iteration]
+            for client in clients:
+                tickets.append(
+                    client.submit(
+                        build=step.build, description=step.description, change_category=step.category
+                    )
+                )
+        errors = 0
+        for ticket in tickets:
+            ticket.wait()
+            if ticket.error is not None:
+                errors += 1
+        wall = time.perf_counter() - started
+        summary = service.summary()
+    metrics: Dict[str, object] = {
+        "deployment": "shared" if shared else "isolated",
+        "workload": workload,
+        "tenants": n_tenants,
+        "requests": len(tickets),
+        "errors": errors,
+        "wall_s": round(wall, 3),
+        "throughput_rps": round(len(tickets) / wall, 3) if wall > 0 else 0.0,
+        "p50_latency_s": summary["p50_latency_s"],
+        "p95_latency_s": summary["p95_latency_s"],
+        "compute_seconds": summary["compute_seconds"],
+        "cache_hit_rate": summary["cache_hit_rate"],
+    }
+    if shared:
+        cache = summary["cache"]
+        metrics["cross_tenant_hits"] = cache["cross_tenant_hits"]
+        metrics["cross_tenant_hit_fraction"] = summary["cross_tenant_hit_fraction"]
+        metrics["evictions"] = cache["evictions"]
+        metrics["recompute_seconds_saved"] = cache["recompute_seconds_saved"]
+    return metrics
+
+
+def compare_sharing(
+    workload: str, n_tenants: int, iterations: int, scale: int, workers: int
+) -> Dict[str, object]:
+    """Shared cache vs isolated stores over identical traffic."""
+    roots = []
+    results = {}
+    for shared in (False, True):
+        root = tempfile.mkdtemp(prefix=f"bench_service_{workload}_{'shared' if shared else 'iso'}_")
+        roots.append(root)
+        results["shared" if shared else "isolated"] = drive(
+            root, workload, n_tenants, iterations, scale, workers, shared
+        )
+    for root in roots:
+        shutil.rmtree(root, ignore_errors=True)
+    shared, isolated = results["shared"], results["isolated"]
+    speedup = (
+        shared["throughput_rps"] / isolated["throughput_rps"]
+        if isolated["throughput_rps"] else float("inf")
+    )
+    reduction = (
+        1.0 - shared["compute_seconds"] / isolated["compute_seconds"]
+        if isolated["compute_seconds"] else 0.0
+    )
+    return {
+        "workload": workload,
+        "isolated": isolated,
+        "shared": shared,
+        "throughput_speedup": round(speedup, 2),
+        "compute_reduction": round(reduction, 3),
+    }
+
+
+def compare_eviction(
+    iterations: int, scale: int, budget_fraction: float = 0.4
+) -> Dict[str, object]:
+    """Cost-aware vs LRU eviction under a constrained budget, same traffic.
+
+    One tenant replays the census sequence twice; the second pass revisits
+    every signature, so whichever policy kept the most valuable artifacts
+    saves the most recompute seconds.  The budget is sized as a fraction of
+    the unconstrained run's footprint, measured first.
+    """
+    probe_root = tempfile.mkdtemp(prefix="bench_service_probe_")
+    probe = drive(probe_root, "census", 1, iterations, scale, 1, shared=True)
+    probe_cache_dir = os.path.join(probe_root, "cache")
+    footprint = sum(
+        os.path.getsize(os.path.join(probe_cache_dir, name))
+        for name in os.listdir(probe_cache_dir)
+        if name.endswith(".pkl")
+    )
+    shutil.rmtree(probe_root, ignore_errors=True)
+    budget = footprint * budget_fraction
+
+    results = {}
+    for policy in ("lru", "cost"):
+        root = tempfile.mkdtemp(prefix=f"bench_service_evict_{policy}_")
+        config = ServiceConfig(
+            n_workers=1,
+            shared_cache=True,
+            cache=CacheConfig(budget_bytes=budget, eviction=policy),
+        )
+        with WorkflowService(root, config) as service:
+            client = ServiceClient(service, "tenant0")
+            for _pass in range(2):
+                spec = build_spec("census", scale, iterations)
+                for step in spec.iterations:
+                    client.run(
+                        build=step.build, description=step.description
+                    )
+            summary = service.summary()
+            cache = summary["cache"]
+            results[policy] = {
+                "policy": policy,
+                "budget_bytes": round(budget),
+                "compute_seconds": summary["compute_seconds"],
+                "cache_hit_rate": summary["cache_hit_rate"],
+                "evictions": cache["evictions"],
+                "recompute_seconds_saved": cache["recompute_seconds_saved"],
+            }
+        shutil.rmtree(root, ignore_errors=True)
+    return {"budget_bytes": round(budget), "lru": results["lru"], "cost": results["cost"]}
+
+
+def render(title: str, payload: Dict[str, object]) -> str:
+    return f"===== {title} =====\n{json.dumps(payload, indent=2)}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="multi-tenant service benchmark")
+    parser.add_argument("--smoke", action="store_true", help="CI mode: 2 tenants, tiny data, census only")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--scale", type=int, default=600)
+    # A pool smaller than the tenant count is the realistic service shape
+    # (bounded workers are the point of the dispatcher) and is what lets
+    # sharing shine: lockstep cold starts would otherwise race every
+    # tenant into computing the same brand-new signatures concurrently.
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--no-write", action="store_true", help="skip writing benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        tenants, iterations, scale, workers = 2, 4, 200, 2
+        workloads = ["census"]
+    else:
+        tenants, iterations, scale, workers = args.tenants, args.iterations, args.scale, args.workers
+        workloads = ["census", "ie"]
+
+    lines: List[str] = []
+    failures: List[str] = []
+
+    for workload in workloads:
+        comparison = compare_sharing(workload, tenants, iterations, scale, workers)
+        lines.append(render(f"shared vs isolated: {workload}", comparison))
+        hit_rate = comparison["shared"]["cache_hit_rate"]
+        if hit_rate <= 0.0:
+            failures.append(f"{workload}: shared cache hit rate is zero")
+        # Same-tenant iteration reuse alone can keep the overall hit rate
+        # positive; the sharing regression guard is cross-tenant hits.
+        if comparison["shared"]["cross_tenant_hits"] <= 0:
+            failures.append(f"{workload}: no cross-tenant cache hits — sharing is broken")
+        if comparison["shared"].get("errors"):
+            failures.append(f"{workload}: {comparison['shared']['errors']} failed requests")
+        if workload == "census" and not args.smoke:
+            meets_throughput = comparison["throughput_speedup"] >= 1.5
+            meets_compute = comparison["compute_reduction"] >= 0.30
+            if not (meets_throughput or meets_compute):
+                failures.append(
+                    f"census: shared cache met neither bar "
+                    f"(speedup {comparison['throughput_speedup']}x, "
+                    f"compute reduction {comparison['compute_reduction']:.0%})"
+                )
+
+    if not args.smoke:
+        eviction = compare_eviction(iterations=min(iterations, 10), scale=scale)
+        lines.append(render("eviction: cost-aware vs LRU", eviction))
+        if eviction["cost"]["recompute_seconds_saved"] < eviction["lru"]["recompute_seconds_saved"]:
+            failures.append(
+                "eviction: cost-aware saved fewer recompute seconds than LRU "
+                f"({eviction['cost']['recompute_seconds_saved']:.3f}s vs "
+                f"{eviction['lru']['recompute_seconds_saved']:.3f}s)"
+            )
+
+    report = "\n\n".join(lines)
+    print(report)
+    if not args.no_write:
+        try:
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            name = "service_smoke" if args.smoke else "service_comparison"
+            with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+                handle.write(report + "\n")
+        except OSError:
+            pass
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {failure}" for failure in failures), file=sys.stderr)
+        return 1
+    print("\nOK: service benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ Public API overview
 * :mod:`repro.baselines` — DeepDive-style / KeystoneML-style / unoptimized strategies.
 * :mod:`repro.workloads` — the Census and information-extraction evaluation workloads.
 * :mod:`repro.bench` — harness that regenerates the paper's figures as tables.
+* :mod:`repro.service` — multi-tenant workflow service over a shared,
+  cost-aware artifact cache (``WorkflowService``, ``ServiceClient``).
 """
 
 from repro.baselines import DEEPDIVE, HELIX, HELIX_UNOPTIMIZED, KEYSTONEML, ExecutionStrategy

@@ -6,6 +6,8 @@ Entry points::
     python -m repro reproduce fig2b            # Figure 2(b)
     python -m repro run census --iterations 5  # real engine, synthetic data
     python -m repro run ie --strategy keystoneml
+    python -m repro serve --tenants 4          # multi-tenant service, shared cache
+    python -m repro submit --workspace DIR --tenant alice --workload census
     python -m repro versions --workspace DIR   # browse a persisted workspace
     python -m repro suggest census             # machine-generated next edits
 
@@ -62,6 +64,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker count for thread/process backends (default: one per CPU)",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant workflow service over synthetic tenant traffic"
+    )
+    serve.add_argument("--workspace", default=None, help="service root directory (default: a fresh temp dir)")
+    serve.add_argument("--tenants", type=int, default=4, help="number of concurrent tenants to simulate")
+    serve.add_argument("--workload", default="census", choices=["census", "ie"])
+    serve.add_argument("--iterations", type=int, default=5, help="workflow iterations per tenant")
+    serve.add_argument("--scale", type=int, default=400, help="training-set size (rows or documents x10)")
+    serve.add_argument("--workers", type=int, default=2, help="service worker pool size")
+    serve.add_argument("--budget", type=float, default=None, help="shared cache capacity in bytes")
+    serve.add_argument("--quota", type=float, default=None, help="per-tenant storage quota in bytes")
+    serve.add_argument("--eviction", default="cost", choices=["cost", "lru"], help="cache eviction policy")
+    serve.add_argument(
+        "--isolated", action="store_true",
+        help="give every tenant an isolated store (the no-sharing baseline)",
+    )
+    serve.add_argument(
+        "--backend", default="serial", choices=sorted(BACKENDS),
+        help="per-session wavefront scheduler backend",
+    )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one workflow run to a (persistent) service workspace"
+    )
+    submit.add_argument("--workspace", required=True, help="service root; artifacts persist across submits")
+    submit.add_argument("--tenant", required=True, help="tenant identity the run is attributed to")
+    submit.add_argument("--workload", default="census", choices=["census", "ie"])
+    submit.add_argument(
+        "--iteration", type=int, default=0,
+        help="which iteration of the workload sequence to run (0-based)",
+    )
+    submit.add_argument("--scale", type=int, default=400, help="training-set size (rows or documents x10)")
+    submit.add_argument("--quota", type=float, default=None, help="per-tenant storage quota in bytes")
+
     versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
     versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
     versions.add_argument("--metric", default=None, help="also print the trend of this metric")
@@ -104,6 +140,21 @@ def _command_reproduce(figure: str, parallelism: int = 1, out=None) -> int:
     return 0
 
 
+def _workload_spec(workload: str, scale: int, iterations: Optional[int] = None):
+    """Build the named workload's iteration sequence at the requested scale."""
+    if workload == "census":
+        return census_workload(
+            CensusConfig(n_train=scale, n_test=max(100, scale // 5), seed=11), n_iterations=iterations
+        )
+    return ie_workload(
+        NewsConfig(
+            n_train_docs=max(20, scale // 20), n_test_docs=max(8, scale // 80),
+            sentences_per_doc=5, seed=11,
+        ),
+        n_iterations=iterations,
+    )
+
+
 def _command_run(
     workload: str,
     strategy_name: str,
@@ -119,13 +170,7 @@ def _command_run(
         parallelism = 1 if backend == "serial" else (os.cpu_count() or 1)
     strategy = strategy_by_name(strategy_name)
     workspace = workspace or tempfile.mkdtemp(prefix=f"helix_cli_{workload}_")
-    if workload == "census":
-        spec = census_workload(CensusConfig(n_train=scale, n_test=max(100, scale // 5), seed=11), n_iterations=iterations)
-    else:
-        spec = ie_workload(
-            NewsConfig(n_train_docs=max(20, scale // 20), n_test_docs=max(8, scale // 80), sentences_per_doc=5, seed=11),
-            n_iterations=iterations,
-        )
+    spec = _workload_spec(workload, scale, iterations)
     result = run_real_comparison(
         spec, [strategy], workspace_root=workspace, backend=backend, parallelism=parallelism
     )
@@ -150,6 +195,132 @@ def _command_run(
         f"workspace: {workspace}",
         file=out,
     )
+    return 0
+
+
+def _command_serve(
+    workspace: Optional[str],
+    tenants: int,
+    workload: str,
+    iterations: int,
+    scale: int,
+    workers: int,
+    budget: Optional[float],
+    quota: Optional[float],
+    eviction: str,
+    isolated: bool,
+    backend: str,
+    out=None,
+) -> int:
+    """Drive synthetic multi-tenant traffic through a WorkflowService."""
+    out = out or sys.stdout
+    from repro.service import CacheConfig, ServiceClient, ServiceConfig, WorkflowService
+
+    workspace = workspace or tempfile.mkdtemp(prefix="helix_service_")
+    config = ServiceConfig(
+        n_workers=workers,
+        backend=backend,
+        shared_cache=not isolated,
+        cache=CacheConfig(budget_bytes=budget, tenant_quota_bytes=quota, eviction=eviction),
+    )
+    # The workload sequences are finite; clamp rather than crash when asked
+    # for more.  Every build callable constructs a fresh Workflow, so one
+    # spec safely serves every tenant.
+    spec = _workload_spec(workload, scale)
+    iterations = min(iterations, len(spec.iterations))
+    with WorkflowService(workspace, config) as service:
+        clients = [ServiceClient(service, f"tenant{index}") for index in range(tenants)]
+        # Iteration-major interleaving models real traffic: every tenant is
+        # live at once, each advancing through its own workflow sequence.
+        tickets = []
+        for iteration in range(iterations):
+            step = spec.iterations[iteration]
+            for client in clients:
+                tickets.append(
+                    client.submit(
+                        build=step.build, description=step.description, change_category=step.category
+                    )
+                )
+        failures = 0
+        for ticket in tickets:
+            ticket.wait()
+            if ticket.error is not None:
+                failures += 1
+                print(
+                    f"error: request for tenant {ticket.request.tenant!r} "
+                    f"({ticket.request.description}) failed: {ticket.error}",
+                    file=sys.stderr,
+                )
+        print(service.telemetry.render(), file=out)
+        summary = service.summary()
+        print(
+            f"requests: {summary['requests']}   throughput: {summary['throughput_rps']:.2f} req/s   "
+            f"p50: {summary['p50_latency_s']:.3f}s   p95: {summary['p95_latency_s']:.3f}s   "
+            f"cache hit rate: {summary['cache_hit_rate']:.0%}",
+            file=out,
+        )
+        if not isolated:
+            cache = summary["cache"]
+            print(
+                f"shared cache: {cache['artifacts']} artifacts, {cache['used_bytes']:.0f} B used, "
+                f"{cache['hits']} hits ({cache['cross_tenant_hits']} cross-tenant), "
+                f"{cache['evictions']} evictions [{eviction}], "
+                f"{cache['recompute_seconds_saved']:.3f}s recompute saved   workspace: {workspace}",
+                file=out,
+            )
+        else:
+            print(f"isolated stores (baseline)   workspace: {workspace}", file=out)
+        return 1 if failures else 0
+
+
+def _command_submit(
+    workspace: str,
+    tenant: str,
+    workload: str,
+    iteration: int,
+    scale: int,
+    quota: Optional[float],
+    out=None,
+) -> int:
+    """Submit one run to a persistent service workspace (reuse across submits)."""
+    out = out or sys.stdout
+    from repro.service import CacheConfig, ServiceConfig, WorkflowService
+
+    spec = _workload_spec(workload, scale)
+    if not 0 <= iteration < len(spec.iterations):
+        print(
+            f"error: --iteration {iteration} out of range (workload has {len(spec.iterations)} iterations)",
+            file=sys.stderr,
+        )
+        return 2
+    step = spec.iterations[iteration]
+    config = ServiceConfig(n_workers=1, cache=CacheConfig(tenant_quota_bytes=quota))
+    with WorkflowService(workspace, config) as service:
+        result = service.run_sync(
+            tenant, build=step.build, description=step.description
+        )
+        report = result.report
+        row = {
+            "tenant": tenant,
+            "iteration": iteration,
+            "category": step.category,
+            "description": step.description,
+            "runtime_s": round(report.total_runtime, 3),
+            "reuse": round(report.reuse_fraction(), 2),
+            **{
+                key: round(value, 4)
+                for key, value in report.metrics.items()
+                if key.endswith("accuracy") or key.endswith("f1")
+            },
+        }
+        print(format_table([row]), file=out)
+        cache = service.summary()["cache"]
+        print(
+            f"shared cache: {cache['artifacts']} artifacts, {cache['used_bytes']:.0f} B "
+            f"({cache['hits']} hits, {cache['cross_tenant_hits']} cross-tenant)   "
+            f"workspace: {workspace}",
+            file=out,
+        )
     return 0
 
 
@@ -190,6 +361,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(
                 args.workload, args.strategy, args.iterations, args.scale, args.workspace,
                 backend=args.backend, parallelism=args.parallelism,
+            )
+        if args.command == "serve":
+            return _command_serve(
+                args.workspace, args.tenants, args.workload, args.iterations, args.scale,
+                args.workers, args.budget, args.quota, args.eviction, args.isolated, args.backend,
+            )
+        if args.command == "submit":
+            return _command_submit(
+                args.workspace, args.tenant, args.workload, args.iteration, args.scale, args.quota,
             )
         if args.command == "versions":
             return _command_versions(args.workspace, args.metric)

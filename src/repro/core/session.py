@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.baselines.strategies import HELIX, ExecutionStrategy
 from repro.compiler.change_tracker import ChangeTracker, WorkflowDiff, diff_workflows
@@ -88,6 +88,17 @@ class HelixSession:
     parallelism:
         Worker count for the ``thread``/``process`` backends (ignored by
         ``serial``); ``None`` means one worker per CPU.
+    store:
+        An already-constructed artifact store to use instead of the default
+        workspace-private one.  This is how the multi-tenant workflow service
+        points many sessions at one shared, quota-managed cache
+        (:class:`~repro.service.cache.SharedArtifactCache` tenant views);
+        ``storage_budget`` is ignored when a store is injected.
+    materialization_wrapper:
+        Optional hook applied to the strategy's materialization policy before
+        each run — the service wraps the policy with cache admission control
+        here.  Receives and returns a
+        :class:`~repro.optimizer.materialization.MaterializationPolicy`.
     """
 
     def __init__(
@@ -98,12 +109,17 @@ class HelixSession:
         cost_defaults: CostDefaults = CostDefaults(),
         backend: "str | WorkerBackend" = "serial",
         parallelism: Optional[int] = None,
+        store: Optional[ArtifactStore] = None,
+        materialization_wrapper: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
         self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
         os.makedirs(workspace, exist_ok=True)
-        self.store = ArtifactStore(os.path.join(workspace, "artifacts"), budget_bytes=storage_budget)
+        self.store = store if store is not None else ArtifactStore(
+            os.path.join(workspace, "artifacts"), budget_bytes=storage_budget
+        )
+        self.materialization_wrapper = materialization_wrapper
         self.history = RunHistory()
         self.tracker = ChangeTracker()
         self.estimator = CostEstimator(cost_defaults)
@@ -173,6 +189,8 @@ class HelixSession:
         policy = self.strategy.make_materialization_policy(
             compiled.dag, costs, self.store.remaining_budget()
         )
+        if self.materialization_wrapper is not None:
+            policy = self.materialization_wrapper(policy)
         engine = ExecutionEngine(self.store, policy, backend=self.backend)
 
         diff = diff_workflows(self._previous_compiled, compiled) if self._previous_compiled else None
@@ -180,14 +198,22 @@ class HelixSession:
             change_category = self._infer_change_category(compiled, diff)
 
         iteration_index = len(self.versions)
-        result: ExecutionResult = engine.execute(
-            plan,
-            costs,
-            iteration=iteration_index,
-            description=description,
-            change_category=change_category,
-            system=self.strategy.name,
-        )
+        # Pin every artifact the plan LOADs so a concurrent tenant's eviction
+        # (shared-cache deployments) cannot invalidate this plan mid-run.
+        load_signatures = [
+            compiled.signature_of(name)
+            for name, state in states.items()
+            if state is NodeState.LOAD
+        ]
+        with self.store.pin(load_signatures):
+            result: ExecutionResult = engine.execute(
+                plan,
+                costs,
+                iteration=iteration_index,
+                description=description,
+                change_category=change_category,
+                system=self.strategy.name,
+            )
 
         self.history.update_from_report(result.report)
         self.tracker.observe(compiled)
@@ -214,6 +240,10 @@ class HelixSession:
 
         save_version_store(self.versions, self.workspace)
         save_cost_history(self.history, self.workspace)
+        # An all-LOAD (fully reused) run mutates nothing in the store, so its
+        # measured load times / recency stamps only exist as deferred catalog
+        # updates — persist them for the next process's cost estimator.
+        self.store.flush()
 
     def _infer_change_category(self, compiled: CompiledWorkflow, diff: Optional[WorkflowDiff]) -> str:
         """Classify an iteration by the deepest category among its edited nodes.

@@ -300,9 +300,15 @@ class AsyncMaterializer:
                 started = time.perf_counter()
                 meta = self.store.put_bytes(signature, node_name, payload)
                 stats.materialize_time += time.perf_counter() - started
-                stats.output_size = meta.size
-                stats.materialized = True
-                self._written += 1
+                # A store may decline a write (the shared service cache
+                # enforces size limits against exact payload sizes here);
+                # the node's value stays in memory, it just isn't durable.
+                if meta is not None:
+                    stats.output_size = meta.size
+                    stats.materialized = True
+                    self._written += 1
+                else:
+                    stats.output_size = float(len(payload))
             except BaseException as exc:  # surfaced by drain()
                 self._errors.append(exc)
             finally:

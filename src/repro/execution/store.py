@@ -9,22 +9,34 @@ sessions materialized — Helix's cross-session reuse story.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pickle
 import threading
 import time
+from collections import Counter
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import BudgetExceededError, StorageError
 
 _CATALOG_FILENAME = "catalog.json"
 
+#: An eviction policy: either a registered name or a callable scoring one
+#: :class:`ArtifactMeta` — artifacts with the *lowest* score are evicted first.
+EvictionPolicy = Union[str, Callable[["ArtifactMeta"], float]]
+
 
 @dataclass
 class ArtifactMeta:
-    """Catalog entry for one materialized artifact."""
+    """Catalog entry for one materialized artifact.
+
+    ``last_load_time`` is the measured *duration* of the most recent read
+    (the cost model's measured load cost); ``last_access_at`` is the wall
+    clock *instant* of the most recent read or write, which is what LRU
+    eviction orders by.  Both are updated under the store lock.
+    """
 
     signature: str
     node_name: str
@@ -33,6 +45,11 @@ class ArtifactMeta:
     created_at: float
     filename: str
     last_load_time: Optional[float] = None
+    last_access_at: Optional[float] = None
+
+    def accessed_at(self) -> float:
+        """Timestamp for recency ordering (creation time until first access)."""
+        return self.last_access_at if self.last_access_at is not None else self.created_at
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -65,6 +82,15 @@ class ArtifactStore:
         # while the main thread loads others; one re-entrant lock serializes
         # every catalog read/mutation.
         self._lock = threading.RLock()
+        # Signature → number of active pins.  A pinned artifact is immune to
+        # eviction: sessions pin every signature their in-flight plan LOADs so
+        # a concurrent writer's eviction cannot invalidate the plan mid-run.
+        self._pins: Counter = Counter()
+        # Access-metadata updates (load times, recency) mark the catalog
+        # dirty instead of rewriting it per read; the next mutation — or an
+        # explicit flush() — persists them.  On a busy shared store, per-read
+        # JSON rewrites of the whole catalog would dominate load time.
+        self._catalog_dirty = False
         self._load_catalog()
 
     # ------------------------------------------------------------------
@@ -88,9 +114,31 @@ class ArtifactStore:
                 self._catalog[meta.signature] = meta
 
     def _save_catalog(self) -> None:
+        """Persist the catalog crash-safely: write a temp file, then rename.
+
+        ``os.replace`` is atomic on POSIX and Windows, so a reader (another
+        session sharing this root, or a crashed writer's successor) always
+        sees either the previous complete catalog or the new complete catalog
+        — never a torn write.
+        """
         entries = [meta.to_dict() for meta in self._catalog.values()]
-        with open(self._catalog_path(), "w") as handle:
-            json.dump(entries, handle, indent=2)
+        path = self._catalog_path()
+        temp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(temp_path, "w") as handle:
+                json.dump(entries, handle, indent=2)
+            os.replace(temp_path, path)
+        except OSError as exc:
+            with contextlib.suppress(OSError):
+                os.remove(temp_path)
+            raise StorageError(f"cannot write artifact catalog at {path}: {exc}") from exc
+        self._catalog_dirty = False
+
+    def flush(self) -> None:
+        """Persist any deferred access-metadata updates to the catalog."""
+        with self._lock:
+            if self._catalog_dirty:
+                self._save_catalog()
 
     # ------------------------------------------------------------------
     # Queries
@@ -194,13 +242,15 @@ class ArtifactStore:
         except OSError as exc:
             raise StorageError(f"cannot write artifact {path}: {exc}") from exc
         write_time = time.perf_counter() - started
+        created = time.time()
         meta = ArtifactMeta(
             signature=signature,
             node_name=node_name,
             size=size,
             write_time=write_time,
-            created_at=time.time(),
+            created_at=created,
             filename=filename,
+            last_access_at=created,
         )
         with self._lock:
             self._catalog[signature] = meta
@@ -208,7 +258,15 @@ class ArtifactStore:
         return meta
 
     def get(self, signature: str) -> Tuple[Any, float]:
-        """Load an artifact; returns ``(value, elapsed_seconds)``."""
+        """Load an artifact; returns ``(value, elapsed_seconds)``.
+
+        Updates the catalog entry's measured load cost (``last_load_time``)
+        and access recency (``last_access_at``) under the lock, re-checking
+        that the entry still exists — a concurrent eviction between the read
+        and the bookkeeping must not resurrect a deleted entry.  The update
+        is deferred to the next catalog write (or :meth:`flush`) rather than
+        rewriting the catalog per read.
+        """
         meta = self.meta(signature)
         path = os.path.join(self.root, meta.filename)
         started = time.perf_counter()
@@ -219,8 +277,11 @@ class ArtifactStore:
             raise StorageError(f"cannot load artifact {path}: {exc}") from exc
         elapsed = time.perf_counter() - started
         with self._lock:
-            meta.last_load_time = elapsed
-            self._save_catalog()
+            current = self._catalog.get(signature)
+            if current is not None:
+                current.last_load_time = elapsed
+                current.last_access_at = time.time()
+                self._catalog_dirty = True
         return value, elapsed
 
     def delete(self, signature: str) -> None:
@@ -237,3 +298,84 @@ class ArtifactStore:
         """Remove every artifact (used by tests and by `--fresh` benchmark runs)."""
         for signature in list(self._catalog):
             self.delete(signature)
+
+    # ------------------------------------------------------------------
+    # Pinning and eviction
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def pin(self, signatures: Iterable[str]) -> Iterator[None]:
+        """Protect ``signatures`` from eviction for the duration of the block.
+
+        Pins are reference-counted, so overlapping runs that pin the same
+        artifact compose correctly.  Pinning a signature the store does not
+        hold is a no-op (the plan may LOAD artifacts that a race already
+        evicted; the scheduler surfaces that as a :class:`PlanError`).
+        """
+        pinned = list(signatures)
+        with self._lock:
+            for signature in pinned:
+                self._pins[signature] += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                for signature in pinned:
+                    self._pins[signature] -= 1
+                    if self._pins[signature] <= 0:
+                        del self._pins[signature]
+
+    def pinned_signatures(self) -> List[str]:
+        with self._lock:
+            return list(self._pins)
+
+    def _eviction_score(self, meta: ArtifactMeta, policy: EvictionPolicy) -> float:
+        """Lower score ⇒ evicted earlier."""
+        if callable(policy):
+            return policy(meta)
+        if policy == "lru":
+            return meta.accessed_at()
+        if policy == "largest":
+            return -meta.size
+        if policy == "oldest":
+            return meta.created_at
+        raise StorageError(
+            f"unknown eviction policy {policy!r}; expected 'lru', 'largest', 'oldest', or a callable"
+        )
+
+    def evict(self, bytes_needed: float, policy: EvictionPolicy = "lru") -> List[ArtifactMeta]:
+        """Free at least ``bytes_needed`` bytes by deleting unpinned artifacts.
+
+        ``policy`` selects the victim order: ``"lru"`` (least recently
+        accessed first), ``"largest"`` (biggest first), ``"oldest"``
+        (earliest created first), or a callable ``meta -> score`` where the
+        lowest-scoring artifacts are evicted first — the shared service cache
+        passes a recompute-cost-per-byte scorer here.
+
+        Eviction is best-effort: pinned artifacts are skipped, and if the
+        unpinned candidates cannot cover ``bytes_needed`` the method evicts
+        everything it may and returns what it freed rather than raising.
+        Returns the metadata of every evicted artifact.
+        """
+        evicted: List[ArtifactMeta] = []
+        if bytes_needed <= 0:
+            return evicted
+        with self._lock:
+            candidates = [
+                meta for signature, meta in self._catalog.items() if signature not in self._pins
+            ]
+            candidates.sort(key=lambda meta: self._eviction_score(meta, policy))
+            freed = 0.0
+            for meta in candidates:
+                if freed >= bytes_needed:
+                    break
+                path = os.path.join(self.root, meta.filename)
+                if os.path.exists(path):
+                    os.remove(path)
+                del self._catalog[meta.signature]
+                evicted.append(meta)
+                freed += meta.size
+            if evicted:
+                # One catalog rewrite for the whole batch — per-victim saves
+                # would block concurrent loads k times over.
+                self._save_catalog()
+        return evicted

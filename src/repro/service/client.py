@@ -1,0 +1,80 @@
+"""In-process client API for the workflow service.
+
+A :class:`ServiceClient` binds one tenant identity to a service instance and
+exposes the natural verbs: fire-and-forget ``submit``, blocking ``run``, and
+``run_workload`` for replaying a whole iteration sequence (a
+:class:`~repro.workloads.spec.WorkloadSpec`) in order.  The client is what
+`repro submit` and the service benchmark drive; a network transport would
+slot in behind this same surface.
+
+Usage::
+
+    client = ServiceClient(service, tenant="alice")
+    result = client.run(build_census_workflow())          # blocking
+    results = client.run_workload(census_workload(), n_iterations=5)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.session import SessionRunResult
+from repro.dsl.workflow import Workflow
+from repro.service.dispatcher import RequestTicket
+from repro.service.service import WorkflowService
+from repro.workloads.spec import WorkloadSpec
+
+
+class ServiceClient:
+    """One tenant's handle on a :class:`WorkflowService`."""
+
+    def __init__(self, service: WorkflowService, tenant: str) -> None:
+        self.service = service
+        self.tenant = tenant
+
+    def submit(
+        self,
+        workflow: Optional[Workflow] = None,
+        build: Optional[Callable[[], Workflow]] = None,
+        description: str = "",
+        change_category: str = "",
+    ) -> RequestTicket:
+        """Queue one run; returns a ticket immediately."""
+        return self.service.submit(
+            self.tenant,
+            workflow=workflow,
+            build=build,
+            description=description,
+            change_category=change_category,
+        )
+
+    def run(
+        self,
+        workflow: Optional[Workflow] = None,
+        build: Optional[Callable[[], Workflow]] = None,
+        description: str = "",
+        timeout: Optional[float] = None,
+    ) -> SessionRunResult:
+        """Submit and block for the result (re-raising worker-side failures)."""
+        return self.submit(workflow=workflow, build=build, description=description).value(timeout)
+
+    def submit_workload(
+        self, spec: WorkloadSpec, n_iterations: Optional[int] = None
+    ) -> List[RequestTicket]:
+        """Queue a workload's iteration sequence; per-tenant FIFO ordering
+        guarantees the iterations execute in the submitted order."""
+        iterations = spec.iterations if n_iterations is None else spec.iterations[:n_iterations]
+        return [
+            self.submit(
+                build=iteration.build,
+                description=iteration.description,
+                change_category=iteration.category,
+            )
+            for iteration in iterations
+        ]
+
+    def run_workload(
+        self, spec: WorkloadSpec, n_iterations: Optional[int] = None, timeout: Optional[float] = None
+    ) -> List[SessionRunResult]:
+        """Replay a workload end to end, returning every iteration's result."""
+        return [ticket.value(timeout) for ticket in self.submit_workload(spec, n_iterations)]

@@ -1,0 +1,212 @@
+"""The multi-tenant workflow service.
+
+One :class:`WorkflowService` owns:
+
+* a :class:`~repro.service.cache.SharedArtifactCache` rooted under the
+  service directory (or per-tenant isolated stores, for baselines);
+* one lazily created :class:`~repro.core.session.HelixSession` per tenant
+  (tenant state — versions, cost history, change tracking — lives under
+  ``<root>/tenants/<tenant>/``, while artifacts flow through the shared
+  cache via a :class:`~repro.service.cache.TenantStoreView`);
+* a :class:`~repro.service.dispatcher.FairDispatcher` that runs requests on
+  a bounded worker pool with per-tenant FIFO ordering and round-robin
+  fairness;
+* a :class:`~repro.service.telemetry.ServiceTelemetry` aggregating latency,
+  reuse, and cache-hit statistics per tenant.
+
+Usage::
+
+    from repro.service import ServiceConfig, WorkflowService
+    from repro.workloads.census_workload import build_census_workflow
+
+    with WorkflowService("/tmp/helix_svc", ServiceConfig(n_workers=4)) as svc:
+        ticket = svc.submit("alice", workflow=build_census_workflow())
+        result = ticket.value(timeout=120)      # a SessionRunResult
+        print(svc.summary()["cache_hit_rate"])
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.baselines.strategies import HELIX, ExecutionStrategy
+from repro.core.session import HelixSession, SessionRunResult
+from repro.graph.dag import NodeState
+from repro.service.cache import (
+    AdmissionControlledPolicy,
+    CacheConfig,
+    SharedArtifactCache,
+)
+from repro.service.dispatcher import FairDispatcher, RequestTicket, RunRequest, ServiceError
+from repro.service.telemetry import ServiceTelemetry
+from repro.dsl.workflow import Workflow
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a deployment chooses about one service instance."""
+
+    n_workers: int = 2
+    strategy: ExecutionStrategy = HELIX
+    backend: str = "serial"
+    parallelism: Optional[int] = None
+    cache: CacheConfig = CacheConfig()
+    #: ``False`` gives every tenant an isolated store under its own
+    #: workspace — the no-sharing baseline the benchmark compares against.
+    shared_cache: bool = True
+    #: Storage budget per isolated tenant store (only when not sharing).
+    isolated_budget_bytes: Optional[float] = None
+
+
+class WorkflowService:
+    """Accepts run requests from many tenants; executes them fairly over a
+    bounded session pool with all materialization routed through one shared,
+    cost-aware artifact cache."""
+
+    def __init__(self, root: str, config: ServiceConfig = ServiceConfig()) -> None:
+        self.root = root
+        self.config = config
+        os.makedirs(root, exist_ok=True)
+        self.cache: Optional[SharedArtifactCache] = (
+            SharedArtifactCache(os.path.join(root, "cache"), config.cache)
+            if config.shared_cache
+            else None
+        )
+        self.telemetry = ServiceTelemetry()
+        self._sessions: Dict[str, HelixSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._dispatcher = FairDispatcher(
+            self._execute, n_workers=config.n_workers, on_complete=self._record
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def _tenant_workspace(self, tenant: str) -> str:
+        return os.path.join(self.root, "tenants", tenant)
+
+    def session_for(self, tenant: str) -> HelixSession:
+        """The tenant's session, created on first use.
+
+        Safe to call concurrently; the dispatcher guarantees at most one
+        *run* per tenant at a time, so the session itself needs no lock.
+        """
+        with self._sessions_lock:
+            if tenant not in self._sessions:
+                workspace = self._tenant_workspace(tenant)
+                if self.cache is not None:
+                    cache = self.cache
+                    self._sessions[tenant] = HelixSession(
+                        workspace,
+                        strategy=self.config.strategy,
+                        backend=self.config.backend,
+                        parallelism=self.config.parallelism,
+                        store=cache.view(tenant),
+                        materialization_wrapper=lambda policy, _tenant=tenant: (
+                            AdmissionControlledPolicy(policy, cache, _tenant)
+                        ),
+                    )
+                else:
+                    self._sessions[tenant] = HelixSession(
+                        workspace,
+                        strategy=self.config.strategy,
+                        backend=self.config.backend,
+                        parallelism=self.config.parallelism,
+                        storage_budget=self.config.isolated_budget_bytes,
+                    )
+            return self._sessions[tenant]
+
+    def tenants(self) -> List[str]:
+        with self._sessions_lock:
+            return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        tenant: str,
+        workflow: Optional[Workflow] = None,
+        build: Optional[Callable[[], Workflow]] = None,
+        description: str = "",
+        change_category: str = "",
+    ) -> RequestTicket:
+        """Queue one run for ``tenant``; returns immediately with a ticket."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        if workflow is None and build is None:
+            raise ServiceError("submit() needs a workflow or a build callable")
+        request = RunRequest(
+            tenant=tenant,
+            workflow=workflow,
+            build=build,
+            description=description,
+            change_category=change_category,
+        )
+        return self._dispatcher.submit(request)
+
+    def run_sync(
+        self,
+        tenant: str,
+        workflow: Optional[Workflow] = None,
+        build: Optional[Callable[[], Workflow]] = None,
+        description: str = "",
+        timeout: Optional[float] = None,
+    ) -> SessionRunResult:
+        """Submit and block until the result is available."""
+        return self.submit(tenant, workflow=workflow, build=build, description=description).value(
+            timeout=timeout
+        )
+
+    def _execute(self, ticket: RequestTicket) -> SessionRunResult:
+        request = ticket.request
+        session = self.session_for(request.tenant)
+        result = session.run(
+            request.materialize_workflow(),
+            description=request.description,
+            change_category=request.change_category,
+        )
+        if self.cache is not None:
+            # Teach the eviction scorer what each cached signature is worth:
+            # the measured seconds its recomputation just cost this tenant.
+            self.cache.note_compute_costs({
+                stats.signature: stats.compute_time
+                for stats in result.report.node_stats.values()
+                if stats.state is NodeState.COMPUTE and stats.compute_time > 0
+            })
+        return result
+
+    def _record(self, ticket: RequestTicket) -> None:
+        """Dispatcher completion hook: fold the finished ticket into telemetry."""
+        if ticket.error is not None:
+            self.telemetry.record_error(ticket)
+        elif ticket.result is not None:
+            self.telemetry.record_run(ticket, ticket.result.report)
+
+    # ------------------------------------------------------------------
+    # Introspection and shutdown
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every queued request to finish."""
+        return self._dispatcher.drain(timeout)
+
+    def summary(self) -> Dict[str, Any]:
+        """Telemetry snapshot joined with the cache's own counters."""
+        cache_stats = self.cache.snapshot() if self.cache is not None else None
+        return self.telemetry.snapshot(cache_stats)
+
+    def close(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._dispatcher.close(wait=wait)
+
+    def __enter__(self) -> "WorkflowService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=exc_type is None)

@@ -1,0 +1,180 @@
+"""Per-tenant service telemetry: latency, cache hits, reuse fractions.
+
+Every finished request folds into one :class:`ServiceTelemetry` instance,
+which the service exposes for the CLI and the benchmark: per-tenant p50/p95
+latency, the fraction of plan nodes served from the shared cache, and —
+joined with the cache's own counters — the cross-tenant hit rate that is the
+whole point of a shared store.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.bench.reporting import format_table
+from repro.execution.stats import IterationReport
+from repro.graph.dag import NodeState
+from repro.service.dispatcher import RequestTicket
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]); 0.0 for no samples."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class TenantTelemetry:
+    """Accumulated measurements for one tenant."""
+
+    tenant: str
+    runs: int = 0
+    errors: int = 0
+    latencies: List[float] = field(default_factory=list)
+    queue_latencies: List[float] = field(default_factory=list)
+    reuse_fractions: List[float] = field(default_factory=list)
+    loaded_nodes: int = 0
+    computed_nodes: int = 0
+    pruned_nodes: int = 0
+    compute_seconds: float = 0.0
+    load_seconds: float = 0.0
+    total_runtime: float = 0.0
+
+    def cache_hit_rate(self) -> float:
+        """Loads over loads + computes: how often the cache spared a recompute."""
+        executed = self.loaded_nodes + self.computed_nodes
+        return self.loaded_nodes / executed if executed else 0.0
+
+    def mean_reuse_fraction(self) -> float:
+        if not self.reuse_fractions:
+            return 0.0
+        return sum(self.reuse_fractions) / len(self.reuse_fractions)
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "runs": self.runs,
+            "errors": self.errors,
+            "p50_s": round(percentile(self.latencies, 0.50), 3),
+            "p95_s": round(percentile(self.latencies, 0.95), 3),
+            "queue_p95_s": round(percentile(self.queue_latencies, 0.95), 3),
+            "hit_rate": round(self.cache_hit_rate(), 3),
+            "reuse": round(self.mean_reuse_fraction(), 3),
+            "compute_s": round(self.compute_seconds, 3),
+            "load_s": round(self.load_seconds, 3),
+        }
+
+
+class ServiceTelemetry:
+    """Thread-safe aggregation of every request the service completed."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantTelemetry] = {}
+        self._first_submitted_at: Optional[float] = None
+        self._last_finished_at: Optional[float] = None
+
+    def _tenant(self, tenant: str) -> TenantTelemetry:
+        if tenant not in self._tenants:
+            self._tenants[tenant] = TenantTelemetry(tenant=tenant)
+        return self._tenants[tenant]
+
+    # ------------------------------------------------------------------
+    def record_run(self, ticket: RequestTicket, report: IterationReport) -> None:
+        with self._lock:
+            stats = self._tenant(ticket.request.tenant)
+            stats.runs += 1
+            stats.latencies.append(ticket.total_latency)
+            stats.queue_latencies.append(ticket.queue_latency)
+            stats.reuse_fractions.append(report.reuse_fraction())
+            stats.loaded_nodes += report.n_in_state(NodeState.LOAD)
+            stats.computed_nodes += report.n_in_state(NodeState.COMPUTE)
+            stats.pruned_nodes += report.n_in_state(NodeState.PRUNE)
+            stats.compute_seconds += report.compute_time()
+            stats.load_seconds += report.load_time()
+            stats.total_runtime += report.total_runtime
+            self._note_window(ticket)
+
+    def record_error(self, ticket: RequestTicket) -> None:
+        with self._lock:
+            stats = self._tenant(ticket.request.tenant)
+            stats.errors += 1
+            stats.latencies.append(ticket.total_latency)
+            self._note_window(ticket)
+
+    def _note_window(self, ticket: RequestTicket) -> None:
+        if self._first_submitted_at is None or ticket.submitted_at < self._first_submitted_at:
+            self._first_submitted_at = ticket.submitted_at
+        if ticket.finished_at is not None and (
+            self._last_finished_at is None or ticket.finished_at > self._last_finished_at
+        ):
+            self._last_finished_at = ticket.finished_at
+
+    # ------------------------------------------------------------------
+    def tenants(self) -> List[TenantTelemetry]:
+        with self._lock:
+            return [self._tenants[tenant] for tenant in sorted(self._tenants)]
+
+    def total_requests(self) -> int:
+        with self._lock:
+            return sum(stats.runs + stats.errors for stats in self._tenants.values())
+
+    def window_seconds(self) -> float:
+        """First submission to last completion — the throughput denominator."""
+        with self._lock:
+            if self._first_submitted_at is None or self._last_finished_at is None:
+                return 0.0
+            return max(0.0, self._last_finished_at - self._first_submitted_at)
+
+    def throughput(self) -> float:
+        """Completed requests per second over the observed window."""
+        window = self.window_seconds()
+        return self.total_requests() / window if window > 0 else 0.0
+
+    def latencies(self) -> List[float]:
+        with self._lock:
+            return [value for stats in self._tenants.values() for value in stats.latencies]
+
+    def cache_hit_rate(self) -> float:
+        tenants = self.tenants()
+        loaded = sum(stats.loaded_nodes for stats in tenants)
+        executed = loaded + sum(stats.computed_nodes for stats in tenants)
+        return loaded / executed if executed else 0.0
+
+    def compute_seconds(self) -> float:
+        return sum(stats.compute_seconds for stats in self.tenants())
+
+    # ------------------------------------------------------------------
+    def snapshot(self, cache_stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Aggregate + per-tenant numbers, optionally joined with cache counters."""
+        all_latencies = self.latencies()
+        summary: Dict[str, Any] = {
+            "requests": self.total_requests(),
+            "window_s": round(self.window_seconds(), 3),
+            "throughput_rps": round(self.throughput(), 3),
+            "p50_latency_s": round(percentile(all_latencies, 0.50), 3),
+            "p95_latency_s": round(percentile(all_latencies, 0.95), 3),
+            "cache_hit_rate": round(self.cache_hit_rate(), 3),
+            "compute_seconds": round(self.compute_seconds(), 3),
+            "tenants": {stats.tenant: stats.row() for stats in self.tenants()},
+        }
+        if cache_stats is not None:
+            hits = cache_stats.get("hits", 0)
+            summary["cache"] = dict(cache_stats)
+            summary["cross_tenant_hit_fraction"] = round(
+                cache_stats.get("cross_tenant_hits", 0) / hits if hits else 0.0, 3
+            )
+        return summary
+
+    def render(self) -> str:
+        """The per-tenant table the `repro serve` command prints."""
+        rows = [stats.row() for stats in self.tenants()]
+        if not rows:
+            return "(no completed requests)"
+        return format_table(rows)

@@ -61,6 +61,63 @@ class TestVersionsCommand:
         assert main(["versions", "--workspace", str(tmp_path)]) == 1
 
 
+class TestServeCommand:
+    def test_serve_small_traffic_prints_telemetry(self, capsys, tmp_path):
+        code = main([
+            "serve", "--workspace", str(tmp_path / "svc"), "--tenants", "2",
+            "--iterations", "2", "--scale", "150", "--workers", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "tenant0" in output and "tenant1" in output
+        assert "throughput" in output
+        assert "shared cache" in output
+        assert "cross-tenant" in output
+
+    def test_serve_isolated_baseline(self, capsys, tmp_path):
+        code = main([
+            "serve", "--workspace", str(tmp_path / "svc"), "--tenants", "2",
+            "--iterations", "1", "--scale", "150", "--isolated",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "isolated stores (baseline)" in output
+
+    def test_serve_with_eviction_budget(self, capsys, tmp_path):
+        code = main([
+            "serve", "--workspace", str(tmp_path / "svc"), "--tenants", "2",
+            "--iterations", "2", "--scale", "150", "--workers", "1",
+            "--budget", "30000", "--eviction", "lru",
+        ])
+        assert code == 0
+        assert "[lru]" in capsys.readouterr().out
+
+
+class TestSubmitCommand:
+    def test_submit_twice_reuses_across_invocations(self, capsys, tmp_path):
+        workspace = str(tmp_path / "svc")
+        args = ["submit", "--workspace", workspace, "--workload", "census",
+                "--iteration", "0", "--scale", "150"]
+        assert main([*args, "--tenant", "alice"]) == 0
+        first = capsys.readouterr().out
+        assert "alice" in first and "workspace" in first
+
+        # Same iteration from another tenant: served from alice's artifacts.
+        assert main([*args, "--tenant", "bob"]) == 0
+        second = capsys.readouterr().out
+        assert "cross-tenant" in second
+        reuse = [line for line in second.splitlines() if "bob" in line]
+        assert reuse and " 1.00" in reuse[0], "bob's submit must fully reuse alice's run"
+
+    def test_submit_iteration_out_of_range(self, capsys, tmp_path):
+        code = main([
+            "submit", "--workspace", str(tmp_path / "svc"), "--tenant", "alice",
+            "--iteration", "99", "--scale", "150",
+        ])
+        assert code == 2
+        assert "out of range" in capsys.readouterr().err
+
+
 class TestSuggestCommand:
     def test_suggest_census_lists_edits(self, capsys):
         assert main(["suggest", "census"]) == 0

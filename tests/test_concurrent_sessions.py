@@ -1,0 +1,126 @@
+"""Concurrent multi-session reuse over one shared store root.
+
+ISSUE-2 satellite: two `HelixSession`s sharing one artifact-store root must
+(a) get signature-level cross-session cache hits and (b) never corrupt the
+shared ``catalog.json``, now that catalog writes go through a temp file +
+``os.replace``.
+"""
+
+import json
+import os
+import threading
+
+from repro.core.session import HelixSession
+from repro.datagen.census import CensusConfig
+from repro.execution.store import ArtifactStore
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+DATA = CensusConfig(n_train=150, n_test=50, seed=13)
+
+
+def workflow(**kwargs):
+    return build_census_workflow(CensusVariant(data_config=DATA, **kwargs))
+
+
+class TestSharedStoreObject:
+    """Two sessions over the *same* ArtifactStore instance (the service shape)."""
+
+    def test_cross_session_signature_hits(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        first = HelixSession(str(tmp_path / "ws_a"), store=store)
+        second = HelixSession(str(tmp_path / "ws_b"), store=store)
+
+        result_a = first.run(workflow(), description="session A, initial")
+        result_b = second.run(workflow(), description="session B, same workflow")
+
+        assert result_a.report.reuse_fraction() == 0.0
+        assert result_b.report.reuse_fraction() > 0.0, (
+            "session B must hit session A's artifacts at the signature level"
+        )
+        assert result_a.metrics == result_b.metrics
+
+    def test_concurrent_runs_thread_backend_no_catalog_races(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        sessions = [
+            HelixSession(str(tmp_path / f"ws_{index}"), store=store, backend="thread", parallelism=2)
+            for index in range(2)
+        ]
+        # Different variants: overlapping upstream signatures, distinct models.
+        variants = [{"reg_param": 0.1}, {"reg_param": 0.01}]
+        errors = []
+
+        def run(session, kwargs):
+            try:
+                for _ in range(2):
+                    session.run(workflow(**kwargs))
+            except BaseException as exc:  # pragma: no cover - the assertion is the test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(session, kwargs))
+            for session, kwargs in zip(sessions, variants)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        # The shared catalog must be valid JSON and every entry loadable.
+        with open(os.path.join(store.root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        assert entries, "concurrent sessions must have materialized artifacts"
+        for entry in entries:
+            assert os.path.exists(os.path.join(store.root, entry["filename"]))
+        for signature in store.signatures():
+            value, elapsed = store.get(signature)
+            assert elapsed >= 0.0
+
+
+class TestSharedStoreRoot:
+    """Two store *instances* over one directory (separate-process shape)."""
+
+    def test_second_store_instance_discovers_artifacts(self, tmp_path):
+        root = str(tmp_path / "store")
+        first = HelixSession(str(tmp_path / "ws_a"), store=ArtifactStore(root))
+        first.run(workflow(), description="populate")
+
+        # A brand-new store instance (fresh catalog read) sees the artifacts
+        # and a session over it reuses them.
+        second = HelixSession(str(tmp_path / "ws_b"), store=ArtifactStore(root))
+        result = second.run(workflow(), description="reopen and reuse")
+        assert result.report.reuse_fraction() > 0.0
+
+    def test_concurrent_instances_leave_catalog_parseable(self, tmp_path):
+        root = str(tmp_path / "store")
+        stores = [ArtifactStore(root), ArtifactStore(root)]
+        sessions = [
+            HelixSession(str(tmp_path / f"ws_{index}"), store=store, backend="thread", parallelism=2)
+            for index, store in enumerate(stores)
+        ]
+        errors = []
+
+        def run(session, reg):
+            try:
+                session.run(workflow(reg_param=reg))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(session, reg))
+            for session, reg in zip(sessions, (0.1, 0.05))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        # Crash-safe replace-style writes: the file is always complete JSON
+        # (last writer wins on contents; no torn/interleaved writes).
+        with open(os.path.join(root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        assert isinstance(entries, list) and entries
+        # No temp files left behind by either writer.
+        leftovers = [name for name in os.listdir(root) if ".tmp." in name]
+        assert leftovers == []

@@ -115,3 +115,154 @@ class TestDeletionAndPersistence:
             handle.write("{not json")
         with pytest.raises(StorageError):
             ArtifactStore(root)
+
+
+class TestAccessRecency:
+    def test_put_stamps_last_access_at(self, store):
+        meta = store.put("s1", "n1", [1])
+        assert meta.last_access_at is not None
+        assert meta.accessed_at() == meta.last_access_at
+
+    def test_get_updates_last_access_and_load_time_in_catalog(self, store):
+        store.put("s1", "n1", [1, 2, 3])
+        before = store.meta("s1").accessed_at()
+        store.get("s1")
+        meta = store.meta("s1")
+        assert meta.last_load_time is not None and meta.last_load_time >= 0.0
+        assert meta.accessed_at() >= before
+
+    def test_accessed_at_falls_back_to_created_at(self):
+        from repro.execution.store import ArtifactMeta
+
+        meta = ArtifactMeta(
+            signature="s", node_name="n", size=1.0, write_time=0.0,
+            created_at=123.0, filename="s.pkl",
+        )
+        assert meta.accessed_at() == 123.0
+
+    def test_old_catalog_without_new_fields_still_loads(self, tmp_path):
+        import json
+
+        root = str(tmp_path / "a")
+        store = ArtifactStore(root)
+        store.put("s1", "n1", [1])
+        # Strip the new fields, as a catalog written by an older version.
+        with open(os.path.join(root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        for entry in entries:
+            entry.pop("last_access_at", None)
+        with open(os.path.join(root, "catalog.json"), "w") as handle:
+            json.dump(entries, handle)
+        reopened = ArtifactStore(root)
+        assert reopened.has("s1")
+        assert reopened.meta("s1").last_access_at is None
+
+
+class TestCrashSafeCatalog:
+    def test_no_temp_files_left_after_writes(self, store):
+        for index in range(5):
+            store.put(f"s{index}", "n", list(range(index + 1)))
+            store.get(f"s{index}")
+        store.flush()
+        leftovers = [name for name in os.listdir(store.root) if ".tmp." in name]
+        assert leftovers == []
+
+    def test_flush_persists_deferred_access_metadata(self, tmp_path):
+        import json
+
+        root = str(tmp_path / "a")
+        store = ArtifactStore(root)
+        store.put("s1", "n1", [1, 2, 3])
+        store.get("s1")  # deferred: catalog on disk not yet updated
+        store.flush()
+        with open(os.path.join(root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        assert entries[0]["last_load_time"] is not None
+
+    def test_mutation_flushes_deferred_access_metadata(self, tmp_path):
+        import json
+
+        root = str(tmp_path / "a")
+        store = ArtifactStore(root)
+        store.put("s1", "n1", [1, 2, 3])
+        store.get("s1")
+        store.put("s2", "n2", [4])  # any mutation persists the pending update
+        with open(os.path.join(root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        by_signature = {entry["signature"]: entry for entry in entries}
+        assert by_signature["s1"]["last_load_time"] is not None
+
+
+class TestEviction:
+    def test_lru_evicts_least_recently_accessed_first(self, store):
+        store.put("s1", "n1", list(range(100)))
+        store.put("s2", "n2", list(range(100)))
+        store.put("s3", "n3", list(range(100)))
+        # Touch s1 so s2 becomes the least recently accessed.
+        import time
+
+        time.sleep(0.01)
+        store.get("s1")
+        evicted = store.evict(1.0, policy="lru")
+        assert [meta.signature for meta in evicted] == ["s2"]
+
+    def test_evict_frees_at_least_requested_bytes(self, store):
+        sizes = {}
+        for index in range(4):
+            sizes[f"s{index}"] = store.put(f"s{index}", "n", list(range(50 * (index + 1)))).size
+        needed = sizes["s0"] + sizes["s1"] + 1.0
+        evicted = store.evict(needed, policy="oldest")
+        assert sum(meta.size for meta in evicted) >= needed
+        assert len(evicted) == 3  # s0 + s1 alone fall one byte short
+
+    def test_largest_policy_evicts_biggest_first(self, store):
+        store.put("small", "n", [1])
+        store.put("big", "n", list(range(500)))
+        evicted = store.evict(1.0, policy="largest")
+        assert evicted[0].signature == "big"
+
+    def test_callable_policy_orders_by_score(self, store):
+        store.put("keep", "n", [1])
+        store.put("drop", "n", [2])
+        evicted = store.evict(1.0, policy=lambda meta: 0.0 if meta.signature == "drop" else 1.0)
+        assert [meta.signature for meta in evicted] == ["drop"]
+
+    def test_unknown_policy_raises(self, store):
+        store.put("s1", "n", [1])
+        with pytest.raises(StorageError):
+            store.evict(1.0, policy="mystery")
+
+    def test_evict_nothing_needed_is_noop(self, store):
+        store.put("s1", "n", [1])
+        assert store.evict(0.0) == []
+        assert store.has("s1")
+
+    def test_pinned_artifacts_are_skipped(self, store):
+        store.put("pinned", "n", [1])
+        store.put("loose", "n", [2])
+        with store.pin(["pinned"]):
+            evicted = store.evict(10_000, policy="lru")
+        assert {meta.signature for meta in evicted} == {"loose"}
+        assert store.has("pinned")
+        # After unpinning, the artifact is evictable again.
+        evicted = store.evict(10_000, policy="lru")
+        assert {meta.signature for meta in evicted} == {"pinned"}
+
+    def test_pins_are_refcounted(self, store):
+        store.put("s1", "n", [1])
+        with store.pin(["s1"]):
+            with store.pin(["s1"]):
+                pass
+            assert store.pinned_signatures() == ["s1"], "inner exit must not unpin the outer pin"
+        assert store.pinned_signatures() == []
+
+    def test_evict_is_best_effort_when_everything_pinned(self, store):
+        store.put("s1", "n", [1])
+        with store.pin(["s1"]):
+            assert store.evict(10_000, policy="lru") == []
+        assert store.has("s1")
+
+    def test_deleted_artifact_files_removed(self, store):
+        meta = store.put("s1", "n", list(range(100)))
+        store.evict(1.0)
+        assert not os.path.exists(os.path.join(store.root, meta.filename))
