@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Partitioned data-parallel execution benchmark: serial vs wavefront vs partitioned.
+
+The workload that matters here is the *linear dense census pipeline*
+(``build_dense_census_workflow``): source → scan → dense batch featurize →
+label → assemble → learn → predict → evaluate.  Every wave has width 1, so
+the wavefront scheduler's inter-node parallelism cannot help at all — the
+pipeline is the worst case PR 1 left open.  Intra-operator partitioning
+splits the collections into N chunks and runs the NumPy-heavy featurizer
+(and every other data-parallel operator) once per chunk; NumPy's kernels
+release the GIL, so the chunks genuinely run in parallel on the thread
+backend.
+
+Three engines run the identical pipeline in fresh workspaces:
+
+* ``serial``       — SerialBackend, no partitioning (the PR 0 engine);
+* ``wavefront``    — ThreadPoolBackend(4), no partitioning (the PR 1 engine);
+* ``partitioned``  — ThreadPoolBackend(4) with ``--partitions 4``.
+
+The run fails (non-zero exit) when partitioned execution is *slower* than
+the wavefront engine, when its metrics differ from the serial engine's in
+any digit, or — on hosts with >= 4 CPUs — when the speedup is below the
+2x acceptance bar.  The bar scales down on smaller hosts because thread
+parallelism cannot beat the core count; the report always states the
+machine's core count next to the measured speedup.
+
+Run from the repo root::
+
+    python benchmarks/bench_partitioned.py            # full comparison (census + IE)
+    python benchmarks/bench_partitioned.py --smoke    # CI: dense pipeline only, tiny data
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.session import HelixSession  # noqa: E402
+from repro.datagen.census import CensusConfig  # noqa: E402
+from repro.datagen.news import NewsConfig  # noqa: E402
+from repro.workloads.census_workload import build_dense_census_workflow, census_workload  # noqa: E402
+from repro.workloads.ie_workload import ie_workload  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: Worker / partition count used by the parallel engines.
+N_WORKERS = 4
+
+ENGINES = {
+    "serial": dict(backend="serial"),
+    "wavefront": dict(backend="thread", parallelism=N_WORKERS),
+    "partitioned": dict(backend="thread", parallelism=N_WORKERS, partitions=N_WORKERS),
+}
+
+
+def run_once(build, engine: str) -> Dict[str, object]:
+    """One cold run of ``build()`` in a fresh workspace; returns wall + metrics.
+
+    ``storage_budget=0`` disables materialization so all three engines pay
+    for pure execution (and nothing else) — the comparison stays apples to
+    apples and repeats stay cold.
+    """
+    session = HelixSession(tempfile.mkdtemp(prefix=f"bench_part_{engine}_"),
+                           storage_budget=0.0, **ENGINES[engine])
+    started = time.perf_counter()
+    result = session.run(build())
+    wall = time.perf_counter() - started
+    return {"wall_s": wall, "metrics": dict(result.report.metrics)}
+
+
+def best_of(build, engine: str, repeats: int) -> Dict[str, object]:
+    runs = [run_once(build, engine) for _ in range(repeats)]
+    best = min(runs, key=lambda run: run["wall_s"])
+    return {"wall_s": round(best["wall_s"], 4), "metrics": best["metrics"]}
+
+
+def dense_comparison(scale: int, embed_dim: int, passes: int, repeats: int) -> Dict[str, object]:
+    """The acceptance experiment: the linear dense census pipeline."""
+    config = CensusConfig(n_train=scale, n_test=max(100, scale // 5), seed=7)
+
+    def build():
+        return build_dense_census_workflow(config, embed_dim=embed_dim, passes=passes)
+
+    results = {engine: best_of(build, engine, repeats) for engine in ENGINES}
+    wavefront = results["wavefront"]["wall_s"]
+    partitioned = results["partitioned"]["wall_s"]
+    return {
+        "workload": "census_dense (linear pipeline)",
+        "scale": scale,
+        "engines": results,
+        "speedup_vs_wavefront": round(wavefront / partitioned, 3) if partitioned else float("inf"),
+        "speedup_vs_serial": (
+            round(results["serial"]["wall_s"] / partitioned, 3) if partitioned else float("inf")
+        ),
+    }
+
+
+def workload_comparison(workload: str, scale: int, iterations: int) -> Dict[str, object]:
+    """Full census / IE iteration sequences through every engine (full mode).
+
+    These DAGs are bushy, so the interesting number is how partitioning
+    stacks on top of wavefront parallelism; the correctness check is that
+    every engine reports identical final-iteration metrics.
+    """
+    if workload == "census":
+        spec = census_workload(
+            CensusConfig(n_train=scale, n_test=max(100, scale // 5), seed=11), n_iterations=iterations
+        )
+    else:
+        spec = ie_workload(
+            NewsConfig(n_train_docs=max(16, scale // 25), n_test_docs=max(6, scale // 100),
+                       sentences_per_doc=5, seed=11),
+            n_iterations=iterations,
+        )
+    results: Dict[str, Dict[str, object]] = {}
+    for engine, knobs in ENGINES.items():
+        session = HelixSession(tempfile.mkdtemp(prefix=f"bench_part_{workload}_{engine}_"), **knobs)
+        started = time.perf_counter()
+        metrics: Dict[str, float] = {}
+        for step in spec.iterations:
+            metrics = dict(session.run(step.build(), description=step.description).report.metrics)
+        results[engine] = {"wall_s": round(time.perf_counter() - started, 4), "metrics": metrics}
+    return {"workload": workload, "iterations": len(spec.iterations), "engines": results}
+
+
+def render(title: str, payload: Dict[str, object]) -> str:
+    return f"===== {title} =====\n{json.dumps(payload, indent=2)}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="partitioned execution benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: dense pipeline only, tiny data, never-slower bar")
+    parser.add_argument("--scale", type=int, default=6000, help="census training rows (full mode)")
+    parser.add_argument("--iterations", type=int, default=3, help="workload iterations (full mode)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="override the partitioned-vs-wavefront bar")
+    parser.add_argument("--no-write", action="store_true", help="skip writing benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    if args.smoke:
+        scale, embed_dim, passes, repeats = 2500, 192, 5, 2
+    else:
+        scale, embed_dim, passes, repeats = args.scale, 256, 6, args.repeats
+
+    # Thread parallelism cannot beat the machine's core count: enforce the
+    # 2x acceptance bar only where the hardware can express it.  Multi-core
+    # hosts below N_WORKERS must still never lose to the wavefront engine;
+    # a single-core host can only be asked not to be materially slower
+    # (timeshared threads leave speedups at the mercy of scheduler noise).
+    if args.require_speedup is not None:
+        bar = args.require_speedup
+    elif not args.smoke and cpus >= N_WORKERS:
+        bar = 2.0
+    elif cpus >= 2:
+        bar = 1.0
+    else:
+        bar = 0.95
+
+    lines: List[str] = [f"host: {cpus} CPUs, engines use {N_WORKERS} workers/partitions, bar {bar}x"]
+    failures: List[str] = []
+
+    dense = dense_comparison(scale, embed_dim, passes, repeats)
+    lines.append(render("linear dense census pipeline", dense))
+    engines = dense["engines"]
+    if engines["partitioned"]["metrics"] != engines["serial"]["metrics"]:
+        failures.append("dense: partitioned metrics differ from serial metrics")
+    if engines["wavefront"]["metrics"] != engines["serial"]["metrics"]:
+        failures.append("dense: wavefront metrics differ from serial metrics")
+    if dense["speedup_vs_wavefront"] < bar:
+        failures.append(
+            f"dense: partitioned speedup {dense['speedup_vs_wavefront']}x over wavefront "
+            f"is below the {bar}x bar ({cpus} CPUs)"
+        )
+
+    if not args.smoke:
+        for workload in ("census", "ie"):
+            comparison = workload_comparison(workload, scale // 6 if workload == "census" else scale, args.iterations)
+            lines.append(render(f"iteration sequence: {workload}", comparison))
+            by_engine = comparison["engines"]
+            if by_engine["partitioned"]["metrics"] != by_engine["serial"]["metrics"]:
+                failures.append(f"{workload}: partitioned metrics differ from serial metrics")
+
+    report = "\n\n".join(lines)
+    print(report)
+    if not args.no_write:
+        try:
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            name = "partitioned_smoke" if args.smoke else "partitioned_comparison"
+            with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+                handle.write(report + "\n")
+        except OSError:
+            pass
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {failure}" for failure in failures), file=sys.stderr)
+        return 1
+    print("\nOK: partitioned benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

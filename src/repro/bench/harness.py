@@ -132,12 +132,14 @@ def run_real_comparison(
     storage_budget: Optional[float] = None,
     backend: str = "serial",
     parallelism: int = 1,
+    partitions: Optional[int] = None,
 ) -> ComparisonResult:
     """Execute a real workload end to end, once per strategy, in isolated workspaces.
 
     ``backend``/``parallelism`` select the wavefront scheduler's worker pool
-    for every session (see :mod:`repro.execution.scheduler`); results are
-    backend-independent, only wall-clock time changes.
+    and ``partitions`` its intra-operator partition count for every session
+    (see :mod:`repro.execution.scheduler`); results are backend-independent,
+    only wall-clock time changes.
     """
     if workspace_root is None:
         workspace_root = tempfile.mkdtemp(prefix="helix_bench_")
@@ -154,6 +156,7 @@ def run_real_comparison(
             storage_budget=storage_budget,
             backend=backend,
             parallelism=parallelism,
+            partitions=partitions,
         )
         reports: List[IterationReport] = []
         for spec in workload.iterations:

@@ -42,11 +42,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description="HELIX reproduction command line")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # Every verb that takes --parallelism shares one convention: omitting it
+    # (None) means one worker per CPU, matching the pooled backends' default.
+    parallelism_help = "worker count (default: one per CPU)"
+
     reproduce = subparsers.add_parser("reproduce", help="regenerate a paper figure (simulated, paper scale)")
     reproduce.add_argument("figure", choices=["fig2a", "fig2b"], help="which figure to regenerate")
     reproduce.add_argument(
-        "--parallelism", type=int, default=1,
-        help="virtual worker count: also report modeled wall-clock time on this many workers",
+        "--parallelism", type=int, default=None,
+        help=f"virtual {parallelism_help}: also report modeled wall-clock time on this many workers",
     )
 
     run = subparsers.add_parser("run", help="run an evaluation workload with the real engine")
@@ -61,7 +65,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--parallelism", type=int, default=None,
-        help="worker count for thread/process backends (default: one per CPU)",
+        help=f"thread/process backend {parallelism_help}",
+    )
+    run.add_argument(
+        "--partitions", type=int, default=None,
+        help="intra-operator partition count: split collections into N chunks and run "
+             "data-parallel operators once per chunk (default: off)",
     )
 
     serve = subparsers.add_parser(
@@ -84,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", default="serial", choices=sorted(BACKENDS),
         help="per-session wavefront scheduler backend",
     )
+    serve.add_argument(
+        "--parallelism", type=int, default=None,
+        help=f"per-session backend {parallelism_help}",
+    )
+    serve.add_argument(
+        "--partitions", type=int, default=None,
+        help="per-session intra-operator partition count (default: off)",
+    )
 
     submit = subparsers.add_parser(
         "submit", help="submit one workflow run to a (persistent) service workspace"
@@ -97,6 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--scale", type=int, default=400, help="training-set size (rows or documents x10)")
     submit.add_argument("--quota", type=float, default=None, help="per-tenant storage quota in bytes")
+    submit.add_argument(
+        "--partitions", type=int, default=None,
+        help="intra-operator partition count for the run (default: off)",
+    )
 
     versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
     versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
@@ -108,8 +129,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_reproduce(figure: str, parallelism: int = 1, out=None) -> int:
+def _resolve_parallelism(parallelism: Optional[int], backend: str = "thread") -> int:
+    """The shared ``--parallelism`` convention: ``None`` = one worker per CPU.
+
+    The serial backend always resolves to 1 — it has no pool to size.
+    """
+    if backend == "serial":
+        return 1
+    if parallelism is None:
+        return os.cpu_count() or 1
+    return parallelism
+
+
+def _command_reproduce(figure: str, parallelism: Optional[int] = None, out=None) -> int:
     out = out or sys.stdout
+    parallelism = _resolve_parallelism(parallelism)
     defaults = sim_defaults()
     if figure == "fig2a":
         result = run_simulated_comparison(
@@ -163,16 +197,17 @@ def _command_run(
     workspace: Optional[str],
     backend: str = "serial",
     parallelism: Optional[int] = None,
+    partitions: Optional[int] = None,
     out=None,
 ) -> int:
     out = out or sys.stdout
-    if parallelism is None:
-        parallelism = 1 if backend == "serial" else (os.cpu_count() or 1)
+    parallelism = _resolve_parallelism(parallelism, backend)
     strategy = strategy_by_name(strategy_name)
     workspace = workspace or tempfile.mkdtemp(prefix=f"helix_cli_{workload}_")
     spec = _workload_spec(workload, scale, iterations)
     result = run_real_comparison(
-        spec, [strategy], workspace_root=workspace, backend=backend, parallelism=parallelism
+        spec, [strategy], workspace_root=workspace, backend=backend, parallelism=parallelism,
+        partitions=partitions,
     )
     reports = result.reports_by_system[strategy.name]
     rows = [
@@ -191,8 +226,9 @@ def _command_run(
     print(
         f"cumulative runtime: {sum(r.total_runtime for r in reports):.3f}s   "
         f"wall clock: {result.cumulative_wall_clock(strategy.name):.3f}s "
-        f"({result.parallel_speedup(strategy.name):.2f}x, backend={backend} x{parallelism})   "
-        f"workspace: {workspace}",
+        f"({result.parallel_speedup(strategy.name):.2f}x, backend={backend} x{parallelism}"
+        + (f", partitions={partitions}" if partitions and partitions > 1 else "")
+        + f")   workspace: {workspace}",
         file=out,
     )
     return 0
@@ -210,6 +246,8 @@ def _command_serve(
     eviction: str,
     isolated: bool,
     backend: str,
+    parallelism: Optional[int] = None,
+    partitions: Optional[int] = None,
     out=None,
 ) -> int:
     """Drive synthetic multi-tenant traffic through a WorkflowService."""
@@ -220,6 +258,8 @@ def _command_serve(
     config = ServiceConfig(
         n_workers=workers,
         backend=backend,
+        parallelism=_resolve_parallelism(parallelism, backend),
+        partitions=partitions,
         shared_cache=not isolated,
         cache=CacheConfig(budget_bytes=budget, tenant_quota_bytes=quota, eviction=eviction),
     )
@@ -280,6 +320,7 @@ def _command_submit(
     iteration: int,
     scale: int,
     quota: Optional[float],
+    partitions: Optional[int] = None,
     out=None,
 ) -> int:
     """Submit one run to a persistent service workspace (reuse across submits)."""
@@ -294,7 +335,9 @@ def _command_submit(
         )
         return 2
     step = spec.iterations[iteration]
-    config = ServiceConfig(n_workers=1, cache=CacheConfig(tenant_quota_bytes=quota))
+    config = ServiceConfig(
+        n_workers=1, partitions=partitions, cache=CacheConfig(tenant_quota_bytes=quota)
+    )
     with WorkflowService(workspace, config) as service:
         result = service.run_sync(
             tenant, build=step.build, description=step.description
@@ -360,16 +403,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "run":
             return _command_run(
                 args.workload, args.strategy, args.iterations, args.scale, args.workspace,
-                backend=args.backend, parallelism=args.parallelism,
+                backend=args.backend, parallelism=args.parallelism, partitions=args.partitions,
             )
         if args.command == "serve":
             return _command_serve(
                 args.workspace, args.tenants, args.workload, args.iterations, args.scale,
                 args.workers, args.budget, args.quota, args.eviction, args.isolated, args.backend,
+                parallelism=args.parallelism, partitions=args.partitions,
             )
         if args.command == "submit":
             return _command_submit(
                 args.workspace, args.tenant, args.workload, args.iteration, args.scale, args.quota,
+                partitions=args.partitions,
             )
         if args.command == "versions":
             return _command_versions(args.workspace, args.metric)

@@ -88,6 +88,14 @@ class HelixSession:
     parallelism:
         Worker count for the ``thread``/``process`` backends (ignored by
         ``serial``); ``None`` means one worker per CPU.
+    partitions:
+        Intra-operator partition count (``None``/1 = off).  With N > 1 the
+        wavefront scheduler splits collections into N chunks and runs each
+        data-parallel operator once per chunk — the way to speed up *linear*
+        pipelines, whose waves are too narrow for inter-node parallelism to
+        help.  Partitioned outputs persist as chunked artifacts (one chunk
+        per partition), and a later run that finds only some chunks in the
+        store recomputes exactly the missing ones.
     store:
         An already-constructed artifact store to use instead of the default
         workspace-private one.  This is how the multi-tenant workflow service
@@ -109,12 +117,14 @@ class HelixSession:
         cost_defaults: CostDefaults = CostDefaults(),
         backend: "str | WorkerBackend" = "serial",
         parallelism: Optional[int] = None,
+        partitions: Optional[int] = None,
         store: Optional[ArtifactStore] = None,
         materialization_wrapper: Optional[Callable[[Any], Any]] = None,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
         self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
+        self.partitions = max(1, int(partitions)) if partitions else 1
         os.makedirs(workspace, exist_ok=True)
         self.store = store if store is not None else ArtifactStore(
             os.path.join(workspace, "artifacts"), budget_bytes=storage_budget
@@ -142,17 +152,21 @@ class HelixSession:
             history=self.history.cost_records(),
             materialized_sizes=self.store.sizes_by_signature(),
             measured_load_costs=self.store.load_costs_by_signature(),
+            chunk_inventory=self.store.chunk_inventory(),
+            recoverable_partitions=self.partitions,
         )
         # Strategy restrictions: comparators that cannot reuse certain node
         # categories (or anything at all) simply see those nodes as
-        # non-materialized, which forces the planner to recompute them.
+        # non-materialized — and without chunk families, so the scheduler's
+        # partial-hit recovery cannot reuse state either — which forces the
+        # planner to recompute them.
         for name in compiled.nodes():
             category = compiled.categories.get(name)
             category_value = getattr(category, "value", str(category))
             if not self.strategy.cross_iteration_reuse:
-                costs[name].materialized = False
+                costs[name].forget_reuse()
             elif category_value in self.strategy.always_recompute_categories:
-                costs[name].materialized = False
+                costs[name].forget_reuse()
         return costs
 
     def plan(self, workflow: Workflow) -> PhysicalPlan:
@@ -191,7 +205,7 @@ class HelixSession:
         )
         if self.materialization_wrapper is not None:
             policy = self.materialization_wrapper(policy)
-        engine = ExecutionEngine(self.store, policy, backend=self.backend)
+        engine = ExecutionEngine(self.store, policy, backend=self.backend, partitions=self.partitions)
 
         diff = diff_workflows(self._previous_compiled, compiled) if self._previous_compiled else None
         if not change_category:
@@ -200,11 +214,14 @@ class HelixSession:
         iteration_index = len(self.versions)
         # Pin every artifact the plan LOADs so a concurrent tenant's eviction
         # (shared-cache deployments) cannot invalidate this plan mid-run.
-        load_signatures = [
-            compiled.signature_of(name)
-            for name, state in states.items()
-            if state is NodeState.LOAD
-        ]
+        # Chunked artifacts pin every present chunk of the signature's family.
+        load_signatures = []
+        for name, state in states.items():
+            if state is not NodeState.LOAD:
+                continue
+            signature = compiled.signature_of(name)
+            load_signatures.append(signature)
+            load_signatures.extend(self.store.chunk_signatures(signature))
         with self.store.pin(load_signatures):
             result: ExecutionResult = engine.execute(
                 plan,

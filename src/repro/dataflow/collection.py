@@ -29,15 +29,21 @@ class Schema:
         unknown = set(self.types) - set(names)
         if unknown:
             raise DataError(f"schema types refer to unknown fields: {sorted(unknown)}")
+        # convert() runs once per record on the CSV-load and partition-exchange
+        # hot paths; resolving each field's converter once here keeps the per-
+        # record loop free of dict lookups.  (The dataclass is frozen, hence
+        # object.__setattr__; the tuple is derived state, not a field.)
+        object.__setattr__(
+            self, "_converters", tuple((name, self.types.get(name)) for name in names)
+        )
 
     def convert(self, record: Dict[str, str]) -> Dict[str, Any]:
         """Apply the type converters to a raw string record."""
         out: Dict[str, Any] = {}
-        for name in self.fields:
+        for name, converter in self._converters:
             if name not in record:
                 raise DataError(f"record missing field {name!r}: {record}")
             value = record[name]
-            converter = self.types.get(name)
             if converter is None or value is None:
                 out[name] = value
             else:

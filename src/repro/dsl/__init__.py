@@ -21,10 +21,12 @@ from repro.dsl.operators import (
     ClusterAssigner,
     ClusterLearner,
     CsvScanner,
+    DenseFeaturizer,
     Evaluator,
     FeatureAssembler,
     FieldExtractor,
     FileSource,
+    GroupByAggregate,
     InteractionFeature,
     LabelExtractor,
     Learner,
@@ -61,6 +63,8 @@ __all__ = [
     "FieldExtractor",
     "LabelExtractor",
     "Bucketizer",
+    "DenseFeaturizer",
+    "GroupByAggregate",
     "InteractionFeature",
     "UDFFeatureExtractor",
     "FeatureAssembler",

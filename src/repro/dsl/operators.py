@@ -394,6 +394,140 @@ class UDFFeatureExtractor(Operator):
         )
 
 
+class DenseFeaturizer(Operator):
+    """Dense random-projection embedding of numeric fields, computed in batch.
+
+    Builds one matrix per split, pushes it through a fixed random projection
+    followed by ``passes`` tanh-activated square transforms, and emits the
+    first ``out_features`` embedding dimensions per record.  All weights are
+    derived deterministically from ``seed``, and every transform is row-wise,
+    so the features are identical whether the split is processed whole or in
+    partition chunks — which is exactly how the partitioned scheduler runs
+    it: each chunk is one NumPy batch, and NumPy's kernels release the GIL,
+    so chunks run truly in parallel even on the thread backend.
+    """
+
+    category = ChangeCategory.DATA_PREP
+
+    def __init__(
+        self,
+        rows: str,
+        fields: Sequence[str],
+        embed_dim: int = 64,
+        passes: int = 2,
+        out_features: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if not fields:
+            raise WorkflowError("DenseFeaturizer requires at least one field")
+        if embed_dim <= 0 or passes < 0 or out_features <= 0:
+            raise WorkflowError("DenseFeaturizer requires positive embed_dim/out_features and passes >= 0")
+        self.rows = rows
+        self.fields = list(fields)
+        self.embed_dim = int(embed_dim)
+        self.passes = int(passes)
+        self.out_features = min(int(out_features), int(embed_dim))
+        self.seed = int(seed)
+
+    def dependencies(self) -> List[str]:
+        return [self.rows]
+
+    def params(self) -> Dict[str, Any]:
+        return {
+            "fields": self.fields,
+            "embed_dim": self.embed_dim,
+            "passes": self.passes,
+            "out_features": self.out_features,
+            "seed": self.seed,
+        }
+
+    def _weights(self) -> tuple:
+        rng = np.random.default_rng(self.seed)
+        projection = rng.standard_normal((len(self.fields), self.embed_dim))
+        hidden = rng.standard_normal((self.embed_dim, self.embed_dim)) / np.sqrt(self.embed_dim)
+        return projection, hidden
+
+    def _embed(self, collection: DataCollection) -> List[Dict[str, float]]:
+        projection, hidden = self._weights()
+        matrix = np.array(
+            [[float(record[field]) for field in self.fields] for record in collection],
+            dtype=np.float64,
+        ).reshape(len(collection), len(self.fields))
+        state = np.tanh(matrix @ projection)
+        for _ in range(self.passes):
+            state = np.tanh(state @ hidden)
+        return [
+            {f"emb{j}": float(state[i, j]) for j in range(self.out_features)}
+            for i in range(len(collection))
+        ]
+
+    def apply(self, inputs: Dict[str, Any]) -> FeatureBlock:
+        dataset: Dataset = self._input(inputs, self.rows)
+        return FeatureBlock(
+            name=f"dense{self.embed_dim}",
+            train=self._embed(dataset.train),
+            test=self._embed(dataset.test),
+        )
+
+
+class GroupByAggregate(Operator):
+    """Per-key aggregate over a dataset's records (needs key co-location).
+
+    Groups each split's records by ``key_field`` and reduces ``value_field``
+    with ``agg`` (``sum``, ``mean``, ``count``, ``min``, ``max``), returning
+    ``{"<split>:<key>": value}``.  Under partitioned execution the operator
+    declares ``partition_mode = "shuffle"``: the scheduler hash-exchanges
+    records so equal keys co-locate, each chunk aggregates its own keys
+    completely, and the disjoint per-chunk dictionaries coalesce by the
+    generic dictionary union of
+    :func:`~repro.partition.chunks.merge_value`.
+    """
+
+    category = ChangeCategory.POSTPROCESS
+    partition_mode = "shuffle"
+
+    AGGREGATES = ("sum", "mean", "count", "min", "max")
+
+    def __init__(self, rows: str, key_field: str, value_field: str, agg: str = "mean") -> None:
+        if agg not in self.AGGREGATES:
+            raise WorkflowError(f"unknown agg {agg!r}; expected one of {self.AGGREGATES}")
+        self.rows = rows
+        self.key_field = key_field
+        self.value_field = value_field
+        self.agg = agg
+
+    def dependencies(self) -> List[str]:
+        return [self.rows]
+
+    def params(self) -> Dict[str, Any]:
+        return {"key_field": self.key_field, "value_field": self.value_field, "agg": self.agg}
+
+    def shuffle_key(self, record: Mapping[str, Any]) -> Any:
+        return record[self.key_field]
+
+    def _reduce(self, values: List[float]) -> float:
+        if self.agg == "sum":
+            return float(sum(values))
+        if self.agg == "mean":
+            return float(sum(values) / len(values))
+        if self.agg == "count":
+            return float(len(values))
+        if self.agg == "min":
+            return float(min(values))
+        return float(max(values))
+
+    def apply(self, inputs: Dict[str, Any]) -> Dict[str, float]:
+        dataset: Dataset = self._input(inputs, self.rows)
+        results: Dict[str, float] = {}
+        for split_name, collection in dataset.splits().items():
+            groups: Dict[Any, List[float]] = {}
+            for record in collection:
+                groups.setdefault(record[self.key_field], []).append(float(record[self.value_field]))
+            for key, values in groups.items():
+                results[f"{split_name}:{key}"] = self._reduce(values)
+        return results
+
+
 class FeatureAssembler(Operator):
     """Merges extractor blocks and a label block into learning examples.
 

@@ -9,6 +9,11 @@ decomposition of the DAG, dispatch to serial/thread/process worker backends,
 and asynchronous artifact writes — lives in
 :mod:`~repro.execution.scheduler`.
 
+With a partition count > 1 the scheduler additionally runs intra-operator
+data parallelism over the :mod:`repro.partition` subsystem: waves contain
+node × partition tasks and partitioned outputs persist as *chunked
+artifacts* (one chunk per partition) with partial-hit recovery.
+
 The :mod:`~repro.execution.simulator` executes *cost-annotated* DAGs against a
 virtual clock using the exact same optimizer code, which lets the benchmark
 harness replay paper-scale multi-hour workloads deterministically in seconds.
@@ -29,11 +34,20 @@ from repro.execution.scheduler import (
 )
 from repro.execution.simulator import SimIteration, SimNode, SimulationResult, WorkflowSimulator, sim_dag
 from repro.execution.stats import IterationReport, NodeRunStats, RunHistory
-from repro.execution.store import ArtifactMeta, ArtifactStore
+from repro.execution.store import (
+    ArtifactMeta,
+    ArtifactStore,
+    ChunkInventory,
+    chunk_signature,
+    parse_chunk_signature,
+)
 
 __all__ = [
     "ArtifactStore",
     "ArtifactMeta",
+    "ChunkInventory",
+    "chunk_signature",
+    "parse_chunk_signature",
     "NodeRunStats",
     "IterationReport",
     "RunHistory",

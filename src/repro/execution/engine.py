@@ -65,6 +65,14 @@ class ExecutionEngine:
         Worker backend the scheduler dispatches each wave's COMPUTE nodes to;
         defaults to :class:`~repro.execution.scheduler.SerialBackend`, which
         reproduces the original one-node-at-a-time behaviour exactly.
+    partitions:
+        Intra-operator partition count (> 1 turns on the scheduler's
+        partitioned data-parallel path: waves contain node × partition
+        tasks and partitioned outputs persist as chunked artifacts).
+    partition_planner:
+        Optional custom :class:`~repro.partition.planner.PartitionPlanner`
+        (extra combiners, custom mode registry); a default planner is built
+        when ``partitions > 1``.
     """
 
     def __init__(
@@ -72,10 +80,18 @@ class ExecutionEngine:
         store: ArtifactStore,
         materialization_policy: Optional[MaterializationPolicy] = None,
         backend: Optional[WorkerBackend] = None,
+        partitions: int = 1,
+        partition_planner=None,
     ) -> None:
         self.store = store
         self.backend = backend or SerialBackend()
-        self.scheduler = WavefrontScheduler(store, materialization_policy, self.backend)
+        self.scheduler = WavefrontScheduler(
+            store,
+            materialization_policy,
+            self.backend,
+            n_partitions=partitions,
+            partition_planner=partition_planner,
+        )
 
     @property
     def materialization_policy(self) -> MaterializationPolicy:

@@ -30,6 +30,18 @@ serial run.  Three mechanisms guarantee it:
 * the bounded queue applies back-pressure instead of dropping writes, and
   :meth:`AsyncMaterializer.drain` re-raises any writer error at the end of the
   run, so a ``materialize=True`` decision is never silently lost.
+
+With ``n_partitions > 1`` the scheduler additionally runs *intra-operator*
+data parallelism: a :class:`~repro.partition.planner.PartitionPlanner`
+assigns every COMPUTE node an execution shape (partition-wise chunk tasks,
+partial+merge combiner, hash-shuffle exchange, or a coalesce barrier), a
+wave's task batch then contains ``node × partition`` tasks, partitioned
+outputs are materialized as *chunked artifacts* (one chunk per partition
+under derived signatures), and a node whose signature has only *some* chunks
+in the store recomputes exactly the missing chunks (partial-hit recovery).
+Determinism carries over: chunk boundaries are pure functions of the data,
+chunks fold back in index order, and per-chunk materialization decisions are
+made in topological × chunk order against the same logical budget.
 """
 
 from __future__ import annotations
@@ -40,16 +52,31 @@ import threading
 import time
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.compiler.plan import PhysicalPlan
-from repro.errors import BudgetExceededError, ExecutionError, PlanError
+from repro.errors import BudgetExceededError, ExecutionError, PlanError, StorageError
 from repro.execution.stats import IterationReport, NodeRunStats
-from repro.execution.store import ArtifactStore
+from repro.execution.store import ArtifactStore, chunk_signature
 from repro.graph.dag import Dag, NodeState
 from repro.optimizer.cost_model import NodeCosts
-from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy, MaterializeNone
+from repro.optimizer.materialization import (
+    MaterializationDecision,
+    MaterializationPolicy,
+    MaterializeNone,
+    per_chunk_costs,
+)
+from repro.partition.chunks import (
+    PartitionedValue,
+    is_splittable,
+    merge_value,
+    shape_of_chunks,
+    split_value,
+)
+from repro.partition.combiners import FinalizeApply, PartialApply
+from repro.partition.planner import PartitionMode, PartitionPlanner
+from repro.partition.shuffle import exchange_value
 
 
 @dataclass
@@ -303,12 +330,14 @@ class AsyncMaterializer:
                 # A store may decline a write (the shared service cache
                 # enforces size limits against exact payload sizes here);
                 # the node's value stays in memory, it just isn't durable.
+                # Sizes accumulate because a partitioned node submits one
+                # payload per chunk against the same stats record.
                 if meta is not None:
-                    stats.output_size = meta.size
+                    stats.output_size += meta.size
                     stats.materialized = True
                     self._written += 1
                 else:
-                    stats.output_size = float(len(payload))
+                    stats.output_size += float(len(payload))
             except BaseException as exc:  # surfaced by drain()
                 self._errors.append(exc)
             finally:
@@ -334,6 +363,30 @@ class AsyncMaterializer:
 # ----------------------------------------------------------------------
 # The scheduler
 # ----------------------------------------------------------------------
+@dataclass
+class _PendingNode:
+    """Per-wave bookkeeping for one COMPUTE node awaiting its task results.
+
+    ``kind`` selects the folding rule: ``"single"`` (one task, plain value),
+    ``"chunks"`` (one task per missing chunk plus preloaded chunk artifacts,
+    folds to a :class:`~repro.partition.chunks.PartitionedValue`), or
+    ``"combine"`` (one partial task per chunk, merged on the scheduling
+    thread, optionally finalized back into chunks).
+    """
+
+    name: str
+    operator: Any
+    stats: NodeRunStats
+    kind: str
+    n_chunks: int = 1
+    task_indices: List[int] = field(default_factory=list)
+    task_chunks: List[int] = field(default_factory=list)
+    preloaded: Dict[int, Any] = field(default_factory=dict)
+    combiner: Any = None
+    chunk_inputs: Optional[List[Dict[str, Any]]] = None
+    finalize_indices: List[int] = field(default_factory=list)
+
+
 class WavefrontScheduler:
     """Executes physical plans wave by wave over a worker backend.
 
@@ -342,6 +395,11 @@ class WavefrontScheduler:
     artifact writes — and produces the :class:`ExecutionResult` the session
     consumes.  :class:`~repro.execution.engine.ExecutionEngine` is a thin
     facade over this class.
+
+    With ``n_partitions > 1`` each COMPUTE node is executed in the shape the
+    :class:`~repro.partition.planner.PartitionPlanner` assigns it (see the
+    module docstring); partitioned outputs persist as chunked artifacts and
+    recover partial chunk hits across runs.
     """
 
     def __init__(
@@ -350,11 +408,17 @@ class WavefrontScheduler:
         materialization_policy: Optional[MaterializationPolicy] = None,
         backend: Optional[WorkerBackend] = None,
         write_queue_size: int = 8,
+        n_partitions: int = 1,
+        partition_planner: Optional[PartitionPlanner] = None,
     ) -> None:
         self.store = store
         self.materialization_policy = materialization_policy or MaterializeNone()
         self.backend = backend or SerialBackend()
         self.write_queue_size = write_queue_size
+        self.n_partitions = max(1, int(n_partitions))
+        if partition_planner is None and self.n_partitions > 1:
+            partition_planner = PartitionPlanner(self.n_partitions)
+        self.partition_planner = partition_planner
 
     # ------------------------------------------------------------------
     def run(
@@ -369,7 +433,11 @@ class WavefrontScheduler:
         """Execute ``plan`` and return values plus a fully populated report."""
         compiled = plan.compiled
         dag = compiled.dag
+        #: node → plain value or PartitionedValue; side caches keep coalesced
+        #: and block-split variants so each conversion happens at most once.
         values: Dict[str, Any] = {}
+        plain_cache: Dict[str, Any] = {}
+        split_cache: Dict[str, List[Any]] = {}
         node_stats: Dict[str, NodeRunStats] = {}
         decisions: Dict[str, MaterializationDecision] = {}
         writer = AsyncMaterializer(self.store, queue_size=self.write_queue_size)
@@ -378,11 +446,12 @@ class WavefrontScheduler:
         # and a parallel run decides exactly what a serial run would.
         logical_budget = self.store.remaining_budget()
         pending_signatures: set = set()
+        partitioned = self.n_partitions > 1 and self.partition_planner is not None
 
         wall_started = time.perf_counter()
         try:
             for wave_index, wave in enumerate(wave_decomposition(dag)):
-                compute_nodes: List[str] = []
+                pending: List[_PendingNode] = []
                 tasks: List[ComputeTask] = []
                 for name in wave:
                     state = plan.state_of(name)
@@ -402,41 +471,62 @@ class WavefrontScheduler:
                     if state is NodeState.PRUNE:
                         continue
                     if state is NodeState.LOAD:
-                        if not self.store.has(signature):
-                            raise PlanError(
-                                f"plan loads node {name!r} but its artifact is not in the store"
-                            )
-                        value, load_time = self.store.get(signature)
-                        stats.load_time = load_time
-                        stats.output_size = self.store.meta(signature).size
-                        stats.materialized = True
-                        values[name] = value
+                        values[name] = self._load_node(name, operator, signature, stats, partitioned)
                         continue
-                    # COMPUTE: gather inputs from earlier waves.
-                    inputs = {}
+                    # COMPUTE: all inputs must exist in earlier waves.
                     for parent in operator.dependencies():
                         if parent not in values:
                             raise ExecutionError(
                                 f"node {name!r} (wave {wave_index}, backend {self.backend.name!r}) "
                                 f"needs input {parent!r} which is neither computed nor loaded"
                             )
-                        inputs[parent] = values[parent]
-                    compute_nodes.append(name)
-                    tasks.append((name, operator, inputs))
+                    entry = None
+                    if partitioned:
+                        entry = self._plan_partitioned_node(
+                            name, operator, signature, stats, costs,
+                            values, plain_cache, split_cache, compiled, tasks,
+                        )
+                    if entry is None:
+                        inputs = {
+                            parent: self._plain_value(parent, values, plain_cache, compiled)
+                            for parent in operator.dependencies()
+                        }
+                        entry = _PendingNode(name=name, operator=operator, stats=stats, kind="single")
+                        entry.task_indices.append(len(tasks))
+                        tasks.append((name, operator, inputs))
+                    pending.append(entry)
 
-                if not tasks:
-                    continue
-                results = self.backend.run_wave(tasks)
-                # Fold results back and decide materialization in wave order
-                # (deterministic, equal to topological order).
-                for name, (value, elapsed) in zip(compute_nodes, results):
-                    stats = node_stats[name]
-                    stats.compute_time = elapsed
-                    values[name] = value
-                    logical_budget = self._decide_and_enqueue(
-                        name, value, compiled, dag, costs, stats, decisions,
-                        writer, logical_budget, pending_signatures,
-                    )
+                results = self.backend.run_wave(tasks) if tasks else []
+                # Fold results back in wave order (deterministic, equal to
+                # topological order); combiner merges run here, and their
+                # finalize phases fan back out in a second dispatch round.
+                finalize_tasks: List[ComputeTask] = []
+                for entry in pending:
+                    self._fold(entry, results, values, finalize_tasks)
+                if finalize_tasks:
+                    finalize_results = self.backend.run_wave(finalize_tasks)
+                    for entry in pending:
+                        if entry.finalize_indices:
+                            chunks = []
+                            for task_index in entry.finalize_indices:
+                                value, elapsed = finalize_results[task_index]
+                                entry.stats.compute_time += elapsed
+                                chunks.append(value)
+                            values[entry.name] = PartitionedValue(chunks)
+                # Online materialization decisions, in wave (= topological)
+                # node order, per chunk for partitioned values.
+                for entry in pending:
+                    value = values[entry.name]
+                    if isinstance(value, PartitionedValue):
+                        logical_budget = self._decide_and_enqueue_chunks(
+                            entry.name, value.chunks, compiled, dag, costs, entry.stats,
+                            decisions, writer, logical_budget, pending_signatures,
+                        )
+                    else:
+                        logical_budget = self._decide_and_enqueue(
+                            entry.name, value, compiled, dag, costs, entry.stats,
+                            decisions, writer, logical_budget, pending_signatures,
+                        )
             writer.drain()
         except BaseException:
             # Never leave the writer thread running behind an exception; a
@@ -447,6 +537,11 @@ class WavefrontScheduler:
                 pass
             raise
         wall_clock = time.perf_counter() - wall_started
+
+        # Everything downstream of the scheduler (session, reports, tests)
+        # sees plain values; chunked outputs coalesce exactly once here.
+        for name in list(values):
+            values[name] = self._plain_value(name, values, plain_cache, compiled)
 
         total_runtime = sum(stats.total_time() for stats in node_stats.values())
         report = IterationReport(
@@ -459,6 +554,7 @@ class WavefrontScheduler:
             wall_clock_runtime=wall_clock,
             backend=self.backend.name,
             parallelism=self.backend.parallelism,
+            partitions=self.n_partitions,
             node_stats=node_stats,
             states=dict(plan.states),
             storage_used=self.store.used_bytes(),
@@ -467,6 +563,261 @@ class WavefrontScheduler:
         outputs = {name: values[name] for name in compiled.outputs if name in values}
         return ExecutionResult(report=report, outputs=outputs, values=values, decisions=decisions)
 
+    # ------------------------------------------------------------------
+    # Value plumbing
+    # ------------------------------------------------------------------
+    def _plain_value(self, name: str, values: Dict[str, Any], plain_cache: Dict[str, Any], compiled) -> Any:
+        """Coalesce a possibly partitioned node value (cached per node).
+
+        An operator may define ``merge_chunks(chunks)`` to override the
+        generic type-directed merge — the hook for custom operators whose
+        chunk outputs :func:`~repro.partition.chunks.merge_value` cannot
+        reassemble.
+        """
+        value = values[name]
+        if not isinstance(value, PartitionedValue):
+            return value
+        if name not in plain_cache:
+            merge = getattr(compiled.operator(name), "merge_chunks", None)
+            plain_cache[name] = merge(value.chunks) if callable(merge) else merge_value(value.chunks)
+        return plain_cache[name]
+
+    def _load_node(self, name: str, operator: Any, signature: str, stats: NodeRunStats, partitioned: bool) -> Any:
+        """Execute one LOAD node: monolithic artifact or a complete chunk family."""
+        if self.store.has(signature):
+            value, load_time = self.store.get(signature)
+            stats.load_time = load_time
+            stats.output_size = self.store.meta(signature).size
+            stats.materialized = True
+            return value
+        complete = sorted(
+            count for count, indices in self.store.chunk_families(signature).items()
+            if len(indices) == count
+        )
+        if not complete:
+            raise PlanError(f"plan loads node {name!r} but its artifact is not in the store")
+        # Prefer the family matching this run's partition count (the chunks
+        # can then stay partitioned); otherwise the largest complete family.
+        count = self.n_partitions if partitioned and self.n_partitions in complete else complete[-1]
+        chunks = []
+        for index in range(count):
+            try:
+                value, elapsed = self.store.get_chunk(signature, index, count)
+            except StorageError as exc:
+                raise PlanError(
+                    f"plan loads node {name!r} but chunk {index}/{count} vanished mid-run: {exc}"
+                ) from exc
+            stats.load_time += elapsed
+            stats.chunks_loaded += 1
+            stats.output_size += self.store.meta(chunk_signature(signature, index, count)).size
+            chunks.append(value)
+        stats.materialized = True
+        if partitioned and count == self.n_partitions:
+            return PartitionedValue(chunks)
+        merge = getattr(operator, "merge_chunks", None)
+        return merge(chunks) if callable(merge) else merge_value(chunks)
+
+    # ------------------------------------------------------------------
+    # Partitioned planning
+    # ------------------------------------------------------------------
+    def _plan_partitioned_node(
+        self,
+        name: str,
+        operator: Any,
+        signature: str,
+        stats: NodeRunStats,
+        costs: Mapping[str, NodeCosts],
+        values: Dict[str, Any],
+        plain_cache: Dict[str, Any],
+        split_cache: Dict[str, List[Any]],
+        compiled,
+        tasks: List[ComputeTask],
+    ) -> Optional[_PendingNode]:
+        """Emit this node's partitioned tasks; ``None`` falls back to a single task."""
+        mode = self.partition_planner.mode_for(operator)
+        if mode is PartitionMode.SINGLE:
+            return None
+        n = self.n_partitions
+        chunk_inputs = self._chunk_inputs(operator, values, plain_cache, split_cache, compiled)
+        if chunk_inputs is None:
+            return None
+
+        if mode is PartitionMode.SHUFFLE:
+            chunk_inputs = self._shuffled_inputs(operator, chunk_inputs)
+            if chunk_inputs is None:
+                return None
+
+        if mode is PartitionMode.COMBINE:
+            combiner = self.partition_planner.combiner_for(operator)
+            entry = _PendingNode(
+                name=name, operator=operator, stats=stats, kind="combine",
+                n_chunks=n, combiner=combiner, chunk_inputs=chunk_inputs,
+            )
+            partial = PartialApply(combiner, operator)
+            for index in range(n):
+                entry.task_indices.append(len(tasks))
+                tasks.append((f"{name}[{index}]", partial, chunk_inputs[index]))
+            return entry
+
+        # PARTITIONWISE / SHUFFLE: recover chunks an earlier partitioned run
+        # already materialized (partial-hit recovery) and compute the rest.
+        entry = _PendingNode(
+            name=name, operator=operator, stats=stats, kind="chunks",
+            n_chunks=n, chunk_inputs=chunk_inputs,
+        )
+        node_costs = costs.get(name)
+        recover = (
+            node_costs is not None
+            and getattr(node_costs, "chunk_count", 0) == n
+            and getattr(node_costs, "chunks_present", 0) > 0
+        )
+        for index in range(n):
+            if recover and self.store.has_chunk(signature, index, n):
+                try:
+                    value, elapsed = self.store.get_chunk(signature, index, n)
+                except StorageError:
+                    pass  # evicted since planning: recompute this chunk
+                else:
+                    entry.preloaded[index] = value
+                    stats.load_time += elapsed
+                    stats.chunks_loaded += 1
+                    continue
+            entry.task_chunks.append(index)
+            entry.task_indices.append(len(tasks))
+            tasks.append((f"{name}[{index}]", operator, chunk_inputs[index]))
+        return entry
+
+    def _chunk_inputs(
+        self,
+        operator: Any,
+        values: Dict[str, Any],
+        plain_cache: Dict[str, Any],
+        split_cache: Dict[str, List[Any]],
+        compiled,
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Row-aligned per-chunk input dictionaries, or ``None`` if unalignable.
+
+        Already-partitioned parents contribute their chunks (and dictate the
+        chunk *shape* when their boundaries are content-dependent); plain
+        splittable parents are split to match; everything else broadcasts.
+        """
+        n = self.n_partitions
+        parents = operator.dependencies()
+        chunked: Dict[str, List[Any]] = {}
+        shape = None
+        opaque = False
+        for parent in parents:
+            value = values[parent]
+            if isinstance(value, PartitionedValue) and value.n_partitions == n:
+                chunk_shape = shape_of_chunks(value.chunks)
+                if chunk_shape is None:
+                    opaque = True  # e.g. dict chunks: usable alone, unalignable
+                elif shape is None:
+                    shape = chunk_shape
+                elif shape != chunk_shape:
+                    return None  # two partitioned parents disagree on rows
+                chunked[parent] = value.chunks
+        for parent in parents:
+            if parent in chunked:
+                continue
+            plain = self._plain_value(parent, values, plain_cache, compiled)
+            if not is_splittable(plain):
+                continue  # broadcast
+            if opaque:
+                return None  # cannot align fresh splits with opaque chunks
+            if shape is None and parent in split_cache:
+                chunked[parent] = split_cache[parent]
+                continue
+            parts = split_value(plain, n, shape=shape)
+            if parts is None:
+                return None  # row counts do not match the dictated shape
+            if shape is None:
+                split_cache[parent] = parts
+            chunked[parent] = parts
+        return [
+            {
+                parent: (
+                    chunked[parent][index]
+                    if parent in chunked
+                    else self._plain_value(parent, values, plain_cache, compiled)
+                )
+                for parent in parents
+            }
+            for index in range(n)
+        ]
+
+    def _shuffled_inputs(
+        self, operator: Any, chunk_inputs: List[Dict[str, Any]]
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Hash-exchange the node's single per-chunk input so equal keys co-locate."""
+        n = self.n_partitions
+        per_chunk_parents = [
+            parent for parent in operator.dependencies()
+            if any(chunk_inputs[i][parent] is not chunk_inputs[0][parent] for i in range(1, n))
+        ]
+        if n > 1 and len(per_chunk_parents) != 1:
+            return None  # shuffle is defined over exactly one partitioned input
+        if not per_chunk_parents:
+            return chunk_inputs
+        parent = per_chunk_parents[0]
+        try:
+            exchanged = exchange_value(
+                [chunk_inputs[i][parent] for i in range(n)], operator.shuffle_key, n
+            )
+        except Exception:
+            return None  # non-record input: fall back to the coalesce barrier
+        return [dict(chunk_inputs[i], **{parent: exchanged[i]}) for i in range(n)]
+
+    def _fold(
+        self,
+        entry: _PendingNode,
+        results: List[Tuple[Any, float]],
+        values: Dict[str, Any],
+        finalize_tasks: List[ComputeTask],
+    ) -> None:
+        """Fold one node's wave results into the value map (scheduling thread)."""
+        stats = entry.stats
+        if entry.kind == "single":
+            value, elapsed = results[entry.task_indices[0]]
+            stats.compute_time += elapsed
+            values[entry.name] = value
+            return
+        if entry.kind == "chunks":
+            chunks: List[Any] = [None] * entry.n_chunks
+            for chunk_index, chunk_value in entry.preloaded.items():
+                chunks[chunk_index] = chunk_value
+            for chunk_index, task_index in zip(entry.task_chunks, entry.task_indices):
+                value, elapsed = results[task_index]
+                stats.compute_time += elapsed
+                stats.chunks_computed += 1
+                chunks[chunk_index] = value
+            values[entry.name] = PartitionedValue(chunks)
+            return
+        # combine: merge the partial states; finalize fans back out if needed.
+        partials = []
+        for task_index in entry.task_indices:
+            value, elapsed = results[task_index]
+            stats.compute_time += elapsed
+            stats.chunks_computed += 1
+            partials.append(value)
+        merge_started = time.perf_counter()
+        try:
+            merged = entry.combiner.merge(entry.operator, partials)
+        except ExecutionError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(f"combiner merge for node {entry.name!r} failed: {exc}") from exc
+        stats.compute_time += time.perf_counter() - merge_started
+        if getattr(entry.combiner, "finalizes", False):
+            finalize = FinalizeApply(entry.combiner, entry.operator, merged)
+            for index in range(entry.n_chunks):
+                entry.finalize_indices.append(len(finalize_tasks))
+                finalize_tasks.append((f"{entry.name}[{index}]", finalize, entry.chunk_inputs[index]))
+        else:
+            values[entry.name] = merged
+
+    # ------------------------------------------------------------------
+    # Materialization
     # ------------------------------------------------------------------
     def _decide_and_enqueue(
         self,
@@ -502,6 +853,65 @@ class WavefrontScheduler:
             writer.submit(signature, name, payload, stats)
             logical_budget -= size
         else:
+            stats.output_size = costs[name].output_size if name in costs else 0.0
+        return logical_budget
+
+    def _decide_and_enqueue_chunks(
+        self,
+        name: str,
+        chunks: List[Any],
+        compiled,
+        dag: Dag,
+        costs: Mapping[str, NodeCosts],
+        stats: NodeRunStats,
+        decisions: Dict[str, MaterializationDecision],
+        writer: AsyncMaterializer,
+        logical_budget: float,
+        pending_signatures: set,
+    ) -> float:
+        """Per-chunk online decisions for a partitioned node's output.
+
+        Each chunk is decided against the per-chunk cost view
+        (:func:`~repro.optimizer.materialization.per_chunk_costs`) in chunk
+        order, debiting the logical budget as it goes — so a tight budget
+        materializes a *prefix* of the chunks and the next run recovers the
+        rest via partial-hit recomputation.  ``decisions[name]`` aggregates
+        (materialize = any chunk persisted); per-chunk decisions are recorded
+        under ``"name[i]"``.
+        """
+        signature = compiled.signature_of(name)
+        n = len(chunks)
+        view = per_chunk_costs(costs, name, n) if name in costs else costs
+        # A monolithic artifact from a non-partitioned run already covers
+        # this signature; chunk copies would double the storage.
+        monolithic = self.store.has(signature)
+        first: Optional[MaterializationDecision] = None
+        any_write = False
+        for index, chunk in enumerate(chunks):
+            decision = self.materialization_policy.decide(
+                node=name, dag=dag, costs=view, remaining_budget=logical_budget
+            )
+            if first is None:
+                first = decision
+            decisions[f"{name}[{index}]"] = decision
+            chunk_key = chunk_signature(signature, index, n)
+            already = monolithic or chunk_key in pending_signatures or self.store.has(chunk_key)
+            if decision.materialize and not already:
+                serialize_started = time.perf_counter()
+                payload = self.store.serialize(f"{name}[{index}]", chunk)
+                stats.materialize_time += time.perf_counter() - serialize_started
+                size = float(len(payload))
+                if size > logical_budget:
+                    raise BudgetExceededError(
+                        f"materializing chunk {index}/{n} of {name!r} ({size:.0f} B) would "
+                        f"exceed the remaining budget ({logical_budget:.0f} B)"
+                    )
+                pending_signatures.add(chunk_key)
+                writer.submit(chunk_key, name, payload, stats)
+                logical_budget -= size
+                any_write = True
+        decisions[name] = replace(first, materialize=any_write or first.materialize)
+        if not any_write and stats.output_size == 0.0:
             stats.output_size = costs[name].output_size if name in costs else 0.0
         return logical_budget
 

@@ -48,6 +48,11 @@ class NodeRunStats:
         Index of the dependency wave the scheduler ran this node in
         (-1 when the node never went through the wavefront scheduler,
         e.g. simulated runs).
+    chunks_computed / chunks_loaded:
+        Partition-chunk accounting for partitioned runs: how many of the
+        node's chunks were computed fresh versus recovered from chunked
+        artifacts (both 0 for non-partitioned execution).  A partial chunk
+        hit shows up as both being non-zero for one node.
     """
 
     node: str
@@ -61,6 +66,8 @@ class NodeRunStats:
     output_size: float = 0.0
     materialized: bool = False
     wave: int = -1
+    chunks_computed: int = 0
+    chunks_loaded: int = 0
 
     def total_time(self) -> float:
         """Cumulative work attributed to this node (compute + load + materialize)."""
@@ -92,6 +99,9 @@ class IterationReport:
     backend / parallelism:
         Worker backend name and its worker count (``serial``/1 by default,
         ``virtual`` for simulated runs).
+    partitions:
+        Intra-operator partition count the scheduler ran with (1 = no data
+        parallelism; waves then contain node × partition tasks).
     node_stats:
         Per-node :class:`NodeRunStats`, keyed by node name.
     metrics:
@@ -112,6 +122,7 @@ class IterationReport:
     wall_clock_runtime: float = 0.0
     backend: str = "serial"
     parallelism: int = 1
+    partitions: int = 1
     node_stats: Dict[str, NodeRunStats] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     states: Dict[str, NodeState] = field(default_factory=dict)
@@ -174,6 +185,7 @@ class IterationReport:
                 if self.wall_clock_runtime > 0.0
                 else {}
             ),
+            **({"partitions": self.partitions} if self.partitions > 1 else {}),
             **{f"metric:{key}": round(value, 4) for key, value in self.metrics.items()},
         }
 

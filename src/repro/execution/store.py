@@ -27,6 +27,59 @@ _CATALOG_FILENAME = "catalog.json"
 #: :class:`ArtifactMeta` — artifacts with the *lowest* score are evicted first.
 EvictionPolicy = Union[str, Callable[["ArtifactMeta"], float]]
 
+#: Separator between a parent signature and its chunk suffix.  Signatures are
+#: hex SHA-256 digests, so the marker can never occur in a plain signature.
+_CHUNK_MARKER = "#p"
+
+
+def chunk_signature(signature: str, index: int, count: int) -> str:
+    """Catalog key of chunk ``index`` of ``count`` for ``signature``.
+
+    Chunked artifacts store one catalog entry per partition chunk; the chunk
+    family is recovered by parsing keys, so old catalogs (and the shared
+    service cache) need no schema change.
+    """
+    return f"{signature}{_CHUNK_MARKER}{index}.{count}"
+
+
+def parse_chunk_signature(key: str) -> Optional[Tuple[str, int, int]]:
+    """``(parent_signature, index, count)`` when ``key`` names a chunk, else ``None``."""
+    if _CHUNK_MARKER not in key:
+        return None
+    parent, _, suffix = key.rpartition(_CHUNK_MARKER)
+    index_text, _, count_text = suffix.partition(".")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        return None
+    if not parent or count < 1 or not 0 <= index < count:
+        return None
+    return parent, index, count
+
+
+@dataclass
+class ChunkInventory:
+    """What the store holds of one signature's chunk family.
+
+    When several chunk counts coexist for one signature (runs with different
+    ``--partitions``), the inventory describes the *best* family: a complete
+    one if any exists, otherwise the most complete.
+    """
+
+    count: int
+    present: Tuple[int, ...]
+    bytes_present: float
+    measured_load_cost: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.present) == self.count
+
+    @property
+    def missing(self) -> Tuple[int, ...]:
+        have = set(self.present)
+        return tuple(index for index in range(self.count) if index not in have)
+
 
 @dataclass
 class ArtifactMeta:
@@ -59,7 +112,97 @@ class ArtifactMeta:
         return cls(**payload)
 
 
-class ArtifactStore:
+class ChunkStoreOps:
+    """Chunked-artifact operations, defined over the primitive store surface.
+
+    One logical artifact (a partitioned node's output) is stored as ``count``
+    chunk entries keyed by :func:`chunk_signature`.  The methods here only
+    call ``self.has`` / ``self.get`` / ``self.put_bytes`` / ``self.catalog``,
+    so both :class:`ArtifactStore` and the service's tenant store views
+    inherit them — a tenant's chunk reads and writes stay attributed for
+    quota accounting without any extra plumbing.
+    """
+
+    def put_chunk_bytes(
+        self, signature: str, node_name: str, index: int, count: int, payload: bytes,
+        started_at: Optional[float] = None,
+    ) -> Optional["ArtifactMeta"]:
+        """Persist one partition chunk of ``signature``."""
+        return self.put_bytes(
+            chunk_signature(signature, index, count), node_name, payload, started_at=started_at
+        )
+
+    def get_chunk(self, signature: str, index: int, count: int) -> Tuple[Any, float]:
+        """Load one chunk; returns ``(value, elapsed_seconds)``."""
+        return self.get(chunk_signature(signature, index, count))
+
+    def has_chunk(self, signature: str, index: int, count: int) -> bool:
+        return self.has(chunk_signature(signature, index, count))
+
+    def chunk_families(self, signature: str) -> Dict[int, List[int]]:
+        """``count -> sorted present chunk indices`` for every stored family."""
+        families: Dict[int, List[int]] = {}
+        prefix = f"{signature}{_CHUNK_MARKER}"
+        for key in self.catalog():
+            if not key.startswith(prefix):
+                continue
+            parsed = parse_chunk_signature(key)
+            if parsed is None or parsed[0] != signature:
+                continue
+            families.setdefault(parsed[2], []).append(parsed[1])
+        return {count: sorted(indices) for count, indices in families.items()}
+
+    def chunk_signatures(self, signature: str) -> List[str]:
+        """Catalog keys of every present chunk of ``signature`` (for pinning)."""
+        return [
+            chunk_signature(signature, index, count)
+            for count, indices in sorted(self.chunk_families(signature).items())
+            for index in indices
+        ]
+
+    def chunk_inventory(self) -> Dict[str, "ChunkInventory"]:
+        """Parent signature → best chunk family currently in the store.
+
+        A complete family beats an incomplete one; ties prefer the higher
+        present fraction, then the larger count (finer partial reuse).  The
+        measured load cost is the sum of the chunks' last measured loads,
+        available only once every present chunk has been read before.
+        """
+        families: Dict[str, Dict[int, List[Tuple[int, "ArtifactMeta"]]]] = {}
+        for key, meta in self.catalog().items():
+            parsed = parse_chunk_signature(key)
+            if parsed is None:
+                continue
+            parent, index, count = parsed
+            families.setdefault(parent, {}).setdefault(count, []).append((index, meta))
+        inventory: Dict[str, ChunkInventory] = {}
+        for parent, by_count in families.items():
+            def rank(item: Tuple[int, List[Tuple[int, "ArtifactMeta"]]]) -> Tuple:
+                count, members = item
+                return (len(members) == count, len(members) / count, count)
+
+            count, members = max(sorted(by_count.items()), key=rank)
+            members.sort()
+            measured = [meta.last_load_time for _index, meta in members]
+            inventory[parent] = ChunkInventory(
+                count=count,
+                present=tuple(index for index, _meta in members),
+                bytes_present=sum(meta.size for _index, meta in members),
+                measured_load_cost=(
+                    sum(measured) if measured and all(m is not None for m in measured) else None
+                ),
+            )
+        return inventory
+
+    def delete_chunks(self, signature: str) -> int:
+        """Remove every chunk of ``signature``; returns how many were deleted."""
+        keys = self.chunk_signatures(signature)
+        for key in keys:
+            self.delete(key)
+        return len(keys)
+
+
+class ArtifactStore(ChunkStoreOps):
     """Pickle-backed artifact store with budget accounting.
 
     Parameters
@@ -355,6 +498,12 @@ class ArtifactStore:
         unpinned candidates cannot cover ``bytes_needed`` the method evicts
         everything it may and returns what it freed rather than raising.
         Returns the metadata of every evicted artifact.
+
+        Victim order is fully deterministic: score ties (equal recency
+        stamps from one catalog flush, constant custom scorers) break on the
+        signature, so repeated runs over the same catalog evict the same
+        artifacts — reproducibility the cost-aware service benchmarks rely
+        on.
         """
         evicted: List[ArtifactMeta] = []
         if bytes_needed <= 0:
@@ -363,7 +512,7 @@ class ArtifactStore:
             candidates = [
                 meta for signature, meta in self._catalog.items() if signature not in self._pins
             ]
-            candidates.sort(key=lambda meta: self._eviction_score(meta, policy))
+            candidates.sort(key=lambda meta: (self._eviction_score(meta, policy), meta.signature))
             freed = 0.0
             for meta in candidates:
                 if freed >= bytes_needed:

@@ -23,16 +23,27 @@ def accuracy(y_true: Sequence, y_pred: Sequence) -> float:
     return correct / len(y_true)
 
 
+def prf_from_counts(true_positive: int, false_positive: int, false_negative: int) -> Dict[str, float]:
+    """Precision/recall/F1 from tp/fp/fn counts (0.0 on empty denominators).
+
+    The single source of the arithmetic: the per-example and per-span
+    metrics below use it, and so do the partition combiners that fold
+    per-chunk counts — which is what keeps partitioned metrics bit-identical
+    to serial ones.
+    """
+    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
+    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
 def precision_recall_f1(y_true: Sequence, y_pred: Sequence, positive_label=1) -> Dict[str, float]:
     """Precision, recall, and F1 for a designated positive class."""
     _check_lengths(y_true, y_pred)
     true_positive = sum(1 for t, p in zip(y_true, y_pred) if t == positive_label and p == positive_label)
     false_positive = sum(1 for t, p in zip(y_true, y_pred) if t != positive_label and p == positive_label)
     false_negative = sum(1 for t, p in zip(y_true, y_pred) if t == positive_label and p != positive_label)
-    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
-    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
-    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
-    return {"precision": precision, "recall": recall, "f1": f1}
+    return prf_from_counts(true_positive, false_positive, false_negative)
 
 
 def f1_score(y_true: Sequence, y_pred: Sequence, positive_label=1) -> float:
@@ -102,7 +113,4 @@ def bio_span_f1(gold_sequences: Sequence[Sequence[str]], predicted_sequences: Se
         true_positive += len(gold_spans & predicted_spans)
         false_positive += len(predicted_spans - gold_spans)
         false_negative += len(gold_spans - predicted_spans)
-    precision = true_positive / (true_positive + false_positive) if (true_positive + false_positive) else 0.0
-    recall = true_positive / (true_positive + false_negative) if (true_positive + false_negative) else 0.0
-    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
-    return {"precision": precision, "recall": recall, "f1": f1}
+    return prf_from_counts(true_positive, false_positive, false_negative)

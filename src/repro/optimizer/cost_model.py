@@ -18,24 +18,52 @@ decreasing priority:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional
 
 from repro.compiler.codegen import CompiledWorkflow
 
 
 @dataclass
 class NodeCosts:
-    """Costs for one DAG node, in seconds and bytes."""
+    """Costs for one DAG node, in seconds and bytes.
+
+    ``chunk_count`` / ``chunks_present`` describe the node's *chunked
+    artifact* state when a previous partitioned run materialized it as
+    per-partition chunks: a complete chunk family marks the node
+    ``materialized`` (loadable), a partial family leaves it computable but
+    with ``compute_cost`` discounted to "recompute the missing chunks, load
+    the present ones" — the scheduler's partial-hit recovery.
+    ``full_compute_cost`` always preserves the undiscounted estimate so
+    strategies that forbid reuse can plan against it.
+    """
 
     compute_cost: float
     load_cost: float
     output_size: float = 0.0
     materialized: bool = False
+    chunk_count: int = 0
+    chunks_present: int = 0
+    full_compute_cost: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.compute_cost = max(0.0, float(self.compute_cost))
         self.load_cost = max(0.0, float(self.load_cost))
         self.output_size = max(0.0, float(self.output_size))
+        if self.full_compute_cost is None:
+            self.full_compute_cost = self.compute_cost
+        else:
+            self.full_compute_cost = max(0.0, float(self.full_compute_cost))
+
+    def forget_reuse(self) -> None:
+        """Reset every reuse signal (materialized artifact, chunk family).
+
+        Baseline strategies that must recompute a node call this so neither
+        the planner nor the scheduler's partial-hit recovery reuses state.
+        """
+        self.materialized = False
+        self.chunk_count = 0
+        self.chunks_present = 0
+        self.compute_cost = self.full_compute_cost
 
 
 @dataclass
@@ -81,6 +109,8 @@ class CostEstimator:
         history: Optional[Mapping[str, CostRecord]] = None,
         materialized_sizes: Optional[Mapping[str, float]] = None,
         measured_load_costs: Optional[Mapping[str, float]] = None,
+        chunk_inventory: Optional[Mapping[str, Any]] = None,
+        recoverable_partitions: int = 1,
     ) -> Dict[str, NodeCosts]:
         """Estimate costs for every node of ``compiled``.
 
@@ -94,10 +124,22 @@ class CostEstimator:
         measured_load_costs:
             Signature → measured load time, when the store has actually read
             the artifact before (overrides the bandwidth model).
+        chunk_inventory:
+            Signature → :class:`~repro.execution.store.ChunkInventory` for
+            signatures stored as partition chunks.  A complete family makes
+            the node loadable exactly like a monolithic artifact (the LOAD
+            path reassembles any complete family).  A partial family
+            discounts the compute cost to "recompute the missing fraction +
+            load the present chunks" — but only when its chunk count equals
+            ``recoverable_partitions``, because the scheduler's partial-hit
+            recovery can only reuse chunks cut at this run's own boundaries.
+        recoverable_partitions:
+            The executing session's partition count (1 = partitioning off).
         """
         history = dict(history or {})
         materialized_sizes = dict(materialized_sizes or {})
         measured_load_costs = dict(measured_load_costs or {})
+        chunk_inventory = dict(chunk_inventory or {})
 
         type_averages = self._operator_type_averages(history)
         costs: Dict[str, NodeCosts] = {}
@@ -115,6 +157,8 @@ class CostEstimator:
                 compute_cost = self.defaults.default_compute_cost
                 output_size = self.defaults.default_output_size
 
+            full_compute_cost = compute_cost
+            chunk_count = chunks_present = 0
             materialized = signature in materialized_sizes
             if materialized:
                 output_size = materialized_sizes[signature]
@@ -123,11 +167,37 @@ class CostEstimator:
             else:
                 load_cost = self.defaults.load_cost_for_size(output_size)
 
+            inventory = chunk_inventory.get(signature)
+            if inventory is not None and not materialized:
+                if inventory.complete:
+                    chunk_count = inventory.count
+                    chunks_present = len(inventory.present)
+                    materialized = True
+                    output_size = inventory.bytes_present
+                    load_cost = (
+                        inventory.measured_load_cost
+                        if inventory.measured_load_cost is not None
+                        else self.defaults.load_cost_for_size(inventory.bytes_present)
+                    )
+                elif inventory.count == recoverable_partitions:
+                    chunk_count = inventory.count
+                    chunks_present = len(inventory.present)
+                    missing_fraction = (chunk_count - chunks_present) / chunk_count
+                    compute_cost = (
+                        compute_cost * missing_fraction
+                        + self.defaults.load_cost_for_size(inventory.bytes_present)
+                    )
+                # A partial family cut at different boundaries is unusable by
+                # this run: no discount, no chunk fields — full recompute.
+
             costs[name] = NodeCosts(
                 compute_cost=compute_cost,
                 load_cost=load_cost,
                 output_size=output_size,
                 materialized=materialized,
+                chunk_count=chunk_count,
+                chunks_present=chunks_present,
+                full_compute_cost=full_compute_cost,
             )
         return costs
 

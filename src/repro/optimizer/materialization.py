@@ -52,6 +52,34 @@ def reuse_benefit(dag: Dag, costs: Mapping[str, NodeCosts], node: str) -> float:
     return max(0.0, ancestor_compute_total(dag, costs, node) - costs[node].load_cost)
 
 
+def per_chunk_costs(costs: Mapping[str, NodeCosts], node: str, n_chunks: int) -> Dict[str, NodeCosts]:
+    """Cost view in which ``node``'s own entry is scaled to one partition chunk.
+
+    This is how the online materialization policies become partition-aware:
+    the scheduler asks for one decision *per chunk* against this view, so a
+    chunk's load benefit (``l_i / n``) is weighed against recomputing that
+    chunk, and the budget-fit check sees the chunk's size rather than the
+    whole artifact's — a large artifact whose chunks fit individually can be
+    materialized partially, chunk by chunk, until the budget runs out.
+    Ancestor compute costs stay at full value: recomputing any missing chunk
+    still requires the ancestors' (chunked) outputs to exist.
+    """
+    if n_chunks < 1:
+        raise OptimizerError(f"need at least one chunk, got {n_chunks}")
+    view = dict(costs)
+    base = costs[node]
+    view[node] = NodeCosts(
+        compute_cost=base.compute_cost / n_chunks,
+        load_cost=base.load_cost / n_chunks,
+        output_size=base.output_size / n_chunks,
+        materialized=base.materialized,
+        chunk_count=base.chunk_count,
+        chunks_present=base.chunks_present,
+        full_compute_cost=(base.full_compute_cost or base.compute_cost) / n_chunks,
+    )
+    return view
+
+
 class MaterializationPolicy:
     """Interface for online materialization decisions."""
 

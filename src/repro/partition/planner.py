@@ -1,0 +1,139 @@
+"""The partition planner: which execution shape each plan node gets.
+
+Given a compiled plan node, :class:`PartitionPlanner` picks one of four
+shapes the partition-aware scheduler knows how to run:
+
+``PARTITIONWISE``
+    The operator is a row-wise function of its row-splittable inputs (maps,
+    filters, projections, per-record feature extraction, prediction with a
+    broadcast model): run it once per chunk, keep the output partitioned.
+``COMBINE``
+    The operator aggregates over all rows but decomposes into a
+    partial+merge :class:`~repro.partition.combiners.Combiner` (metrics
+    counts, scaler-style statistics); optionally a finalize phase keeps the
+    output partitioned.
+``SHUFFLE``
+    The operator groups records *by key*: hash-exchange its single
+    record-oriented input so equal keys co-locate, then run partition-wise.
+    The operator declares its key via a ``shuffle_key(record)`` method.
+``SINGLE``
+    Everything else — model fits, stateful post-processing, operators whose
+    inputs cannot be aligned — coalesces its inputs and runs as one task
+    (the barrier that guarantees correctness by default).
+
+An operator may override the registry with a ``partition_mode`` class
+attribute (``"partitionwise"``, ``"combine"``, ``"shuffle"``, ``"single"``);
+new operators outside the seed vocabulary use exactly that hook.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.dsl.ie_operators import (
+    SequenceFeatureAssembler,
+    SequencePredictor,
+    Tokenizer,
+    _TokenFeatureOperator,
+)
+from repro.dsl.operators import (
+    ClusterAssigner,
+    CsvScanner,
+    DenseFeaturizer,
+    FeatureAssembler,
+    FieldExtractor,
+    InteractionFeature,
+    LabelExtractor,
+    Predictor,
+    UDFFeatureExtractor,
+)
+from repro.errors import ExecutionError
+from repro.partition.combiners import DEFAULT_COMBINERS, Combiner
+
+
+class PartitionMode(enum.Enum):
+    """Execution shape of one plan node under intra-operator parallelism."""
+
+    SINGLE = "single"
+    PARTITIONWISE = "partitionwise"
+    COMBINE = "combine"
+    SHUFFLE = "shuffle"
+
+
+#: Seed operators that are row-wise functions of their splittable inputs.
+PARTITIONWISE_TYPES: Tuple[Type, ...] = (
+    CsvScanner,
+    DenseFeaturizer,
+    FieldExtractor,
+    LabelExtractor,
+    UDFFeatureExtractor,
+    InteractionFeature,
+    FeatureAssembler,
+    Predictor,
+    ClusterAssigner,
+    Tokenizer,
+    _TokenFeatureOperator,  # covers every token-level feature extractor
+    SequenceFeatureAssembler,
+    SequencePredictor,
+)
+
+
+class PartitionPlanner:
+    """Classifies plan nodes and owns the combiner registry.
+
+    Parameters
+    ----------
+    n_partitions:
+        Number of chunks every partitioned value is held in.
+    combiners:
+        Operator type → :class:`Combiner`; defaults to the registry in
+        :mod:`repro.partition.combiners`.
+    """
+
+    def __init__(
+        self,
+        n_partitions: int,
+        combiners: Optional[Dict[type, Combiner]] = None,
+    ) -> None:
+        if n_partitions < 1:
+            raise ExecutionError(f"need at least one partition, got {n_partitions}")
+        self.n_partitions = n_partitions
+        self.combiners: Dict[type, Combiner] = dict(DEFAULT_COMBINERS if combiners is None else combiners)
+
+    # ------------------------------------------------------------------
+    def mode_for(self, operator: Any) -> PartitionMode:
+        """The execution shape for ``operator`` (declaration wins over registry)."""
+        hint = getattr(operator, "partition_mode", None)
+        if hint is not None:
+            mode = PartitionMode(hint) if not isinstance(hint, PartitionMode) else hint
+            return self._validated(operator, mode)
+        if self.combiner_for(operator) is not None:
+            return PartitionMode.COMBINE
+        if isinstance(operator, PARTITIONWISE_TYPES):
+            return PartitionMode.PARTITIONWISE
+        return PartitionMode.SINGLE
+
+    def _validated(self, operator: Any, mode: PartitionMode) -> PartitionMode:
+        if mode is PartitionMode.SHUFFLE and not callable(getattr(operator, "shuffle_key", None)):
+            raise ExecutionError(
+                f"{type(operator).__name__} declares partition_mode='shuffle' but has no "
+                "shuffle_key(record) method"
+            )
+        if mode is PartitionMode.COMBINE and self.combiner_for(operator) is None:
+            raise ExecutionError(
+                f"{type(operator).__name__} declares partition_mode='combine' but no combiner "
+                "is registered for it (pass one via PartitionPlanner(combiners=...) or attach "
+                "a partition_combiner attribute)"
+            )
+        return mode
+
+    def combiner_for(self, operator: Any) -> Optional[Combiner]:
+        """The combiner decomposing ``operator``, if any."""
+        attached = getattr(operator, "partition_combiner", None)
+        if attached is not None:
+            return attached
+        for operator_type, combiner in self.combiners.items():
+            if isinstance(operator, operator_type):
+                return combiner
+        return None

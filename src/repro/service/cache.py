@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.execution.store import ArtifactMeta, ArtifactStore
+from repro.execution.store import ArtifactMeta, ArtifactStore, ChunkStoreOps
 from repro.graph.dag import Dag
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy
@@ -360,7 +360,7 @@ class SharedArtifactCache(ArtifactStore):
         return TenantStoreView(self, tenant)
 
 
-class TenantStoreView:
+class TenantStoreView(ChunkStoreOps):
     """The store one tenant's :class:`HelixSession` programs against.
 
     Implements the :class:`~repro.execution.store.ArtifactStore` surface the
@@ -368,6 +368,10 @@ class TenantStoreView:
     cache with reads and writes attributed to ``tenant``.  One view instance
     is private to one session, so attribution survives the scheduler's
     background materializer thread (no thread-local context needed).
+    Chunked-artifact operations come from
+    :class:`~repro.execution.store.ChunkStoreOps`, which routes through the
+    attributed ``get``/``put_bytes`` below — a tenant's partition chunks
+    charge its quota like any other artifact.
     """
 
     def __init__(self, cache: SharedArtifactCache, tenant: str) -> None:

@@ -53,6 +53,10 @@ class ServiceConfig:
     strategy: ExecutionStrategy = HELIX
     backend: str = "serial"
     parallelism: Optional[int] = None
+    #: Intra-operator partition count per tenant session (``None`` = off);
+    #: partitioned outputs land in the shared cache as chunked artifacts,
+    #: so partial chunk hits work across tenants too.
+    partitions: Optional[int] = None
     cache: CacheConfig = CacheConfig()
     #: ``False`` gives every tenant an isolated store under its own
     #: workspace — the no-sharing baseline the benchmark compares against.
@@ -105,6 +109,7 @@ class WorkflowService:
                         strategy=self.config.strategy,
                         backend=self.config.backend,
                         parallelism=self.config.parallelism,
+                        partitions=self.config.partitions,
                         store=cache.view(tenant),
                         materialization_wrapper=lambda policy, _tenant=tenant: (
                             AdmissionControlledPolicy(policy, cache, _tenant)
@@ -116,6 +121,7 @@ class WorkflowService:
                         strategy=self.config.strategy,
                         backend=self.config.backend,
                         parallelism=self.config.parallelism,
+                        partitions=self.config.partitions,
                         storage_budget=self.config.isolated_budget_bytes,
                     )
             return self._sessions[tenant]

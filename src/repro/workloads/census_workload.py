@@ -18,6 +18,7 @@ from repro.datagen.census import CENSUS_FIELDS, CensusConfig
 from repro.dsl.operators import (
     Bucketizer,
     CsvScanner,
+    DenseFeaturizer,
     Evaluator,
     FeatureAssembler,
     FieldExtractor,
@@ -112,6 +113,46 @@ def build_census_workflow(variant: CensusVariant = CensusVariant()) -> Workflow:
         error_report = wf.add("errorReport", Reducer(predictions, udf=count_test_errors, name="count_test_errors"))
         wf.mark_output(error_report)
 
+    return wf
+
+
+def build_dense_census_workflow(
+    data_config: Optional[CensusConfig] = None,
+    embed_dim: int = 192,
+    passes: int = 6,
+    reg_param: float = 0.1,
+    max_iter: int = 30,
+) -> Workflow:
+    """A *linear* census pipeline dominated by dense batch featurization.
+
+    source → scan → dense-embed → label → assemble → learn → predict →
+    evaluate: every wave has width 1, so inter-node wavefront parallelism
+    cannot help — which makes this the benchmark pipeline for intra-operator
+    partitioning (the dense featurizer is NumPy batch work that releases the
+    GIL, so partition chunks genuinely run in parallel on threads).
+    """
+    wf = Workflow("census_dense")
+    data = wf.add("data", SyntheticCensusSource(data_config or CensusConfig()))
+    rows = wf.add("rows", CsvScanner(data, fields=CENSUS_FIELDS, numeric_fields=NUMERIC_FIELDS))
+    dense = wf.add(
+        "dense",
+        DenseFeaturizer(
+            rows,
+            fields=["age", "education_num", "capital_gain", "capital_loss", "hours_per_week"],
+            embed_dim=embed_dim,
+            passes=passes,
+            out_features=6,
+        ),
+    )
+    target = wf.add("target", LabelExtractor(rows, field="target"))
+    examples = wf.add("examples", FeatureAssembler(extractors=[dense], label=target))
+    model = wf.add(
+        "model",
+        Learner(examples, model_type="logistic_regression", reg_param=reg_param, max_iter=max_iter),
+    )
+    predictions = wf.add("predictions", Predictor(model, examples))
+    checked = wf.add("checked", Evaluator(predictions, metrics=("accuracy", "f1")))
+    wf.mark_output(predictions, checked)
     return wf
 
 

@@ -266,3 +266,70 @@ class TestEviction:
         meta = store.put("s1", "n", list(range(100)))
         store.evict(1.0)
         assert not os.path.exists(os.path.join(store.root, meta.filename))
+
+
+class TestEvictionDeterminism:
+    def test_score_ties_break_on_signature(self, store):
+        """Equal scores must evict in signature order, reproducibly."""
+        for signature in ("c-sig", "a-sig", "b-sig"):
+            store.put(signature, "n", list(range(50)))
+        evicted = store.evict(1.0, policy=lambda meta: 0.0)
+        assert [meta.signature for meta in evicted] == ["a-sig"]
+        evicted = store.evict(1.0, policy=lambda meta: 0.0)
+        assert [meta.signature for meta in evicted] == ["b-sig"]
+
+    def test_tied_catalog_evicts_identically_across_stores(self, tmp_path):
+        order = []
+        for run in range(2):
+            store = ArtifactStore(str(tmp_path / f"run{run}"))
+            for signature in ("s3", "s1", "s2"):
+                store.put(signature, "n", list(range(30)))
+            evicted = store.evict(10_000.0, policy=lambda meta: 42.0)
+            order.append([meta.signature for meta in evicted])
+        assert order[0] == order[1] == ["s1", "s2", "s3"]
+
+
+class TestChunkedArtifacts:
+    def test_chunk_signature_roundtrip(self):
+        from repro.execution.store import chunk_signature, parse_chunk_signature
+
+        key = chunk_signature("abc123", 2, 4)
+        assert parse_chunk_signature(key) == ("abc123", 2, 4)
+        assert parse_chunk_signature("abc123") is None
+        assert parse_chunk_signature("abc#pbad") is None
+
+    def test_put_get_chunks_and_families(self, store):
+        payloads = [store.serialize("n", [i] * 10) for i in range(3)]
+        for index, payload in enumerate(payloads):
+            store.put_chunk_bytes("sig", "n", index, 3, payload)
+        assert store.chunk_families("sig") == {3: [0, 1, 2]}
+        value, elapsed = store.get_chunk("sig", 1, 3)
+        assert value == [1] * 10 and elapsed >= 0.0
+        assert not store.has("sig"), "chunks must not masquerade as the monolithic artifact"
+
+    def test_inventory_prefers_complete_family(self, store):
+        payload = store.serialize("n", list(range(5)))
+        # incomplete family of 4, complete family of 2
+        store.put_chunk_bytes("sig", "n", 0, 4, payload)
+        store.put_chunk_bytes("sig", "n", 0, 2, payload)
+        store.put_chunk_bytes("sig", "n", 1, 2, payload)
+        inventory = store.chunk_inventory()["sig"]
+        assert inventory.count == 2 and inventory.complete
+        assert inventory.present == (0, 1)
+        assert inventory.bytes_present == pytest.approx(2 * len(payload))
+
+    def test_inventory_reports_partial_family(self, store):
+        payload = store.serialize("n", list(range(5)))
+        store.put_chunk_bytes("sig", "n", 0, 4, payload)
+        store.put_chunk_bytes("sig", "n", 3, 4, payload)
+        inventory = store.chunk_inventory()["sig"]
+        assert not inventory.complete
+        assert inventory.present == (0, 3) and inventory.missing == (1, 2)
+
+    def test_chunk_signatures_and_delete(self, store):
+        payload = store.serialize("n", [1])
+        for index in range(2):
+            store.put_chunk_bytes("sig", "n", index, 2, payload)
+        assert len(store.chunk_signatures("sig")) == 2
+        assert store.delete_chunks("sig") == 2
+        assert store.chunk_families("sig") == {}

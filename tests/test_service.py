@@ -254,15 +254,20 @@ class TestDispatcher:
             dispatcher.submit(RunRequest(tenant="alice", workflow=object()))
 
     def test_abort_close_abandons_queued_tickets_without_running_them(self):
+        started = threading.Event()
         release = threading.Event()
         executed = []
 
         def execute(ticket):
+            started.set()
             release.wait(timeout=10)
             executed.append(ticket.request.description)
 
         dispatcher = FairDispatcher(execute, n_workers=1)
         in_flight = dispatcher.submit(RunRequest(tenant="a", workflow=object(), description="first"))
+        # Close only once the worker has actually dequeued "first" — otherwise
+        # the abort may legitimately abandon it along with the queued tickets.
+        assert started.wait(timeout=10)
         queued = [
             dispatcher.submit(RunRequest(tenant="a", workflow=object(), description=f"q{i}"))
             for i in range(3)
