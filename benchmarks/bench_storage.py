@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Storage-layer benchmark: baseline disk-pickle vs the tiered, codec-aware store.
+
+Every artifact used to take one path — pickle to a flat directory — so a hot
+iterative loop paid a full disk read plus deserialization for every reused
+artifact, every iteration.  The tiered store keeps the hot set in a
+capacity-bounded memory tier (write-through, promote-on-read) with a decoded
+hot-value cache on top, and the codec registry encodes NumPy-style artifacts
+through raw-buffer fast paths.  This benchmark quantifies both axes on the
+iterative census (and, in full mode, IE) workloads:
+
+* ``disk-pickle``  — flat disk backend, everything pickled (the old engine);
+* ``tiered-codec`` — memory tier over sharded disk, per-value codec choice.
+
+Phases per engine, in a fresh workspace:
+
+1. **cold** — run the workload's full iteration sequence once, measuring
+   cumulative wall time and per-iteration model metrics;
+2. **warm** — re-run the final iteration's workflow ``--warm-runs`` times.
+   Every node now LOADs (or prunes); the summed per-node load time of the
+   best warm run is the "warm load" number the acceptance bar tests:
+   tiered must beat disk-pickle by >= 1.3x.
+
+Two ride-along checks guard the rest of the system on the tiered store:
+partitioned chunk artifacts (dense census, ``partitions=2``) and
+multi-tenant shared-cache attribution must behave exactly as on disk.
+
+Run from the repo root::
+
+    python benchmarks/bench_storage.py            # full comparison (census + IE)
+    python benchmarks/bench_storage.py --smoke    # CI: census only, tiny data
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.session import HelixSession  # noqa: E402
+from repro.datagen.census import CensusConfig  # noqa: E402
+from repro.datagen.news import NewsConfig  # noqa: E402
+from repro.workloads.census_workload import build_dense_census_workflow, census_workload  # noqa: E402
+from repro.workloads.ie_workload import ie_workload  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: The two storage engines under comparison.
+ENGINES = {
+    "disk-pickle": dict(store_backend="disk", codec="pickle"),
+    "tiered-codec": dict(store_backend="tiered", memory_tier_mb=256, codec="auto"),
+}
+
+#: Acceptance bar: tiered warm loads must beat disk-pickle by this factor.
+WARM_LOAD_BAR = 1.3
+
+
+def census_spec(scale: int, iterations: Optional[int]):
+    return census_workload(
+        CensusConfig(n_train=scale, n_test=max(100, scale // 5), seed=11), n_iterations=iterations
+    )
+
+
+def ie_spec(scale: int, iterations: Optional[int]):
+    return ie_workload(
+        NewsConfig(
+            n_train_docs=max(16, scale // 25), n_test_docs=max(6, scale // 100),
+            sentences_per_doc=5, seed=11,
+        ),
+        n_iterations=iterations,
+    )
+
+
+def run_engine(spec, engine: str, warm_runs: int) -> Dict[str, object]:
+    """Cold sequence + warm re-runs of the final iteration for one engine."""
+    session = HelixSession(tempfile.mkdtemp(prefix=f"bench_store_{engine}_"), **ENGINES[engine])
+    started = time.perf_counter()
+    metrics_per_iteration: List[Dict[str, float]] = []
+    for step in spec.iterations:
+        result = session.run(step.build(), description=step.description)
+        metrics_per_iteration.append(dict(result.report.metrics))
+    cold_wall = time.perf_counter() - started
+
+    final = spec.iterations[-1]
+    warm = []
+    for _ in range(max(1, warm_runs)):
+        warm_started = time.perf_counter()
+        report = session.run(final.build(), description="warm rerun").report
+        warm.append(
+            {
+                "wall_s": time.perf_counter() - warm_started,
+                "load_s": sum(stats.load_time for stats in report.node_stats.values()),
+                "loads": sum(1 for stats in report.node_stats.values() if stats.load_time > 0),
+                "reuse": report.reuse_fraction(),
+                "metrics": dict(report.metrics),
+            }
+        )
+    best_warm = min(warm, key=lambda run: run["load_s"])
+    info = session.store.storage_info()
+    return {
+        "cold_wall_s": round(cold_wall, 4),
+        "metrics_per_iteration": metrics_per_iteration,
+        "warm_load_s": round(best_warm["load_s"], 6),
+        "warm_wall_s": round(best_warm["wall_s"], 4),
+        "warm_loads": best_warm["loads"],
+        "warm_reuse": round(best_warm["reuse"], 3),
+        "warm_metrics": best_warm["metrics"],
+        "store": {
+            "backend": info["backend"],
+            "artifacts": info["artifacts"],
+            "used_bytes": info["used_bytes"],
+            "by_codec": info["by_codec"],
+            **({"tiering": info["tiers"]["tiering"]} if "tiers" in info else {}),
+        },
+    }
+
+
+def storage_comparison(workload: str, spec, warm_runs: int) -> Dict[str, object]:
+    engines = {engine: run_engine(spec, engine, warm_runs) for engine in ENGINES}
+    baseline = engines["disk-pickle"]
+    tiered = engines["tiered-codec"]
+    warm_speedup = (
+        baseline["warm_load_s"] / tiered["warm_load_s"] if tiered["warm_load_s"] > 0 else float("inf")
+    )
+    return {
+        "workload": workload,
+        "iterations": len(spec.iterations),
+        "engines": engines,
+        "warm_load_speedup": round(warm_speedup, 3),
+        "cold_speedup": round(baseline["cold_wall_s"] / tiered["cold_wall_s"], 3)
+        if tiered["cold_wall_s"]
+        else float("inf"),
+    }
+
+
+def check_partitioned_chunks(scale: int) -> Dict[str, object]:
+    """Partitioned chunk artifacts must work unchanged on the tiered store."""
+    config = CensusConfig(n_train=scale, n_test=max(80, scale // 5), seed=9)
+
+    def build():
+        return build_dense_census_workflow(config, embed_dim=32, passes=2)
+
+    serial = HelixSession(tempfile.mkdtemp(prefix="bench_store_serial_"))
+    baseline_metrics = serial.run(build()).report.metrics
+
+    workspace = tempfile.mkdtemp(prefix="bench_store_part_")
+    first_session = HelixSession(workspace, partitions=2, **ENGINES["tiered-codec"])
+    first = first_session.run(build())
+    rerun = HelixSession(workspace, partitions=2, **ENGINES["tiered-codec"]).run(build())
+    chunk_entries = [signature for signature in first_session.store.catalog() if "#p" in signature]
+    return {
+        "metrics_match_serial": dict(first.report.metrics) == dict(baseline_metrics),
+        "chunk_artifacts": len(chunk_entries),
+        "rerun_reuse": round(rerun.report.reuse_fraction(), 3),
+        "rerun_metrics_match": dict(rerun.report.metrics) == dict(baseline_metrics),
+    }
+
+
+def check_multi_tenant(scale: int) -> Dict[str, object]:
+    """Shared-cache attribution must work unchanged on the tiered store."""
+    from repro.service import CacheConfig, ServiceConfig, WorkflowService
+
+    spec = census_spec(scale, 2)
+    config = ServiceConfig(
+        n_workers=1,
+        store_backend="tiered",
+        memory_tier_mb=128,
+        codec="auto",
+        cache=CacheConfig(),
+    )
+    with WorkflowService(tempfile.mkdtemp(prefix="bench_store_svc_"), config) as service:
+        for step in spec.iterations:
+            for tenant in ("alice", "bob"):
+                service.run_sync(tenant, build=step.build, description=step.description)
+        snapshot = service.cache.snapshot()
+    return {
+        "backend": snapshot["backend"],
+        "cross_tenant_hits": snapshot["cross_tenant_hits"],
+        "bytes_by_tenant": snapshot["bytes_by_tenant"],
+        "tiering": snapshot.get("tiers", {}).get("tiering", {}),
+    }
+
+
+def render(title: str, payload: Dict[str, object]) -> str:
+    return f"===== {title} =====\n{json.dumps(payload, indent=2)}"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="storage engine benchmark")
+    parser.add_argument("--smoke", action="store_true", help="CI mode: census only, tiny data")
+    parser.add_argument("--scale", type=int, default=4000, help="census training rows (full mode)")
+    parser.add_argument("--iterations", type=int, default=None, help="iterations (default: full sequence)")
+    parser.add_argument("--warm-runs", type=int, default=3, help="warm re-runs of the final iteration")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help=f"override the {WARM_LOAD_BAR}x warm-load bar")
+    parser.add_argument("--no-write", action="store_true", help="skip writing benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    bar = args.require_speedup if args.require_speedup is not None else WARM_LOAD_BAR
+    scale = 1200 if args.smoke else args.scale
+    iterations = (4 if args.smoke else args.iterations)
+
+    lines: List[str] = [f"storage engines: {json.dumps({k: v for k, v in ENGINES.items()})}, warm bar {bar}x"]
+    failures: List[str] = []
+
+    comparisons = [("census", census_spec(scale, iterations))]
+    if not args.smoke:
+        comparisons.append(("ie", ie_spec(scale, iterations)))
+
+    for workload, spec in comparisons:
+        comparison = storage_comparison(workload, spec, args.warm_runs)
+        lines.append(render(f"iterative {workload}: disk-pickle vs tiered-codec", comparison))
+        engines = comparison["engines"]
+        if engines["disk-pickle"]["metrics_per_iteration"] != engines["tiered-codec"]["metrics_per_iteration"]:
+            failures.append(f"{workload}: model metrics differ between storage engines")
+        if engines["disk-pickle"]["warm_loads"] == 0:
+            failures.append(f"{workload}: warm baseline rerun performed no loads (nothing materialized?)")
+        if comparison["warm_load_speedup"] < bar:
+            failures.append(
+                f"{workload}: tiered warm-load speedup {comparison['warm_load_speedup']}x "
+                f"is below the {bar}x bar"
+            )
+
+    partitioned = check_partitioned_chunks(max(400, scale // 3))
+    lines.append(render("partitioned chunk artifacts on TieredStore", partitioned))
+    if not partitioned["metrics_match_serial"] or not partitioned["rerun_metrics_match"]:
+        failures.append("partitioned: metrics drift on the tiered store")
+    if partitioned["chunk_artifacts"] == 0:
+        failures.append("partitioned: no chunk artifacts were persisted on the tiered store")
+    if partitioned["rerun_reuse"] <= 0:
+        failures.append("partitioned: chunk families were not reused across sessions")
+
+    tenants = check_multi_tenant(max(300, scale // 4))
+    lines.append(render("multi-tenant shared cache on TieredStore", tenants))
+    if not tenants["bytes_by_tenant"]:
+        failures.append("multi-tenant: cache attribution is empty on the tiered store")
+    if tenants["cross_tenant_hits"] <= 0:
+        failures.append("multi-tenant: no cross-tenant hits through the tiered cache")
+
+    report = "\n\n".join(lines)
+    print(report)
+    if not args.no_write:
+        try:
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            name = "storage_smoke" if args.smoke else "storage_comparison"
+            with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+                handle.write(report + "\n")
+        except OSError:
+            pass
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {failure}" for failure in failures), file=sys.stderr)
+        return 1
+    print("\nOK: storage benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,13 +133,18 @@ def run_real_comparison(
     backend: str = "serial",
     parallelism: int = 1,
     partitions: Optional[int] = None,
+    store_backend: Optional[str] = None,
+    memory_tier_mb: Optional[float] = None,
+    codec: str = "auto",
 ) -> ComparisonResult:
     """Execute a real workload end to end, once per strategy, in isolated workspaces.
 
     ``backend``/``parallelism`` select the wavefront scheduler's worker pool
     and ``partitions`` its intra-operator partition count for every session
     (see :mod:`repro.execution.scheduler`); results are backend-independent,
-    only wall-clock time changes.
+    only wall-clock time changes.  ``store_backend`` / ``memory_tier_mb`` /
+    ``codec`` configure the storage layer under every session's artifact
+    store (see :mod:`repro.storage`); results are storage-independent too.
     """
     if workspace_root is None:
         workspace_root = tempfile.mkdtemp(prefix="helix_bench_")
@@ -157,6 +162,9 @@ def run_real_comparison(
             backend=backend,
             parallelism=parallelism,
             partitions=partitions,
+            store_backend=store_backend,
+            memory_tier_mb=memory_tier_mb,
+            codec=codec,
         )
         reports: List[IterationReport] = []
         for spec in workload.iterations:

@@ -8,6 +8,9 @@ Entry points::
     python -m repro run ie --strategy keystoneml
     python -m repro serve --tenants 4          # multi-tenant service, shared cache
     python -m repro submit --workspace DIR --tenant alice --workload census
+    python -m repro run census --store-backend tiered --memory-tier-mb 256
+    python -m repro store stats --workspace DIR  # artifacts per tier and codec
+    python -m repro store evict --workspace DIR --bytes 1000000 --policy lru
     python -m repro versions --workspace DIR   # browse a persisted workspace
     python -m repro suggest census             # machine-generated next edits
 
@@ -46,6 +49,22 @@ def _build_parser() -> argparse.ArgumentParser:
     # (None) means one worker per CPU, matching the pooled backends' default.
     parallelism_help = "worker count (default: one per CPU)"
 
+    def add_storage_args(sub) -> None:
+        """The storage-layer knobs every executing verb shares."""
+        sub.add_argument(
+            "--store-backend", default=None, choices=["disk", "sharded", "memory", "tiered"],
+            help="where artifact bytes live (default: disk; tiered = memory tier over sharded disk)",
+        )
+        sub.add_argument(
+            "--memory-tier-mb", type=float, default=None,
+            help="memory-tier capacity in MB for the tiered backend (implies --store-backend tiered)",
+        )
+        sub.add_argument(
+            "--codec", default="auto",
+            choices=["auto", "pickle", "pickle+zlib", "numpy-raw", "dense-block"],
+            help="artifact serialization codec (default: auto = per value by type and size)",
+        )
+
     reproduce = subparsers.add_parser("reproduce", help="regenerate a paper figure (simulated, paper scale)")
     reproduce.add_argument("figure", choices=["fig2a", "fig2b"], help="which figure to regenerate")
     reproduce.add_argument(
@@ -72,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="intra-operator partition count: split collections into N chunks and run "
              "data-parallel operators once per chunk (default: off)",
     )
+    add_storage_args(run)
 
     serve = subparsers.add_parser(
         "serve", help="run the multi-tenant workflow service over synthetic tenant traffic"
@@ -101,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--partitions", type=int, default=None,
         help="per-session intra-operator partition count (default: off)",
     )
+    add_storage_args(serve)
 
     submit = subparsers.add_parser(
         "submit", help="submit one workflow run to a (persistent) service workspace"
@@ -118,6 +139,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--partitions", type=int, default=None,
         help="intra-operator partition count for the run (default: off)",
     )
+    add_storage_args(submit)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or evict a workspace's materialized artifacts per tier and codec"
+    )
+    store.add_argument("action", choices=["stats", "ls", "evict"], help="what to do")
+    store.add_argument("--workspace", required=True, help="session workspace, service root, or store directory")
+    store.add_argument("--bytes", type=float, default=None, help="bytes to free (evict)")
+    store.add_argument(
+        "--policy", default="lru", choices=["lru", "largest", "oldest"],
+        help="eviction victim order (evict; default: lru)",
+    )
+    store.add_argument("--limit", type=int, default=30, help="max rows to list (ls; default: 30)")
 
     versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
     versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
@@ -198,6 +232,9 @@ def _command_run(
     backend: str = "serial",
     parallelism: Optional[int] = None,
     partitions: Optional[int] = None,
+    store_backend: Optional[str] = None,
+    memory_tier_mb: Optional[float] = None,
+    codec: str = "auto",
     out=None,
 ) -> int:
     out = out or sys.stdout
@@ -207,7 +244,8 @@ def _command_run(
     spec = _workload_spec(workload, scale, iterations)
     result = run_real_comparison(
         spec, [strategy], workspace_root=workspace, backend=backend, parallelism=parallelism,
-        partitions=partitions,
+        partitions=partitions, store_backend=store_backend, memory_tier_mb=memory_tier_mb,
+        codec=codec,
     )
     reports = result.reports_by_system[strategy.name]
     rows = [
@@ -248,6 +286,9 @@ def _command_serve(
     backend: str,
     parallelism: Optional[int] = None,
     partitions: Optional[int] = None,
+    store_backend: Optional[str] = None,
+    memory_tier_mb: Optional[float] = None,
+    codec: str = "auto",
     out=None,
 ) -> int:
     """Drive synthetic multi-tenant traffic through a WorkflowService."""
@@ -260,6 +301,9 @@ def _command_serve(
         backend=backend,
         parallelism=_resolve_parallelism(parallelism, backend),
         partitions=partitions,
+        store_backend=store_backend,
+        memory_tier_mb=memory_tier_mb,
+        codec=codec,
         shared_cache=not isolated,
         cache=CacheConfig(budget_bytes=budget, tenant_quota_bytes=quota, eviction=eviction),
     )
@@ -321,6 +365,9 @@ def _command_submit(
     scale: int,
     quota: Optional[float],
     partitions: Optional[int] = None,
+    store_backend: Optional[str] = None,
+    memory_tier_mb: Optional[float] = None,
+    codec: str = "auto",
     out=None,
 ) -> int:
     """Submit one run to a persistent service workspace (reuse across submits)."""
@@ -336,7 +383,9 @@ def _command_submit(
         return 2
     step = spec.iterations[iteration]
     config = ServiceConfig(
-        n_workers=1, partitions=partitions, cache=CacheConfig(tenant_quota_bytes=quota)
+        n_workers=1, partitions=partitions, store_backend=store_backend,
+        memory_tier_mb=memory_tier_mb, codec=codec,
+        cache=CacheConfig(tenant_quota_bytes=quota),
     )
     with WorkflowService(workspace, config) as service:
         result = service.run_sync(
@@ -364,6 +413,112 @@ def _command_submit(
             f"workspace: {workspace}",
             file=out,
         )
+    return 0
+
+
+def _resolve_store_root(workspace: str) -> Optional[str]:
+    """Find the artifact store under a workspace path.
+
+    Accepts a session workspace (``<ws>/artifacts``), a service root
+    (``<ws>/cache``), or the store directory itself (holds ``catalog.json``).
+    """
+    candidates = [
+        os.path.join(workspace, "artifacts"),
+        os.path.join(workspace, "cache"),
+        workspace,
+    ]
+    for candidate in candidates:
+        if os.path.exists(os.path.join(candidate, "catalog.json")):
+            return candidate
+    return None
+
+
+def _command_store(
+    action: str,
+    workspace: str,
+    bytes_needed: Optional[float] = None,
+    policy: str = "lru",
+    limit: int = 30,
+    out=None,
+) -> int:
+    """Inspect (stats / ls) or evict from a workspace's artifact store.
+
+    The store opens with the flat disk backend regardless of how it was
+    written — catalog keys are backend-relative paths, so sharded and flat
+    layouts both resolve.  Tier columns therefore describe the on-disk
+    state; memory tiers are process-private and start empty.
+    """
+    out = out or sys.stdout
+    from repro.execution.store import ArtifactStore, parse_chunk_signature
+
+    root = _resolve_store_root(workspace)
+    if root is None:
+        print(f"error: no artifact catalog found under {workspace}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(root)
+
+    if action == "evict":
+        if bytes_needed is None:
+            print("error: evict needs --bytes", file=sys.stderr)
+            return 2
+        evicted = store.evict(bytes_needed, policy=policy)
+        freed = sum(meta.size for meta in evicted)
+        print(
+            f"evicted {len(evicted)} artifacts, freed {freed:.0f} B "
+            f"(policy={policy})   store: {root}",
+            file=out,
+        )
+        for meta in evicted:
+            print(f"  - {meta.signature[:16]}  {meta.node_name}  {meta.size:.0f} B", file=out)
+        return 0
+
+    catalog = store.catalog()
+    if action == "ls":
+        rows = []
+        for signature, meta in sorted(catalog.items(), key=lambda item: -item[1].size)[:limit]:
+            chunk = parse_chunk_signature(signature)
+            rows.append(
+                {
+                    "signature": signature[:16],
+                    "node": meta.node_name,
+                    "chunk": f"{chunk[1]}/{chunk[2]}" if chunk else "-",
+                    "size_b": int(meta.size),
+                    "codec": meta.codec,
+                    "tier": store.tier_of(signature) or "-",
+                }
+            )
+        if not rows:
+            print(f"store is empty   store: {root}", file=out)
+            return 0
+        print(format_table(rows), file=out)
+        if len(catalog) > limit:
+            print(f"... and {len(catalog) - limit} more (use --limit)", file=out)
+        return 0
+
+    # stats
+    info = store.storage_info()
+    chunked = sum(1 for signature in catalog if parse_chunk_signature(signature))
+    print(
+        f"store: {root}\n"
+        f"backend: {info['backend']}   artifacts: {info['artifacts']} "
+        f"({chunked} partition chunks)   used: {info['used_bytes']:.0f} B   "
+        f"budget: {info['budget_bytes'] if info['budget_bytes'] is not None else 'unbounded'}",
+        file=out,
+    )
+    codec_rows = [
+        {"codec": codec, "artifacts": int(entry["artifacts"]), "bytes": int(entry["bytes"])}
+        for codec, entry in sorted(info["by_codec"].items())
+    ]
+    if codec_rows:
+        print(format_table(codec_rows), file=out)
+    tiers = info.get("tiers")
+    if tiers:
+        tier_rows = [
+            {"tier": tier, **{key: int(value) for key, value in stats.items()}}
+            for tier, stats in tiers.items()
+            if tier != "tiering"
+        ]
+        print(format_table(tier_rows), file=out)
     return 0
 
 
@@ -404,17 +559,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_run(
                 args.workload, args.strategy, args.iterations, args.scale, args.workspace,
                 backend=args.backend, parallelism=args.parallelism, partitions=args.partitions,
+                store_backend=args.store_backend, memory_tier_mb=args.memory_tier_mb,
+                codec=args.codec,
             )
         if args.command == "serve":
             return _command_serve(
                 args.workspace, args.tenants, args.workload, args.iterations, args.scale,
                 args.workers, args.budget, args.quota, args.eviction, args.isolated, args.backend,
                 parallelism=args.parallelism, partitions=args.partitions,
+                store_backend=args.store_backend, memory_tier_mb=args.memory_tier_mb,
+                codec=args.codec,
             )
         if args.command == "submit":
             return _command_submit(
                 args.workspace, args.tenant, args.workload, args.iteration, args.scale, args.quota,
-                partitions=args.partitions,
+                partitions=args.partitions, store_backend=args.store_backend,
+                memory_tier_mb=args.memory_tier_mb, codec=args.codec,
+            )
+        if args.command == "store":
+            return _command_store(
+                args.action, args.workspace, bytes_needed=args.bytes, policy=args.policy,
+                limit=args.limit,
             )
         if args.command == "versions":
             return _command_versions(args.workspace, args.metric)

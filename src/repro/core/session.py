@@ -96,12 +96,26 @@ class HelixSession:
         help.  Partitioned outputs persist as chunked artifacts (one chunk
         per partition), and a later run that finds only some chunks in the
         store recomputes exactly the missing ones.
+    store_backend:
+        Where artifact bytes live — ``"disk"`` (legacy flat files, the
+        default), ``"sharded"`` (fan-out subdirectories), ``"memory"``
+        (ephemeral), or ``"tiered"`` (a capacity-bounded memory tier
+        write-through over sharded disk; see :mod:`repro.storage`).
+    memory_tier_mb:
+        Memory-tier capacity in megabytes for the ``tiered`` backend.
+        Setting it without ``store_backend`` implies ``"tiered"``.
+    codec:
+        Serialization policy for materialized artifacts: ``"auto"``
+        (per-value by type and size — the default) or a specific codec id
+        (``pickle``, ``pickle+zlib``, ``numpy-raw``, ``dense-block``).
+        Reads always follow the codec recorded in the catalog.
     store:
         An already-constructed artifact store to use instead of the default
         workspace-private one.  This is how the multi-tenant workflow service
         points many sessions at one shared, quota-managed cache
         (:class:`~repro.service.cache.SharedArtifactCache` tenant views);
-        ``storage_budget`` is ignored when a store is injected.
+        ``storage_budget`` and the storage knobs above are ignored when a
+        store is injected.
     materialization_wrapper:
         Optional hook applied to the strategy's materialization policy before
         each run — the service wraps the policy with cache admission control
@@ -118,6 +132,9 @@ class HelixSession:
         backend: "str | WorkerBackend" = "serial",
         parallelism: Optional[int] = None,
         partitions: Optional[int] = None,
+        store_backend: Optional[str] = None,
+        memory_tier_mb: Optional[float] = None,
+        codec: str = "auto",
         store: Optional[ArtifactStore] = None,
         materialization_wrapper: Optional[Callable[[Any], Any]] = None,
     ) -> None:
@@ -126,8 +143,14 @@ class HelixSession:
         self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
         self.partitions = max(1, int(partitions)) if partitions else 1
         os.makedirs(workspace, exist_ok=True)
+        # Sizing a memory tier without naming a backend implies "tiered"
+        # (the rule lives in backend_from_spec).
         self.store = store if store is not None else ArtifactStore(
-            os.path.join(workspace, "artifacts"), budget_bytes=storage_budget
+            os.path.join(workspace, "artifacts"),
+            budget_bytes=storage_budget,
+            backend=store_backend,
+            codec=codec,
+            memory_tier_bytes=memory_tier_mb * 1024 * 1024 if memory_tier_mb is not None else None,
         )
         self.materialization_wrapper = materialization_wrapper
         self.history = RunHistory()
@@ -147,6 +170,10 @@ class HelixSession:
     # Planning
     # ------------------------------------------------------------------
     def _estimate_costs(self, compiled: CompiledWorkflow) -> Dict[str, NodeCosts]:
+        # Tier/codec signals are optional store surface (custom stores in
+        # tests may implement only the primitive operations).
+        codecs = getattr(self.store, "codecs_by_signature", None)
+        resident = getattr(self.store, "memory_resident_signatures", None)
         costs = self.estimator.estimate(
             compiled,
             history=self.history.cost_records(),
@@ -154,6 +181,8 @@ class HelixSession:
             measured_load_costs=self.store.load_costs_by_signature(),
             chunk_inventory=self.store.chunk_inventory(),
             recoverable_partitions=self.partitions,
+            codecs_by_signature=codecs() if callable(codecs) else None,
+            memory_resident=resident() if callable(resident) else None,
         )
         # Strategy restrictions: comparators that cannot reuse certain node
         # categories (or anything at all) simply see those nodes as

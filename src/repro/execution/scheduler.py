@@ -311,10 +311,18 @@ class AsyncMaterializer:
             self._thread = threading.Thread(target=self._loop, name="helix-materializer", daemon=True)
             self._thread.start()
 
-    def submit(self, signature: str, node_name: str, payload: bytes, stats: NodeRunStats) -> None:
-        """Enqueue one pickled artifact for persistence (blocks when the queue is full)."""
+    def submit(
+        self, signature: str, node_name: str, payload: bytes, stats: NodeRunStats,
+        codec: Optional[str] = None,
+    ) -> None:
+        """Enqueue one encoded artifact for persistence (blocks when the queue is full).
+
+        ``codec=None`` means the payload came from a codec-oblivious store's
+        ``serialize`` — the write then omits the keyword entirely, so custom
+        stores with the legacy 3-argument ``put_bytes`` keep working.
+        """
         self._ensure_started()
-        self._queue.put((signature, node_name, payload, stats))
+        self._queue.put((signature, node_name, payload, stats, codec))
 
     def _loop(self) -> None:
         while True:
@@ -322,10 +330,13 @@ class AsyncMaterializer:
             if item is self._SENTINEL:
                 self._queue.task_done()
                 return
-            signature, node_name, payload, stats = item
+            signature, node_name, payload, stats, codec = item
             try:
                 started = time.perf_counter()
-                meta = self.store.put_bytes(signature, node_name, payload)
+                if codec is None:
+                    meta = self.store.put_bytes(signature, node_name, payload)
+                else:
+                    meta = self.store.put_bytes(signature, node_name, payload, codec=codec)
                 stats.materialize_time += time.perf_counter() - started
                 # A store may decline a write (the shared service cache
                 # enforces size limits against exact payload sizes here);
@@ -819,6 +830,19 @@ class WavefrontScheduler:
     # ------------------------------------------------------------------
     # Materialization
     # ------------------------------------------------------------------
+    def _encode_value(self, name: str, value: Any) -> "Tuple[bytes, Optional[str]]":
+        """Serialize through the store's codec policy.
+
+        A codec-oblivious custom store (no ``encode``) falls back to its
+        ``serialize`` and a ``None`` codec, which the materializer forwards
+        as a plain 3-argument ``put_bytes`` — the pre-storage-layer calling
+        convention.
+        """
+        encode = getattr(self.store, "encode", None)
+        if callable(encode):
+            return encode(name, value)
+        return self.store.serialize(name, value), None
+
     def _decide_and_enqueue(
         self,
         name: str,
@@ -841,7 +865,7 @@ class WavefrontScheduler:
         already = signature in pending_signatures or self.store.has(signature)
         if decision.materialize and not already:
             serialize_started = time.perf_counter()
-            payload = self.store.serialize(name, value)
+            payload, codec = self._encode_value(name, value)
             stats.materialize_time += time.perf_counter() - serialize_started
             size = float(len(payload))
             if size > logical_budget:
@@ -850,7 +874,7 @@ class WavefrontScheduler:
                     f"budget ({logical_budget:.0f} B)"
                 )
             pending_signatures.add(signature)
-            writer.submit(signature, name, payload, stats)
+            writer.submit(signature, name, payload, stats, codec=codec)
             logical_budget -= size
         else:
             stats.output_size = costs[name].output_size if name in costs else 0.0
@@ -898,7 +922,7 @@ class WavefrontScheduler:
             already = monolithic or chunk_key in pending_signatures or self.store.has(chunk_key)
             if decision.materialize and not already:
                 serialize_started = time.perf_counter()
-                payload = self.store.serialize(f"{name}[{index}]", chunk)
+                payload, codec = self._encode_value(f"{name}[{index}]", chunk)
                 stats.materialize_time += time.perf_counter() - serialize_started
                 size = float(len(payload))
                 if size > logical_budget:
@@ -907,7 +931,7 @@ class WavefrontScheduler:
                         f"exceed the remaining budget ({logical_budget:.0f} B)"
                     )
                 pending_signatures.add(chunk_key)
-                writer.submit(chunk_key, name, payload, stats)
+                writer.submit(chunk_key, name, payload, stats, codec=codec)
                 logical_budget -= size
                 any_write = True
         decisions[name] = replace(first, materialize=any_write or first.materialize)

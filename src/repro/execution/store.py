@@ -1,10 +1,23 @@
 """Persistent artifact store for materialized intermediate results.
 
-Artifacts are pickled to a workspace directory and indexed by the producing
-node's *signature* (not its name), so any future iteration whose node hashes
-to the same signature can reuse the artifact regardless of renames.  A JSON
-catalog sits next to the artifacts so a new session can discover what previous
-sessions materialized — Helix's cross-session reuse story.
+Artifacts are serialized through a per-value codec and written to a pluggable
+:class:`~repro.storage.backends.StorageBackend` under a workspace directory,
+indexed by the producing node's *signature* (not its name), so any future
+iteration whose node hashes to the same signature can reuse the artifact
+regardless of renames.  A JSON catalog sits next to the artifacts so a new
+session can discover what previous sessions materialized — Helix's
+cross-session reuse story.  Each catalog entry records the codec that encoded
+it, so reads self-describe and a workspace written under one configuration
+reads fine under any other.
+
+The store itself owns the *policy* surface — signatures, budgets, pins,
+eviction, the catalog — while the :mod:`repro.storage` layer owns bytes:
+``disk`` (legacy flat files), ``sharded`` (fan-out subdirectories), ``memory``
+(ephemeral), or ``tiered`` (a capacity-bounded memory tier write-through over
+sharded disk).  On a tiered backend the store additionally keeps a *decoded*
+hot-value cache pinned to the memory tier's residency, so a hot iterative
+loop skips deserialization entirely — loads the cost model can price at
+effectively zero.
 """
 
 from __future__ import annotations
@@ -17,9 +30,11 @@ import threading
 import time
 from collections import Counter
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import BudgetExceededError, StorageError
+from repro.storage.backends import MemoryBackend, StorageBackend, backend_from_spec
+from repro.storage.codecs import DEFAULT_CODEC_ID, CodecRegistry, default_registry
 
 _CATALOG_FILENAME = "catalog.json"
 
@@ -86,9 +101,13 @@ class ArtifactMeta:
     """Catalog entry for one materialized artifact.
 
     ``last_load_time`` is the measured *duration* of the most recent read
-    (the cost model's measured load cost); ``last_access_at`` is the wall
-    clock *instant* of the most recent read or write, which is what LRU
-    eviction orders by.  Both are updated under the store lock.
+    served by the durable tier (the cost model's measured load cost — memory
+    tier hits deliberately do not overwrite it, so the estimate stays honest
+    for a future process whose memory tier starts empty); ``last_access_at``
+    is the wall clock *instant* of the most recent read or write, which is
+    what LRU eviction orders by.  Both are updated under the store lock.
+    ``codec`` names the :mod:`repro.storage.codecs` codec that encoded the
+    payload; catalogs written before the storage layer default to pickle.
     """
 
     signature: str
@@ -99,6 +118,7 @@ class ArtifactMeta:
     filename: str
     last_load_time: Optional[float] = None
     last_access_at: Optional[float] = None
+    codec: str = DEFAULT_CODEC_ID
 
     def accessed_at(self) -> float:
         """Timestamp for recency ordering (creation time until first access)."""
@@ -203,7 +223,7 @@ class ChunkStoreOps:
 
 
 class ArtifactStore(ChunkStoreOps):
-    """Pickle-backed artifact store with budget accounting.
+    """Codec-aware artifact store with budget accounting over a pluggable backend.
 
     Parameters
     ----------
@@ -214,12 +234,44 @@ class ArtifactStore(ChunkStoreOps):
         The store *enforces* the budget; the materialization policy normally
         avoids exceeding it, so a :class:`BudgetExceededError` indicates a
         policy bug rather than a user error.
+    backend:
+        Where artifact bytes live: a backend name (``"disk"`` — the legacy
+        flat layout and the default — ``"sharded"``, ``"memory"``, or
+        ``"tiered"``) or an already-constructed
+        :class:`~repro.storage.backends.StorageBackend`.
+    codec:
+        Serialization policy for :meth:`put`: ``"auto"`` (default — pick the
+        best codec per value by type and size) or a specific codec id to
+        force.  Reads always use the codec recorded in the catalog.
+    memory_tier_bytes:
+        Capacity of the ``tiered`` backend's memory tier (ignored by the
+        other backends; ``None`` = the tiered default of 256 MB).
+    flush_every:
+        Persist the catalog after this many deferred mutations.  Puts batch
+        up to ``flush_every`` catalog entries per JSON rewrite (each rewrite
+        keeps the crash-safe ``os.replace`` path); deletes and evictions
+        always flush immediately.  A crash between flushes loses only
+        *reuse* of the unflushed artifacts, never correctness.
     """
 
-    def __init__(self, root: str, budget_bytes: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        root: str,
+        budget_bytes: Optional[float] = None,
+        backend: "Union[str, StorageBackend, None]" = None,
+        codec: str = "auto",
+        memory_tier_bytes: Optional[float] = None,
+        flush_every: int = 8,
+        registry: Optional[CodecRegistry] = None,
+    ) -> None:
         self.root = root
         self.budget_bytes = budget_bytes
+        self.codec = codec
+        self.registry = registry if registry is not None else default_registry()
         os.makedirs(root, exist_ok=True)
+        self._backend = backend_from_spec(
+            backend, root, memory_tier_bytes=memory_tier_bytes, on_demote=self._forget_hot_value
+        )
         self._catalog: Dict[str, ArtifactMeta] = {}
         # The wavefront scheduler's background materializer writes artifacts
         # while the main thread loads others; one re-entrant lock serializes
@@ -230,11 +282,101 @@ class ArtifactStore(ChunkStoreOps):
         # a concurrent writer's eviction cannot invalidate the plan mid-run.
         self._pins: Counter = Counter()
         # Access-metadata updates (load times, recency) mark the catalog
-        # dirty instead of rewriting it per read; the next mutation — or an
-        # explicit flush() — persists them.  On a busy shared store, per-read
-        # JSON rewrites of the whole catalog would dominate load time.
+        # dirty instead of rewriting it per read, and puts batch up to
+        # `flush_every` entries per rewrite.  On a busy shared store,
+        # per-mutation JSON rewrites of the whole catalog would dominate
+        # load time.
         self._catalog_dirty = False
+        self._dirty_mutations = 0
+        self._flush_every = max(1, int(flush_every))
+        # Decoded values for artifacts currently resident in a memory tier,
+        # keyed by backend key (meta.filename).  Kept strictly in sync with
+        # the tier via its demotion callback, so capacity accounting stays
+        # the tier's job and a hot loop skips deserialization entirely.
+        self._hot_values: Dict[str, Any] = {}
+        self._attach_demotion_hook()
         self._load_catalog()
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> StorageBackend:
+        return self._backend
+
+    def _memory_tier(self) -> Optional[MemoryBackend]:
+        if isinstance(self._backend, MemoryBackend):
+            return self._backend
+        memory = getattr(self._backend, "memory", None)
+        return memory if isinstance(memory, MemoryBackend) else None
+
+    def _attach_demotion_hook(self) -> None:
+        """Keep the hot-value cache in sync when an injected backend demotes."""
+        memory = self._memory_tier()
+        if memory is not None and memory.on_demote is None:
+            memory.on_demote = self._forget_hot_value
+
+    def _forget_hot_value(self, key: str) -> None:
+        with self._lock:
+            self._hot_values.pop(key, None)
+
+    def _offer_hot_value(self, key: str, value: Any) -> None:
+        """Cache a decoded value while (and only while) its bytes sit in memory."""
+        memory = self._memory_tier()
+        if memory is not None and memory.contains(key):
+            with self._lock:
+                self._hot_values[key] = value
+
+    def tier_of(self, signature: str) -> Optional[str]:
+        """Which tier would serve ``signature``: ``"memory"``, ``"disk"``, or ``None``."""
+        with self._lock:
+            meta = self._catalog.get(signature)
+        if meta is None:
+            return None
+        tier_probe = getattr(self._backend, "tier_of", None)
+        if callable(tier_probe):
+            return tier_probe(meta.filename)
+        return "memory" if isinstance(self._backend, MemoryBackend) else "disk"
+
+    def memory_resident_signatures(self) -> Set[str]:
+        """Signatures whose payload a memory tier would serve — near-free loads."""
+        memory = self._memory_tier()
+        if memory is None:
+            return set()
+        with self._lock:
+            return {
+                signature
+                for signature, meta in self._catalog.items()
+                if memory.contains(meta.filename)
+            }
+
+    def codecs_by_signature(self) -> Dict[str, str]:
+        """Signature → catalog codec id, for the cost model's throughput table."""
+        with self._lock:
+            return {signature: meta.codec for signature, meta in self._catalog.items()}
+
+    def storage_info(self) -> Dict[str, Any]:
+        """Backend, per-tier, and per-codec breakdown (the ``repro store`` verb)."""
+        with self._lock:
+            catalog = list(self._catalog.values())
+        by_codec: Dict[str, Dict[str, float]] = {}
+        for meta in catalog:
+            entry = by_codec.setdefault(meta.codec, {"artifacts": 0, "bytes": 0.0})
+            entry["artifacts"] += 1
+            entry["bytes"] += meta.size
+        info: Dict[str, Any] = {
+            "backend": self._backend.name,
+            "artifacts": len(catalog),
+            "used_bytes": sum(meta.size for meta in catalog),
+            "budget_bytes": self.budget_bytes,
+            "by_codec": by_codec,
+            "backend_stats": self._backend.stats().to_dict(),
+        }
+        tier_stats = getattr(self._backend, "tier_stats", None)
+        if callable(tier_stats):
+            info["tiers"] = tier_stats()
+            info["memory_resident"] = len(self.memory_resident_signatures())
+        return info
 
     # ------------------------------------------------------------------
     # Catalog persistence
@@ -253,7 +395,7 @@ class ArtifactStore(ChunkStoreOps):
             raise StorageError(f"cannot read artifact catalog at {path}: {exc}") from exc
         for entry in entries:
             meta = ArtifactMeta.from_dict(entry)
-            if os.path.exists(os.path.join(self.root, meta.filename)):
+            if self._backend.contains(meta.filename):
                 self._catalog[meta.signature] = meta
 
     def _save_catalog(self) -> None:
@@ -262,23 +404,32 @@ class ArtifactStore(ChunkStoreOps):
         ``os.replace`` is atomic on POSIX and Windows, so a reader (another
         session sharing this root, or a crashed writer's successor) always
         sees either the previous complete catalog or the new complete catalog
-        — never a torn write.
+        — never a torn write.  The JSON is compact: on a catalog of thousands
+        of artifacts, pretty-printing tripled the bytes rewritten per flush.
         """
         entries = [meta.to_dict() for meta in self._catalog.values()]
         path = self._catalog_path()
         temp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         try:
             with open(temp_path, "w") as handle:
-                json.dump(entries, handle, indent=2)
+                json.dump(entries, handle, separators=(",", ":"))
             os.replace(temp_path, path)
         except OSError as exc:
             with contextlib.suppress(OSError):
                 os.remove(temp_path)
             raise StorageError(f"cannot write artifact catalog at {path}: {exc}") from exc
         self._catalog_dirty = False
+        self._dirty_mutations = 0
+
+    def _note_mutation(self) -> None:
+        """Batched flush accounting: persist once per ``flush_every`` mutations."""
+        self._catalog_dirty = True
+        self._dirty_mutations += 1
+        if self._dirty_mutations >= self._flush_every:
+            self._save_catalog()
 
     def flush(self) -> None:
-        """Persist any deferred access-metadata updates to the catalog."""
+        """Persist any deferred catalog updates (batched puts, access metadata)."""
         with self._lock:
             if self._catalog_dirty:
                 self._save_catalog()
@@ -334,12 +485,26 @@ class ArtifactStore(ChunkStoreOps):
     def serialize(node_name: str, value: Any) -> bytes:
         """Pickle ``value`` for storage, mapping failures to :class:`StorageError`.
 
-        Split out of :meth:`put` so the wavefront scheduler can serialize
-        synchronously (keeping budget accounting deterministic) and defer only
-        the disk write to its background materializer.
+        The codec-oblivious legacy form (always pickle); new code should call
+        :meth:`encode`, which also returns the codec id to record.
         """
         try:
             return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise StorageError(f"cannot serialize artifact for node {node_name!r}: {exc}") from exc
+
+    def encode(self, node_name: str, value: Any) -> Tuple[bytes, str]:
+        """Serialize ``value`` under the store's codec policy.
+
+        Returns ``(payload, codec_id)``.  Split out of :meth:`put` so the
+        wavefront scheduler can serialize synchronously (keeping budget
+        accounting deterministic) and defer only the backend write to its
+        background materializer.
+        """
+        try:
+            return self.registry.encode_value(value, codec=self.codec)
+        except StorageError:
+            raise
         except (pickle.PicklingError, TypeError, AttributeError) as exc:
             raise StorageError(f"cannot serialize artifact for node {node_name!r}: {exc}") from exc
 
@@ -351,21 +516,33 @@ class ArtifactStore(ChunkStoreOps):
         refresh that keeps write accounting honest).
         """
         started = time.perf_counter()
-        payload = self.serialize(node_name, value)
-        return self.put_bytes(signature, node_name, payload, started_at=started)
+        payload, codec_id = self.encode(node_name, value)
+        meta = self.put_bytes(signature, node_name, payload, started_at=started, codec=codec_id)
+        if meta is not None:
+            # The writer already holds the decoded value: seed the hot-value
+            # cache so the first warm read skips deserialization too.
+            self._offer_hot_value(meta.filename, value)
+        return meta
 
     def put_bytes(
-        self, signature: str, node_name: str, payload: bytes, started_at: Optional[float] = None
+        self,
+        signature: str,
+        node_name: str,
+        payload: bytes,
+        started_at: Optional[float] = None,
+        codec: str = DEFAULT_CODEC_ID,
     ) -> ArtifactMeta:
         """Persist an already-serialized artifact; returns the catalog entry.
 
         ``started_at`` (a ``perf_counter`` stamp) lets callers fold their own
-        serialization time into the recorded ``write_time``.  The disk write
-        happens *outside* the catalog lock so a background materializer never
-        stalls concurrent loads; the budget is re-checked and the catalog
-        updated atomically around it.  (With several concurrent writers the
-        pre-write budget check can transiently race; the wavefront scheduler
-        prevents that by debiting its logical budget before submitting.)
+        serialization time into the recorded ``write_time``; ``codec`` is the
+        id of the codec that produced ``payload`` (recorded so reads
+        self-describe).  The backend write happens *outside* the catalog lock
+        so a background materializer never stalls concurrent loads; the
+        budget is re-checked and the catalog updated atomically around it.
+        (With several concurrent writers the pre-write budget check can
+        transiently race; the wavefront scheduler prevents that by debiting
+        its logical budget before submitting.)
         """
         started = started_at if started_at is not None else time.perf_counter()
         size = float(len(payload))
@@ -377,13 +554,14 @@ class ArtifactStore(ChunkStoreOps):
                     f"materializing {node_name!r} ({size:.0f} B) would exceed the budget "
                     f"({projected:.0f} > {self.budget_bytes:.0f} B)"
                 )
-        filename = f"{signature}.pkl"
-        path = os.path.join(self.root, filename)
-        try:
-            with open(path, "wb") as handle:
-                handle.write(payload)
-        except OSError as exc:
-            raise StorageError(f"cannot write artifact {path}: {exc}") from exc
+            previous_filename = existing.filename if existing else None
+        filename = self._backend.place(f"{signature}.pkl")
+        self._backend.put_bytes(filename, payload)
+        if previous_filename is not None and previous_filename != filename:
+            # An overwrite under a different layout (legacy flat file being
+            # refreshed through a sharded backend) must not leave an orphan.
+            self._forget_hot_value(previous_filename)
+            self._backend.delete(previous_filename)
         write_time = time.perf_counter() - started
         created = time.time()
         meta = ArtifactMeta(
@@ -394,46 +572,76 @@ class ArtifactStore(ChunkStoreOps):
             created_at=created,
             filename=filename,
             last_access_at=created,
+            codec=codec,
         )
         with self._lock:
             self._catalog[signature] = meta
-            self._save_catalog()
+            self._note_mutation()
         return meta
 
     def get(self, signature: str) -> Tuple[Any, float]:
         """Load an artifact; returns ``(value, elapsed_seconds)``.
 
-        Updates the catalog entry's measured load cost (``last_load_time``)
-        and access recency (``last_access_at``) under the lock, re-checking
-        that the entry still exists — a concurrent eviction between the read
-        and the bookkeeping must not resurrect a deleted entry.  The update
-        is deferred to the next catalog write (or :meth:`flush`) rather than
-        rewriting the catalog per read.
+        Resolution order: the decoded hot-value cache (memory-tier residents
+        only — no read, no deserialization), then the backend (a tiered
+        backend serves memory bytes before disk and promotes on read), then
+        the catalog codec decodes the payload.  Durable-tier reads update the
+        catalog entry's measured load cost (``last_load_time``); every read
+        updates access recency (``last_access_at``) under the lock,
+        re-checking that the entry still exists — a concurrent eviction
+        between the read and the bookkeeping must not resurrect a deleted
+        entry.  Updates are deferred to the next catalog write (or
+        :meth:`flush`) rather than rewriting the catalog per read.
         """
         meta = self.meta(signature)
-        path = os.path.join(self.root, meta.filename)
         started = time.perf_counter()
+        with self._lock:
+            hot = self._hot_values.get(meta.filename)
+        if hot is not None:
+            elapsed = time.perf_counter() - started
+            self._touch(signature, measured_load=None)
+            return hot, elapsed
         try:
-            with open(path, "rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError) as exc:
-            raise StorageError(f"cannot load artifact {path}: {exc}") from exc
+            reader = getattr(self._backend, "read", None)
+            if callable(reader):
+                # Tiered backends report which tier actually served the read
+                # (a pre-read probe would race concurrent promotions).
+                payload, served_tier = reader(meta.filename)
+                memory_served = served_tier == "memory"
+            else:
+                payload = self._backend.get_bytes(meta.filename)
+                memory_served = False
+            value = self.registry.decode_value(payload, meta.codec)
+        except StorageError:
+            raise
+        except Exception as exc:
+            # Decode failures (truncated pickle, bad zlib stream, torn raw
+            # buffer — a crash mid-write) must surface as StorageError: the
+            # scheduler's load paths recover from StorageError (recompute the
+            # chunk, PlanError for monolithic loads) but not from raw codec
+            # exceptions.
+            raise StorageError(f"cannot load artifact {meta.filename}: {exc}") from exc
         elapsed = time.perf_counter() - started
+        self._offer_hot_value(meta.filename, value)
+        self._touch(signature, measured_load=None if memory_served else elapsed)
+        return value, elapsed
+
+    def _touch(self, signature: str, measured_load: Optional[float]) -> None:
+        """Record one read's access metadata (deferred to the next flush)."""
         with self._lock:
             current = self._catalog.get(signature)
             if current is not None:
-                current.last_load_time = elapsed
+                if measured_load is not None:
+                    current.last_load_time = measured_load
                 current.last_access_at = time.time()
                 self._catalog_dirty = True
-        return value, elapsed
 
     def delete(self, signature: str) -> None:
-        """Remove one artifact and its catalog entry."""
+        """Remove one artifact and its catalog entry (flushed immediately)."""
         with self._lock:
             meta = self.meta(signature)
-            path = os.path.join(self.root, meta.filename)
-            if os.path.exists(path):
-                os.remove(path)
+            self._forget_hot_value(meta.filename)
+            self._backend.delete(meta.filename)
             del self._catalog[signature]
             self._save_catalog()
 
@@ -517,9 +725,8 @@ class ArtifactStore(ChunkStoreOps):
             for meta in candidates:
                 if freed >= bytes_needed:
                     break
-                path = os.path.join(self.root, meta.filename)
-                if os.path.exists(path):
-                    os.remove(path)
+                self._forget_hot_value(meta.filename)
+                self._backend.delete(meta.filename)
                 del self._catalog[meta.signature]
                 evicted.append(meta)
                 freed += meta.size

@@ -112,11 +112,28 @@ class SharedArtifactCache(ArtifactStore):
     ``get_for`` are what :class:`TenantStoreView` routes through.
     """
 
-    def __init__(self, root: str, config: CacheConfig = CacheConfig()) -> None:
+    def __init__(
+        self,
+        root: str,
+        config: CacheConfig = CacheConfig(),
+        store_backend: Optional[str] = None,
+        memory_tier_bytes: Optional[float] = None,
+        codec: str = "auto",
+    ) -> None:
         # The base class's hard budget would make over-quota writes raise;
         # the cache instead reclaims space by eviction, so the base budget
         # stays unset and `remaining_budget` reports "unbounded" upward.
-        super().__init__(root, budget_bytes=None)
+        # Backend and codec plumb straight through to the storage layer: a
+        # tiered cache serves every tenant's hot set from its memory tier
+        # (sizing a memory tier without a backend implies "tiered" — the
+        # rule lives in backend_from_spec).
+        super().__init__(
+            root,
+            budget_bytes=None,
+            backend=store_backend,
+            codec=codec,
+            memory_tier_bytes=memory_tier_bytes,
+        )
         self.config = config
         self.stats = CacheStats()
         # Signature → tenant whose run first materialized the artifact (the
@@ -261,6 +278,7 @@ class SharedArtifactCache(ArtifactStore):
         node_name: str,
         payload: bytes,
         started_at: Optional[float] = None,
+        codec: str = "pickle",
     ) -> Optional[ArtifactMeta]:
         """Admit one tenant's artifact, evicting as needed to make room.
 
@@ -274,7 +292,7 @@ class SharedArtifactCache(ArtifactStore):
             return None
         with self._admission_lock:
             self._reclaim_for(tenant, size)
-            meta = super().put_bytes(signature, node_name, payload, started_at=started_at)
+            meta = super().put_bytes(signature, node_name, payload, started_at=started_at, codec=codec)
         with self._lock:
             # Re-materializing an existing signature keeps the original
             # owner: the bytes were first paid for by that tenant's quota.
@@ -346,15 +364,20 @@ class SharedArtifactCache(ArtifactStore):
         """One JSON-friendly dictionary describing cache state and traffic."""
         with self._lock:
             per_tenant = {tenant: self.tenant_used_bytes(tenant) for tenant in set(self._owners.values())}
-            return {
+            snapshot = {
                 "artifacts": len(self._catalog),
                 "used_bytes": self.used_bytes(),
                 "budget_bytes": self.config.budget_bytes,
                 "tenant_quota_bytes": self.config.tenant_quota_bytes,
                 "eviction": self.config.eviction,
+                "backend": self._backend.name,
                 "bytes_by_tenant": per_tenant,
                 **self.stats.to_dict(),
             }
+        tier_stats = getattr(self._backend, "tier_stats", None)
+        if callable(tier_stats):
+            snapshot["tiers"] = tier_stats()
+        return snapshot
 
     def view(self, tenant: str) -> "TenantStoreView":
         return TenantStoreView(self, tenant)
@@ -412,6 +435,18 @@ class TenantStoreView(ChunkStoreOps):
     def load_costs_by_signature(self) -> Dict[str, float]:
         return self.cache.load_costs_by_signature()
 
+    def memory_resident_signatures(self):
+        return self.cache.memory_resident_signatures()
+
+    def codecs_by_signature(self) -> Dict[str, str]:
+        return self.cache.codecs_by_signature()
+
+    def tier_of(self, signature: str) -> Optional[str]:
+        return self.cache.tier_of(signature)
+
+    def storage_info(self) -> Dict[str, Any]:
+        return self.cache.storage_info()
+
     def pinned_signatures(self) -> List[str]:
         return self.cache.pinned_signatures()
 
@@ -423,18 +458,26 @@ class TenantStoreView(ChunkStoreOps):
     def serialize(node_name: str, value: Any) -> bytes:
         return ArtifactStore.serialize(node_name, value)
 
+    def encode(self, node_name: str, value: Any) -> Tuple[bytes, str]:
+        return self.cache.encode(node_name, value)
+
     def put(self, signature: str, node_name: str, value: Any) -> Optional[ArtifactMeta]:
         started = time.perf_counter()
-        payload = self.serialize(node_name, value)
-        return self.put_bytes(signature, node_name, payload, started_at=started)
+        payload, codec = self.encode(node_name, value)
+        return self.put_bytes(signature, node_name, payload, started_at=started, codec=codec)
 
     def put_bytes(
-        self, signature: str, node_name: str, payload: bytes, started_at: Optional[float] = None
+        self,
+        signature: str,
+        node_name: str,
+        payload: bytes,
+        started_at: Optional[float] = None,
+        codec: str = "pickle",
     ) -> Optional[ArtifactMeta]:
         """May return ``None``: the cache declines artifacts that fail size
         admission (see :meth:`SharedArtifactCache.put_bytes_for`)."""
         return self.cache.put_bytes_for(
-            self.tenant, signature, node_name, payload, started_at=started_at
+            self.tenant, signature, node_name, payload, started_at=started_at, codec=codec
         )
 
     def get(self, signature: str) -> Tuple[Any, float]:

@@ -57,6 +57,15 @@ class ServiceConfig:
     #: partitioned outputs land in the shared cache as chunked artifacts,
     #: so partial chunk hits work across tenants too.
     partitions: Optional[int] = None
+    #: Storage layer under the shared cache (or each isolated store):
+    #: ``None``/"disk" (flat files), "sharded", "memory", or "tiered" — the
+    #: memory-over-disk composition that serves hot artifacts without disk
+    #: reads or deserialization.  ``memory_tier_mb`` sizes the tiered
+    #: backend's memory tier (its default is 256 MB); ``codec`` picks the
+    #: serialization policy ("auto" = per value by type and size).
+    store_backend: Optional[str] = None
+    memory_tier_mb: Optional[float] = None
+    codec: str = "auto"
     cache: CacheConfig = CacheConfig()
     #: ``False`` gives every tenant an isolated store under its own
     #: workspace — the no-sharing baseline the benchmark compares against.
@@ -75,7 +84,17 @@ class WorkflowService:
         self.config = config
         os.makedirs(root, exist_ok=True)
         self.cache: Optional[SharedArtifactCache] = (
-            SharedArtifactCache(os.path.join(root, "cache"), config.cache)
+            SharedArtifactCache(
+                os.path.join(root, "cache"),
+                config.cache,
+                store_backend=config.store_backend,
+                memory_tier_bytes=(
+                    config.memory_tier_mb * 1024 * 1024
+                    if config.memory_tier_mb is not None
+                    else None
+                ),
+                codec=config.codec,
+            )
             if config.shared_cache
             else None
         )
@@ -122,6 +141,9 @@ class WorkflowService:
                         backend=self.config.backend,
                         parallelism=self.config.parallelism,
                         partitions=self.config.partitions,
+                        store_backend=self.config.store_backend,
+                        memory_tier_mb=self.config.memory_tier_mb,
+                        codec=self.config.codec,
                         storage_budget=self.config.isolated_budget_bytes,
                     )
             return self._sessions[tenant]
@@ -184,6 +206,9 @@ class WorkflowService:
                 for stats in result.report.node_stats.values()
                 if stats.state is NodeState.COMPUTE and stats.compute_time > 0
             })
+            # Catalog writes batch; one flush per finished request makes the
+            # run's artifacts durable for other processes sharing the root.
+            self.cache.flush()
         return result
 
     def _record(self, ticket: RequestTicket) -> None:

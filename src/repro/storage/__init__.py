@@ -1,0 +1,56 @@
+"""Tiered pluggable storage: backends, codecs, and their composition.
+
+This package is the layer *below* :class:`~repro.execution.store.ArtifactStore`.
+The store owns signatures, the catalog, budgets, pinning, and eviction policy;
+everything about where bytes live and how values become bytes is delegated
+here:
+
+* :class:`StorageBackend` — the byte-oriented protocol
+  (``put_bytes`` / ``get_bytes`` / ``delete`` / ``contains`` / ``stats``);
+* :class:`MemoryBackend` — an LRU-ordered, capacity-bounded in-process tier;
+* :class:`ShardedDiskBackend` — durable files fanned out over subdirectories
+  so a large catalog never produces one flat directory with 10⁵ entries;
+* :class:`TieredStore` — memory over disk: write-through on put,
+  promote-on-read, demote-coldest-first when the memory tier fills;
+* :class:`CodecRegistry` — per-artifact serialization (``pickle``,
+  ``pickle+zlib``, a raw-buffer fast path for NumPy arrays, and a dense
+  matrix encoding for :class:`~repro.dsl.operators.DenseFeaturizer` feature
+  blocks), with the chosen codec id recorded in the artifact catalog so
+  reads self-describe.
+"""
+
+from repro.storage.backends import (
+    BackendStats,
+    DiskBackend,
+    MemoryBackend,
+    ShardedDiskBackend,
+    StorageBackend,
+    backend_from_spec,
+)
+from repro.storage.codecs import (
+    Codec,
+    CodecRegistry,
+    DenseBlockCodec,
+    PickleCodec,
+    NumpyRawCodec,
+    ZlibPickleCodec,
+    default_registry,
+)
+from repro.storage.tiered import TieredStore
+
+__all__ = [
+    "BackendStats",
+    "Codec",
+    "CodecRegistry",
+    "DenseBlockCodec",
+    "DiskBackend",
+    "MemoryBackend",
+    "NumpyRawCodec",
+    "PickleCodec",
+    "ShardedDiskBackend",
+    "StorageBackend",
+    "TieredStore",
+    "ZlibPickleCodec",
+    "backend_from_spec",
+    "default_registry",
+]

@@ -1,0 +1,354 @@
+"""Storage backends: where artifact bytes physically live.
+
+A backend is deliberately dumb — a key/value byte store with usage counters.
+Keys are relative paths chosen by the layer above (the artifact store records
+them in its catalog as ``filename``), which keeps two properties:
+
+* durable backends lay keys out under one root directory, so
+  ``os.path.join(root, filename)`` remains the on-disk location a human (or
+  an old test) expects;
+* a catalog written under one backend remains readable under another — a
+  legacy flat-layout key like ``sig.pkl`` passes through the sharded backend
+  untouched, so pre-existing workspaces upgrade in place with no migration.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import StorageError
+
+
+@dataclass
+class BackendStats:
+    """Monotonic traffic counters plus a point-in-time occupancy snapshot."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    bytes_written: float = 0.0
+    bytes_read: float = 0.0
+    objects: int = 0
+    used_bytes: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "puts": self.puts,
+            "gets": self.gets,
+            "deletes": self.deletes,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "objects": self.objects,
+            "used_bytes": self.used_bytes,
+        }
+
+
+class StorageBackend:
+    """The byte-store protocol every tier implements.
+
+    ``place`` maps a flat object name to the backend's preferred relative
+    key (sharded backends inject a fan-out directory); every other method
+    takes the key verbatim, so keys minted elsewhere — including legacy flat
+    keys — keep working.
+    """
+
+    name = "base"
+
+    def place(self, name: str) -> str:
+        return name
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def get_bytes(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` if present; returns whether anything was removed."""
+        raise NotImplementedError
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def stats(self) -> BackendStats:
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        raise NotImplementedError
+
+
+class MemoryBackend(StorageBackend):
+    """In-process byte tier: LRU-ordered, capacity-bounded, never durable.
+
+    ``capacity_bytes=None`` means unbounded (a pure in-memory store).  With a
+    capacity, inserting past it *demotes* the coldest keys — least recently
+    put or read first — until the new payload fits; a payload larger than the
+    whole capacity is declined outright.  ``on_demote`` fires (outside no
+    lock — callers must tolerate reentrancy) for every key that leaves the
+    tier for any reason, which is how the artifact store keeps its decoded
+    hot-value cache in sync.
+    """
+
+    name = "memory"
+
+    def __init__(
+        self,
+        capacity_bytes: Optional[float] = None,
+        on_demote: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise StorageError(f"memory tier capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.on_demote = on_demote
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._stats = BackendStats()
+        self.demotions = 0
+
+    def _evict_for(self, incoming: int) -> List[str]:
+        """Demote coldest-first until ``incoming`` bytes fit; returns victims."""
+        victims: List[str] = []
+        if self.capacity_bytes is None:
+            return victims
+        while self._entries and self._stats.used_bytes + incoming > self.capacity_bytes:
+            key, payload = self._entries.popitem(last=False)
+            self._stats.used_bytes -= len(payload)
+            self._stats.objects -= 1
+            self.demotions += 1
+            victims.append(key)
+        return victims
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
+        accepted = self.offer(key, payload)
+        if not accepted:
+            raise StorageError(
+                f"payload of {len(payload)} B exceeds the memory tier capacity "
+                f"({self.capacity_bytes:.0f} B)"
+            )
+
+    def offer(self, key: str, payload: bytes) -> bool:
+        """Best-effort insert: ``False`` when the payload alone exceeds capacity.
+
+        The tiered store uses this form — a value too large for the memory
+        tier simply stays disk-only instead of failing the write.
+        """
+        if self.capacity_bytes is not None and len(payload) > self.capacity_bytes:
+            return False
+        with self._lock:
+            existing = self._entries.pop(key, None)
+            if existing is not None:
+                self._stats.used_bytes -= len(existing)
+                self._stats.objects -= 1
+            victims = self._evict_for(len(payload))
+            self._entries[key] = payload
+            self._stats.puts += 1
+            self._stats.bytes_written += len(payload)
+            self._stats.used_bytes += len(payload)
+            self._stats.objects += 1
+        self._notify_demoted(victims)
+        return True
+
+    def _notify_demoted(self, victims: List[str]) -> None:
+        if self.on_demote is not None:
+            for key in victims:
+                self.on_demote(key)
+
+    def get_bytes(self, key: str) -> bytes:
+        with self._lock:
+            if key not in self._entries:
+                raise StorageError(f"memory tier has no object {key!r}")
+            self._entries.move_to_end(key)  # reads refresh LRU warmth
+            payload = self._entries[key]
+            self._stats.gets += 1
+            self._stats.bytes_read += len(payload)
+            return payload
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            payload = self._entries.pop(key, None)
+            if payload is None:
+                return False
+            self._stats.deletes += 1
+            self._stats.used_bytes -= len(payload)
+            self._stats.objects -= 1
+        self._notify_demoted([key])
+        return True
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> BackendStats:
+        with self._lock:
+            return BackendStats(**self._stats.to_dict())
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+
+class DiskBackend(StorageBackend):
+    """Durable files directly under one root directory — the legacy flat layout."""
+
+    name = "disk"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = BackendStats()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key)
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        try:
+            parent = os.path.dirname(path)
+            if parent != self.root:
+                os.makedirs(parent, exist_ok=True)
+            with open(path, "wb") as handle:
+                handle.write(payload)
+        except OSError as exc:
+            raise StorageError(f"cannot write artifact {path}: {exc}") from exc
+        with self._lock:
+            self._stats.puts += 1
+            self._stats.bytes_written += len(payload)
+
+    def get_bytes(self, key: str) -> bytes:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = handle.read()
+        except OSError as exc:
+            raise StorageError(f"cannot load artifact {path}: {exc}") from exc
+        with self._lock:
+            self._stats.gets += 1
+            self._stats.bytes_read += len(payload)
+        return payload
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        if not os.path.exists(path):
+            return False
+        with contextlib.suppress(OSError):
+            os.remove(path)
+        with self._lock:
+            self._stats.deletes += 1
+        return True
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def stats(self) -> BackendStats:
+        objects = 0
+        used = 0.0
+        for key in self.keys():
+            with contextlib.suppress(OSError):
+                used += os.path.getsize(self._path(key))
+                objects += 1
+        with self._lock:
+            snapshot = BackendStats(**self._stats.to_dict())
+        snapshot.objects = objects
+        snapshot.used_bytes = used
+        return snapshot
+
+    def _is_artifact(self, name: str) -> bool:
+        # The artifact store keeps its catalog (and temp files) in the same
+        # root; those are not payload objects.
+        return not name.endswith(".json") and ".tmp." not in name
+
+    def keys(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            name for name in names
+            if self._is_artifact(name) and os.path.isfile(self._path(name))
+        )
+
+
+class ShardedDiskBackend(DiskBackend):
+    """Durable files fanned out over ``fanout`` subdirectories of the root.
+
+    One flat directory with tens of thousands of artifacts makes every
+    create/lookup pay a linear directory scan on many filesystems; sharding
+    by a stable hash of the object name bounds each directory at roughly
+    ``objects / fanout`` entries.  Keys minted elsewhere (the legacy flat
+    layout, or another fanout) resolve verbatim, so mixed workspaces work.
+    """
+
+    name = "sharded"
+
+    def __init__(self, root: str, fanout: int = 64) -> None:
+        if fanout < 1:
+            raise StorageError(f"sharded backend needs fanout >= 1, got {fanout}")
+        super().__init__(root)
+        self.fanout = fanout
+
+    def place(self, name: str) -> str:
+        digest = hashlib.sha1(name.encode("utf-8")).hexdigest()
+        shard = int(digest[:8], 16) % self.fanout
+        return os.path.join(f"{shard:02x}", name)
+
+    def keys(self) -> List[str]:
+        found = list(super().keys())
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return found
+        for entry in sorted(entries):
+            shard_dir = os.path.join(self.root, entry)
+            if not os.path.isdir(shard_dir):
+                continue
+            with contextlib.suppress(OSError):
+                found.extend(
+                    os.path.join(entry, name)
+                    for name in sorted(os.listdir(shard_dir))
+                    if self._is_artifact(name)
+                )
+        return found
+
+
+def backend_from_spec(
+    spec: Optional[str],
+    root: str,
+    memory_tier_bytes: Optional[float] = None,
+    on_demote: Optional[Callable[[str], None]] = None,
+) -> StorageBackend:
+    """Build a backend from its CLI/config name.
+
+    ``disk`` (flat files, the default), ``sharded`` (fan-out directories),
+    ``memory`` (ephemeral), or ``tiered`` (memory over sharded disk, the
+    memory tier bounded by ``memory_tier_bytes`` — default 256 MB).  Sizing
+    a memory tier without naming a backend implies ``tiered`` — this rule
+    lives here so every entry point (session, shared cache, CLI) agrees.
+    Already-constructed backends pass through, so tests and embedders can
+    inject custom compositions.
+    """
+    from repro.storage.tiered import TieredStore
+
+    if isinstance(spec, StorageBackend):
+        return spec
+    if spec is None and memory_tier_bytes is not None:
+        spec = "tiered"
+    name = spec or "disk"
+    if name == "disk":
+        return DiskBackend(root)
+    if name == "sharded":
+        return ShardedDiskBackend(root)
+    if name == "memory":
+        return MemoryBackend(capacity_bytes=None, on_demote=on_demote)
+    if name == "tiered":
+        capacity = memory_tier_bytes if memory_tier_bytes is not None else 256 * 1024 * 1024
+        return TieredStore(ShardedDiskBackend(root), memory_capacity_bytes=capacity, on_demote=on_demote)
+    raise StorageError(
+        f"unknown storage backend {name!r}; expected one of ['disk', 'memory', 'sharded', 'tiered']"
+    )

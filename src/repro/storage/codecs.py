@@ -1,0 +1,274 @@
+"""Codec-aware serialization: how artifact values become bytes.
+
+Every artifact used to be ``pickle.dumps`` regardless of what it held, so the
+cost model had one deserialization throughput for everything and hot numeric
+artifacts paid pickle's per-object overhead on every reuse.  A :class:`Codec`
+encapsulates one encoding; the :class:`CodecRegistry` picks the best codec for
+a value (``"auto"``) or honors a forced choice, and the chosen codec *id* is
+recorded next to the artifact in the catalog so reads self-describe — a
+workspace written with one configuration reads fine under any other.
+
+Built-in codecs:
+
+``pickle``
+    The universal fallback (highest protocol).
+``pickle+zlib``
+    Pickle wrapped in zlib (level 1).  Auto-selection uses it only when the
+    compressed payload is actually smaller by a margin — CPU is spent once at
+    write time to shrink every future disk read.
+``numpy-raw``
+    C-contiguous :class:`numpy.ndarray` values as a tiny header plus the raw
+    buffer — decode is one ``frombuffer`` with no object reconstruction.
+``dense-block``
+    :class:`~repro.dataflow.features.FeatureBlock` values whose rows all
+    share one feature-key tuple of floats — exactly what
+    :class:`~repro.dsl.operators.DenseFeaturizer` emits.  Rows are packed
+    into two float64 matrices (train/test), so encode and the byte payload
+    skip per-row dict pickling.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+
+#: Catalog codec id every pre-storage-layer workspace implicitly used.
+DEFAULT_CODEC_ID = "pickle"
+
+
+class Codec:
+    """One serialization format.  ``id`` is what the catalog records."""
+
+    id = "base"
+
+    def handles(self, value: Any) -> bool:
+        """Whether auto-selection may pick this codec for ``value``."""
+        return True
+
+    def encode(self, value: Any) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, payload: bytes) -> Any:
+        raise NotImplementedError
+
+
+class PickleCodec(Codec):
+    id = "pickle"
+
+    def encode(self, value: Any) -> bytes:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, payload: bytes) -> Any:
+        return pickle.loads(payload)
+
+
+class ZlibPickleCodec(Codec):
+    """Pickle + zlib.  Level 1: nearly all of the ratio at a fraction of the CPU."""
+
+    id = "pickle+zlib"
+
+    def __init__(self, level: int = 1) -> None:
+        self.level = level
+
+    def encode(self, value: Any) -> bytes:
+        return zlib.compress(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), self.level)
+
+    def decode(self, payload: bytes) -> Any:
+        return pickle.loads(zlib.decompress(payload))
+
+
+class NumpyRawCodec(Codec):
+    """Raw-buffer encoding for C-contiguous (or trivially copyable) ndarrays.
+
+    Layout: ``u16 dtype-string length | dtype string | u8 ndim | u64 × ndim
+    shape | raw buffer``.  Object dtypes fall outside the raw-buffer model and
+    are rejected from auto-selection.
+    """
+
+    id = "numpy-raw"
+
+    def handles(self, value: Any) -> bool:
+        return isinstance(value, np.ndarray) and value.dtype != object
+
+    def encode(self, value: Any) -> bytes:
+        if not self.handles(value):
+            raise StorageError(f"numpy-raw codec cannot encode {type(value).__name__}")
+        array = np.ascontiguousarray(value)
+        dtype = array.dtype.str.encode("ascii")
+        header = struct.pack("<H", len(dtype)) + dtype
+        header += struct.pack("<B", array.ndim) + struct.pack(f"<{array.ndim}Q", *array.shape)
+        return header + array.tobytes()
+
+    def decode(self, payload: bytes) -> Any:
+        try:
+            (dtype_len,) = struct.unpack_from("<H", payload, 0)
+            offset = 2 + dtype_len
+            dtype = np.dtype(payload[2:offset].decode("ascii"))
+            (ndim,) = struct.unpack_from("<B", payload, offset)
+            offset += 1
+            shape = struct.unpack_from(f"<{ndim}Q", payload, offset)
+            offset += 8 * ndim
+            return np.frombuffer(payload, dtype=dtype, offset=offset).reshape(shape).copy()
+        except (struct.error, ValueError, UnicodeDecodeError) as exc:
+            raise StorageError(f"corrupt numpy-raw payload: {exc}") from exc
+
+
+def _uniform_numeric_keys(rows: List[Dict[str, Any]]) -> Optional[Tuple[str, ...]]:
+    """The shared key tuple if every row has identical float-valued keys."""
+    keys: Optional[Tuple[str, ...]] = None
+    for row in rows:
+        row_keys = tuple(row)
+        if keys is None:
+            keys = row_keys
+        elif row_keys != keys:
+            return None
+        for item in row.values():
+            if type(item) is not float:
+                return None
+    return keys
+
+
+class DenseBlockCodec(Codec):
+    """Matrix encoding for feature blocks with one uniform float schema.
+
+    :class:`~repro.dsl.operators.DenseFeaturizer` emits one ``emb0..embN``
+    float dict per record — the same keys for every row — so the whole block
+    is really two dense matrices plus a key list.  Encoding packs exactly
+    that; rows with heterogenous keys (one-hot extractors) are not handled
+    and fall back to pickle under auto-selection.
+    """
+
+    id = "dense-block"
+
+    def handles(self, value: Any) -> bool:
+        from repro.dataflow.features import FeatureBlock
+
+        if not isinstance(value, FeatureBlock):
+            return False
+        if not value.train and not value.test:
+            return False
+        train_keys = _uniform_numeric_keys(value.train) if value.train else None
+        test_keys = _uniform_numeric_keys(value.test) if value.test else None
+        if value.train and train_keys is None:
+            return False
+        if value.test and test_keys is None:
+            return False
+        return not (value.train and value.test) or train_keys == test_keys
+
+    def encode(self, value: Any) -> bytes:
+        from repro.dataflow.features import FeatureBlock
+
+        if not isinstance(value, FeatureBlock):
+            raise StorageError(f"dense-block codec cannot encode {type(value).__name__}")
+        keys = (
+            _uniform_numeric_keys(value.train)
+            if value.train
+            else _uniform_numeric_keys(value.test)
+        )
+        if keys is None:
+            raise StorageError("dense-block codec needs rows with one uniform float schema")
+        header = pickle.dumps(
+            {
+                "name": value.name,
+                "keys": list(keys),
+                "n_train": len(value.train),
+                "n_test": len(value.test),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        matrix = np.array(
+            [[row[key] for key in keys] for row in (*value.train, *value.test)],
+            dtype=np.float64,
+        )
+        return struct.pack("<I", len(header)) + header + matrix.tobytes()
+
+    def decode(self, payload: bytes) -> Any:
+        from repro.dataflow.features import FeatureBlock
+
+        try:
+            (header_len,) = struct.unpack_from("<I", payload, 0)
+            header = pickle.loads(payload[4 : 4 + header_len])
+            keys = header["keys"]
+            n_train, n_test = header["n_train"], header["n_test"]
+            matrix = np.frombuffer(payload, dtype=np.float64, offset=4 + header_len)
+            matrix = matrix.reshape(n_train + n_test, len(keys))
+            rows = [dict(zip(keys, map(float, matrix[i]))) for i in range(n_train + n_test)]
+        except (struct.error, ValueError, KeyError, pickle.UnpicklingError) as exc:
+            raise StorageError(f"corrupt dense-block payload: {exc}") from exc
+        return FeatureBlock(name=header["name"], train=rows[:n_train], test=rows[n_train:])
+
+
+class CodecRegistry:
+    """Maps codec ids to codecs and picks one per artifact value.
+
+    ``choose`` implements the by-type/by-size policy: specialized codecs
+    (``numpy-raw``, ``dense-block``) win when they handle the value's type;
+    otherwise the value is pickled, and payloads at or above
+    ``compress_threshold`` bytes are kept compressed when zlib actually
+    shrinks them below ``compress_ratio`` of the original.
+    """
+
+    def __init__(self, compress_threshold: int = 32 * 1024, compress_ratio: float = 0.9) -> None:
+        self.compress_threshold = compress_threshold
+        self.compress_ratio = compress_ratio
+        self._codecs: Dict[str, Codec] = {}
+        for codec in (PickleCodec(), ZlibPickleCodec(), NumpyRawCodec(), DenseBlockCodec()):
+            self.register(codec)
+
+    def register(self, codec: Codec) -> None:
+        self._codecs[codec.id] = codec
+
+    def ids(self) -> List[str]:
+        return sorted(self._codecs)
+
+    def by_id(self, codec_id: str) -> Codec:
+        if codec_id not in self._codecs:
+            raise StorageError(
+                f"unknown codec {codec_id!r}; expected one of {self.ids()} "
+                "(was this artifact written by a newer version?)"
+            )
+        return self._codecs[codec_id]
+
+    def encode_value(self, value: Any, codec: str = "auto") -> Tuple[bytes, str]:
+        """``(payload, codec_id)`` for ``value`` under the requested policy.
+
+        ``codec="auto"`` applies the type/size policy; naming a codec forces
+        it, except that a specialized codec which cannot represent the value
+        falls back to plain pickle (so ``--codec numpy-raw`` accelerates the
+        artifacts it can and never breaks the ones it cannot).
+        """
+        if codec != "auto":
+            chosen = self.by_id(codec)
+            if not chosen.handles(value):
+                chosen = self.by_id(PickleCodec.id)
+            return chosen.encode(value), chosen.id
+        for specialized_id in (NumpyRawCodec.id, DenseBlockCodec.id):
+            specialized = self._codecs.get(specialized_id)
+            if specialized is not None and specialized.handles(value):
+                return specialized.encode(value), specialized.id
+        payload = self._codecs[PickleCodec.id].encode(value)
+        if len(payload) >= self.compress_threshold:
+            compressed = zlib.compress(payload, 1)
+            if len(compressed) <= len(payload) * self.compress_ratio:
+                return compressed, ZlibPickleCodec.id
+        return payload, PickleCodec.id
+
+    def decode_value(self, payload: bytes, codec_id: str) -> Any:
+        return self.by_id(codec_id).decode(payload)
+
+
+_DEFAULT_REGISTRY: Optional[CodecRegistry] = None
+
+
+def default_registry() -> CodecRegistry:
+    """The shared registry instance (codecs are stateless; one is plenty)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = CodecRegistry()
+    return _DEFAULT_REGISTRY

@@ -118,6 +118,82 @@ class TestSubmitCommand:
         assert "out of range" in capsys.readouterr().err
 
 
+class TestStoreCommand:
+    def make_workspace(self, tmp_path):
+        workspace = str(tmp_path / "ws")
+        session = HelixSession(workspace=workspace)
+        session.run(
+            build_census_workflow(CensusVariant(data_config=CensusConfig(n_train=150, n_test=50, seed=2))),
+        )
+        return workspace
+
+    def test_stats_reports_codec_breakdown(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path)
+        assert main(["store", "stats", "--workspace", workspace]) == 0
+        output = capsys.readouterr().out
+        assert "backend:" in output and "artifacts:" in output
+        assert "codec" in output and "pickle" in output
+
+    def test_ls_lists_artifacts(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path)
+        assert main(["store", "ls", "--workspace", workspace, "--limit", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "signature" in output and "codec" in output and "tier" in output
+
+    def test_evict_frees_bytes(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path)
+        assert main(["store", "evict", "--workspace", workspace, "--bytes", "1", "--policy", "largest"]) == 0
+        output = capsys.readouterr().out
+        assert "evicted 1 artifacts" in output
+
+    def test_evict_without_bytes_errors(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path)
+        assert main(["store", "evict", "--workspace", workspace]) == 2
+        assert "--bytes" in capsys.readouterr().err
+
+    def test_missing_catalog_errors(self, capsys, tmp_path):
+        assert main(["store", "stats", "--workspace", str(tmp_path)]) == 2
+        assert "no artifact catalog" in capsys.readouterr().err
+
+    def test_finds_service_cache_root(self, capsys, tmp_path):
+        workspace = str(tmp_path / "svc")
+        assert main([
+            "submit", "--workspace", workspace, "--tenant", "alice",
+            "--iteration", "0", "--scale", "150",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--workspace", workspace]) == 0
+        assert "cache" in capsys.readouterr().out
+
+
+class TestStorageKnobs:
+    def test_run_with_tiered_backend_and_codec(self, capsys, tmp_path):
+        code = main([
+            "run", "census", "--iterations", "2", "--scale", "200",
+            "--workspace", str(tmp_path), "--store-backend", "tiered",
+            "--memory-tier-mb", "32", "--codec", "auto",
+        ])
+        assert code == 0
+        assert "cumulative runtime" in capsys.readouterr().out
+
+    def test_serve_with_tiered_cache(self, capsys, tmp_path):
+        code = main([
+            "serve", "--workspace", str(tmp_path / "svc"), "--tenants", "2",
+            "--iterations", "1", "--scale", "150", "--workers", "1",
+            "--store-backend", "tiered", "--memory-tier-mb", "32",
+        ])
+        assert code == 0
+        assert "shared cache" in capsys.readouterr().out
+
+    def test_bad_backend_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "census", "--store-backend", "tape"])
+
+    def test_bad_codec_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["run", "census", "--codec", "msgpack"])
+
+
 class TestSuggestCommand:
     def test_suggest_census_lists_edits(self, capsys):
         assert main(["suggest", "census"]) == 0

@@ -336,6 +336,8 @@ class TestAsyncMaterialization:
         stats_probe = []
 
         class FailingStore:
+            # Deliberately the legacy 3-argument signature (no codec kwarg):
+            # codec-oblivious custom stores must keep working.
             def put_bytes(self, signature, node_name, payload):
                 stats_probe.append(node_name)
                 raise OSError("disk on fire")

@@ -95,6 +95,7 @@ class TestDeletionAndPersistence:
         root = str(tmp_path / "a")
         first = ArtifactStore(root)
         first.put("s1", "n1", {"x": 1})
+        first.flush()  # puts batch catalog writes; flush() is the durability point
         reopened = ArtifactStore(root)
         assert reopened.has("s1")
         value, _ = reopened.get("s1")
@@ -104,9 +105,28 @@ class TestDeletionAndPersistence:
         root = str(tmp_path / "a")
         first = ArtifactStore(root)
         meta = first.put("s1", "n1", [1])
+        first.flush()
         os.remove(os.path.join(root, meta.filename))
         reopened = ArtifactStore(root)
         assert not reopened.has("s1")
+
+    def test_corrupt_artifact_payload_raises_storage_error(self, tmp_path):
+        # A crash mid-write leaves a torn payload; the scheduler's recovery
+        # paths key off StorageError, never raw codec exceptions.
+        store = ArtifactStore(str(tmp_path / "a"))
+        meta = store.put("sig", "node", list(range(100)))
+        with open(os.path.join(store.root, meta.filename), "wb") as handle:
+            handle.write(b"\x80\x05truncated")
+        with pytest.raises(StorageError):
+            store.get("sig")
+
+    def test_corrupt_compressed_artifact_raises_storage_error(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "b"), codec="pickle+zlib")
+        meta = store.put("sig", "node", list(range(100)))
+        with open(os.path.join(store.root, meta.filename), "wb") as handle:
+            handle.write(b"not a zlib stream")
+        with pytest.raises(StorageError):
+            store.get("sig")
 
     def test_corrupt_catalog_raises_storage_error(self, tmp_path):
         root = str(tmp_path / "a")
@@ -146,6 +166,7 @@ class TestAccessRecency:
         root = str(tmp_path / "a")
         store = ArtifactStore(root)
         store.put("s1", "n1", [1])
+        store.flush()
         # Strip the new fields, as a catalog written by an older version.
         with open(os.path.join(root, "catalog.json")) as handle:
             entries = json.load(handle)
@@ -179,18 +200,43 @@ class TestCrashSafeCatalog:
             entries = json.load(handle)
         assert entries[0]["last_load_time"] is not None
 
-    def test_mutation_flushes_deferred_access_metadata(self, tmp_path):
+    def test_puts_batch_catalog_flushes(self, tmp_path):
+        import json
+
+        root = str(tmp_path / "a")
+        store = ArtifactStore(root, flush_every=3)
+        store.put("s1", "n1", [1, 2, 3])
+        store.get("s1")
+        store.put("s2", "n2", [4])
+        # Two puts + one read = below the batch size: nothing persisted yet.
+        assert not os.path.exists(os.path.join(root, "catalog.json"))
+        store.put("s3", "n3", [5])  # third deferred mutation flushes the batch
+        with open(os.path.join(root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        by_signature = {entry["signature"]: entry for entry in entries}
+        assert set(by_signature) == {"s1", "s2", "s3"}
+        assert by_signature["s1"]["last_load_time"] is not None
+
+    def test_delete_flushes_immediately(self, tmp_path):
         import json
 
         root = str(tmp_path / "a")
         store = ArtifactStore(root)
-        store.put("s1", "n1", [1, 2, 3])
-        store.get("s1")
-        store.put("s2", "n2", [4])  # any mutation persists the pending update
+        store.put("s1", "n1", [1])
+        store.put("s2", "n2", [2])
+        store.delete("s1")
         with open(os.path.join(root, "catalog.json")) as handle:
             entries = json.load(handle)
-        by_signature = {entry["signature"]: entry for entry in entries}
-        assert by_signature["s1"]["last_load_time"] is not None
+        assert [entry["signature"] for entry in entries] == ["s2"]
+
+    def test_catalog_json_is_compact(self, tmp_path):
+        root = str(tmp_path / "a")
+        store = ArtifactStore(root)
+        store.put("s1", "n1", [1])
+        store.flush()
+        with open(os.path.join(root, "catalog.json")) as handle:
+            text = handle.read()
+        assert "\n" not in text.strip() and ": " not in text
 
 
 class TestEviction:

@@ -29,6 +29,21 @@ class TestCostDefaults:
         defaults = CostDefaults(io_overhead=0.5)
         assert defaults.load_cost_for_size(-10.0) == pytest.approx(0.5)
 
+    def test_codec_bandwidth_refines_load_cost(self):
+        defaults = CostDefaults()
+        plain = defaults.load_cost_for_size(1e8)
+        raw = defaults.load_cost_for_size(1e8, codec="numpy-raw")
+        zlib = defaults.load_cost_for_size(1e8, codec="pickle+zlib")
+        assert raw < plain < zlib, "raw buffers decode faster, zlib slower, than pickle"
+        # Unknown codecs fall back to the generic read bandwidth.
+        assert defaults.load_cost_for_size(1e8, codec="future-codec") == pytest.approx(plain)
+
+    def test_memory_resident_loads_priced_near_zero(self):
+        defaults = CostDefaults()
+        memory = defaults.load_cost_for_size(1e8, memory_resident=True)
+        disk = defaults.load_cost_for_size(1e8)
+        assert memory < disk / 10, "a memory-tier hit must be far cheaper than any disk read"
+
 
 class TestCostEstimator:
     def test_defaults_used_for_unknown_nodes(self, compiled):
@@ -73,3 +88,37 @@ class TestCostEstimator:
     def test_unmaterialized_nodes_not_loadable(self, compiled):
         costs = CostEstimator().estimate(compiled, materialized_sizes={})
         assert not any(node_costs.materialized for node_costs in costs.values())
+
+    def test_codec_refines_modeled_load_cost(self, compiled):
+        signature = compiled.signature_of("income")
+        pickle_costs = CostEstimator().estimate(compiled, materialized_sizes={signature: 1e8})
+        raw_costs = CostEstimator().estimate(
+            compiled,
+            materialized_sizes={signature: 1e8},
+            codecs_by_signature={signature: "numpy-raw"},
+        )
+        assert raw_costs["income"].load_cost < pickle_costs["income"].load_cost
+
+    def test_memory_resident_signature_loads_near_zero(self, compiled):
+        signature = compiled.signature_of("income")
+        costs = CostEstimator().estimate(
+            compiled,
+            materialized_sizes={signature: 1e8},
+            memory_resident={signature},
+        )
+        assert costs["income"].materialized
+        assert costs["income"].load_cost == pytest.approx(
+            CostDefaults().load_cost_for_size(1e8, memory_resident=True)
+        )
+
+    def test_memory_resident_capped_by_measured_cost(self, compiled):
+        # A measured durable-tier load that is *cheaper* than the memory
+        # model (tiny artifact, already page-cached) must win.
+        signature = compiled.signature_of("income")
+        costs = CostEstimator().estimate(
+            compiled,
+            materialized_sizes={signature: 1e8},
+            measured_load_costs={signature: 1e-9},
+            memory_resident={signature},
+        )
+        assert costs["income"].load_cost == pytest.approx(1e-9)

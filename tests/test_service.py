@@ -145,6 +145,7 @@ class TestSharedCache:
         cache = SharedArtifactCache(root)
         cache.put_bytes_for("alice", "sig", "node", blob(50))
         cache.note_compute_cost("sig", 3.0)
+        cache.flush()  # catalog writes batch; flush() is the durability point
         reopened = SharedArtifactCache(root)
         assert reopened.owner_of("sig") == "alice"
         assert reopened.compute_cost("sig") == 3.0

@@ -1,0 +1,184 @@
+"""Tests for codec-aware serialization and the codec registry."""
+
+import numpy as np
+import pytest
+
+from repro.dataflow.features import FeatureBlock
+from repro.errors import StorageError
+from repro.execution.store import ArtifactStore
+from repro.storage.codecs import (
+    CodecRegistry,
+    DenseBlockCodec,
+    NumpyRawCodec,
+    PickleCodec,
+    ZlibPickleCodec,
+    default_registry,
+)
+
+
+def dense_block(n_train=5, n_test=3, width=4):
+    keys = [f"emb{j}" for j in range(width)]
+    return FeatureBlock(
+        name="dense",
+        train=[{k: float(i * width + j) for j, k in enumerate(keys)} for i in range(n_train)],
+        test=[{k: float(-(i * width + j)) for j, k in enumerate(keys)} for i in range(n_test)],
+    )
+
+
+class TestIndividualCodecs:
+    def test_pickle_roundtrip(self):
+        codec = PickleCodec()
+        value = {"a": [1, 2, 3], "b": "text"}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_zlib_roundtrip_and_shrinks_redundant_data(self):
+        codec = ZlibPickleCodec()
+        value = [0] * 10_000
+        payload = codec.encode(value)
+        assert codec.decode(payload) == value
+        assert len(payload) < len(PickleCodec().encode(value))
+
+    def test_numpy_raw_roundtrip_preserves_dtype_and_shape(self):
+        codec = NumpyRawCodec()
+        for array in (
+            np.arange(12, dtype=np.float64).reshape(3, 4),
+            np.array([[1, 2]], dtype=np.int32),
+            np.array([], dtype=np.float32),
+            np.arange(8).reshape(2, 2, 2),
+        ):
+            back = codec.decode(codec.encode(array))
+            assert back.dtype == array.dtype and back.shape == array.shape
+            assert np.array_equal(back, array)
+
+    def test_numpy_raw_rejects_non_arrays(self):
+        codec = NumpyRawCodec()
+        assert not codec.handles([1, 2, 3])
+        assert not codec.handles(np.array([object()], dtype=object))
+        with pytest.raises(StorageError):
+            codec.encode([1, 2, 3])
+
+    def test_numpy_raw_corrupt_payload_raises(self):
+        with pytest.raises(StorageError):
+            NumpyRawCodec().decode(b"\x00")
+
+    def test_dense_block_roundtrip(self):
+        codec = DenseBlockCodec()
+        block = dense_block()
+        assert codec.handles(block)
+        back = codec.decode(codec.encode(block))
+        assert back.name == block.name
+        assert back.train == block.train and back.test == block.test
+
+    def test_dense_block_empty_test_split(self):
+        codec = DenseBlockCodec()
+        block = FeatureBlock(name="d", train=[{"emb0": 1.0}], test=[])
+        assert codec.handles(block)
+        back = codec.decode(codec.encode(block))
+        assert back.train == block.train and back.test == []
+
+    def test_dense_block_rejects_ragged_rows(self):
+        codec = DenseBlockCodec()
+        ragged = FeatureBlock(name="onehot", train=[{"a=1": 1.0}, {"a=2": 1.0}], test=[])
+        assert not codec.handles(ragged)
+        non_float = FeatureBlock(name="ints", train=[{"a": 1}], test=[])
+        assert not codec.handles(non_float)
+        assert not codec.handles({"not": "a block"})
+        assert not codec.handles(FeatureBlock(name="empty", train=[], test=[]))
+
+
+class TestRegistry:
+    def test_auto_picks_specialized_codecs(self):
+        registry = CodecRegistry()
+        _, codec_id = registry.encode_value(np.arange(4))
+        assert codec_id == "numpy-raw"
+        _, codec_id = registry.encode_value(dense_block())
+        assert codec_id == "dense-block"
+        _, codec_id = registry.encode_value({"small": 1})
+        assert codec_id == "pickle"
+
+    def test_auto_compresses_large_compressible_payloads(self):
+        registry = CodecRegistry(compress_threshold=1024)
+        payload, codec_id = registry.encode_value([0] * 100_000)
+        assert codec_id == "pickle+zlib"
+        assert registry.decode_value(payload, codec_id) == [0] * 100_000
+
+    def test_auto_keeps_incompressible_payloads_plain(self):
+        registry = CodecRegistry(compress_threshold=1024)
+        value = np.random.default_rng(0).bytes(100_000)  # incompressible noise
+        _, codec_id = registry.encode_value(value)
+        assert codec_id == "pickle"
+
+    def test_forced_codec_is_used(self):
+        registry = CodecRegistry()
+        _, codec_id = registry.encode_value({"x": 1}, codec="pickle+zlib")
+        assert codec_id == "pickle+zlib"
+
+    def test_forced_specialized_codec_falls_back_when_unable(self):
+        registry = CodecRegistry()
+        payload, codec_id = registry.encode_value({"x": 1}, codec="numpy-raw")
+        assert codec_id == "pickle"
+        assert registry.decode_value(payload, codec_id) == {"x": 1}
+
+    def test_unknown_codec_raises(self):
+        with pytest.raises(StorageError, match="unknown codec"):
+            default_registry().by_id("msgpack")
+        with pytest.raises(StorageError):
+            default_registry().encode_value([1], codec="msgpack")
+
+    def test_ids(self):
+        assert default_registry().ids() == ["dense-block", "numpy-raw", "pickle", "pickle+zlib"]
+
+
+class TestSelfDescribingReads:
+    def test_codec_recorded_in_catalog_and_used_on_reopen(self, tmp_path):
+        root = str(tmp_path / "a")
+        writer = ArtifactStore(root, codec="auto")
+        writer.put("arr", "node", np.arange(10, dtype=np.float64))
+        writer.put("block", "node", dense_block())
+        writer.flush()
+        assert writer.meta("arr").codec == "numpy-raw"
+        assert writer.meta("block").codec == "dense-block"
+        # Reopen with a *different* default codec: reads still follow the
+        # catalog, not the store configuration.
+        reader = ArtifactStore(root, codec="pickle")
+        arr, _ = reader.get("arr")
+        assert np.array_equal(arr, np.arange(10, dtype=np.float64))
+        block, _ = reader.get("block")
+        assert block.train == dense_block().train
+
+    def test_forced_store_codec_applies_to_puts(self, tmp_path):
+        store = ArtifactStore(str(tmp_path), codec="pickle+zlib")
+        store.put("sig", "node", list(range(100)))
+        assert store.meta("sig").codec == "pickle+zlib"
+        assert store.get("sig")[0] == list(range(100))
+
+    def test_legacy_catalog_defaults_to_pickle(self, tmp_path):
+        import json
+        import os
+
+        root = str(tmp_path / "a")
+        store = ArtifactStore(root)
+        store.put("sig", "node", [1, 2])
+        store.flush()
+        with open(os.path.join(root, "catalog.json")) as handle:
+            entries = json.load(handle)
+        for entry in entries:
+            entry.pop("codec", None)  # as written before the storage layer
+        with open(os.path.join(root, "catalog.json"), "w") as handle:
+            json.dump(entries, handle)
+        reopened = ArtifactStore(root)
+        assert reopened.meta("sig").codec == "pickle"
+        assert reopened.get("sig")[0] == [1, 2]
+
+    def test_scheduler_writes_record_their_codec(self, tmp_path):
+        # End to end: a session materializes through the async writer; the
+        # catalog must reflect the auto-chosen codecs.
+        from repro.core.session import HelixSession
+        from repro.datagen.census import CensusConfig
+        from repro.workloads.census_workload import build_dense_census_workflow
+
+        session = HelixSession(str(tmp_path / "ws"), codec="auto")
+        session.run(build_dense_census_workflow(CensusConfig(n_train=200, n_test=50, seed=3)))
+        codecs = set(session.store.codecs_by_signature().values())
+        assert codecs, "expected materialized artifacts"
+        assert "dense-block" in codecs, f"dense featurizer output should use dense-block, got {codecs}"
