@@ -1,4 +1,4 @@
-"""Exploring the materialization trade-off and the comparison systems (simulator).
+"""Exploring the materialization trade-off and the comparison systems.
 
 Uses the paper-scale cost-annotated workloads and the virtual-clock simulator
 to answer two questions interactively:
@@ -8,17 +8,26 @@ to answer two questions interactively:
 2. How does the storage budget change the picture for HELIX's online
    materialization policy?
 
-Everything here runs in a couple of seconds because no operator actually
-executes — only the optimizers and the cost model do.
+A final section runs a *real* (small) session under a tight storage budget
+and prints ``session.explain()``, so you can see the online materialization
+verdicts — the ``r_i`` scores, what fit the budget, and where each artifact
+landed — on actual operators (see docs/explain.md for the notation).
+
+Everything here runs in a couple of seconds.
 
 Run with:  python examples/materialization_tradeoffs.py
 """
 
 from __future__ import annotations
 
+import tempfile
+
 from repro.baselines import DEEPDIVE, HELIX, HELIX_UNOPTIMIZED, KEYSTONEML, ExecutionStrategy
 from repro.bench.harness import run_simulated_comparison
 from repro.bench.reporting import format_table
+from repro.core.session import HelixSession
+from repro.datagen.census import CensusConfig
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
 from repro.workloads.simulated import census_sim_workload, ie_sim_workload, sim_defaults
 
 GB = 1e9
@@ -61,9 +70,34 @@ def storage_budget_sweep() -> None:
     print("a few GB already buys back most of the benefit of unlimited storage.")
 
 
+def explain_materialization_decisions() -> None:
+    """Run a real two-iteration session under a tight budget and explain it."""
+    print("\n== explain: online materialization verdicts under a 3 MB budget ==")
+    # 3 MB is *tight* here: never-run nodes are estimated at the 1 MB default
+    # size, so the online policy can only admit a prefix of the first
+    # iteration's nodes before the (logical) budget runs out — the explain
+    # tree below shows both "materialize" and "skip (over budget)" verdicts,
+    # and iteration 2 loading exactly what made it into the store.
+    base = CensusVariant(data_config=CensusConfig(n_train=300, n_test=80, seed=5))
+    session = HelixSession(
+        tempfile.mkdtemp(prefix="helix_tradeoffs_"), storage_budget=3_000_000
+    )
+    session.run(build_census_workflow(base), description="initial")
+    # Iteration 2 edits the learner: upstream nodes are reuse candidates, but
+    # only the artifacts that fit the budget were materialized — the explain
+    # tree shows each node's r_i score, the "over budget" skips, and which
+    # nodes load from the store as a result.
+    session.run(
+        build_census_workflow(CensusVariant(data_config=base.data_config, reg_param=0.01)),
+        description="lower regularization",
+    )
+    print(session.explain())
+
+
 def main() -> None:
     figure2_comparisons()
     storage_budget_sweep()
+    explain_materialization_decisions()
 
 
 if __name__ == "__main__":

@@ -7,6 +7,9 @@ This is the 5-minute tour of the public API:
 3. Change one hyperparameter and run again (iteration 2) — only the learner
    and its downstream operators re-execute.
 4. Change only the reported metrics (iteration 3) — almost nothing re-executes.
+5. Ask the session to *explain* the last run: ``session.explain()`` renders
+   the plan tree with every node's reuse verdict, the cost numbers behind
+   it, its storage tier/codec, and the min-cut boundary (see docs/explain.md).
 
 Run with:  python examples/quickstart.py
 """
@@ -81,6 +84,15 @@ def main() -> None:
                     description="richer evaluation"),
         "iteration 3: evaluation change (nearly everything reused)",
     )
+
+    # Why did iteration 3 reuse nearly everything?  Ask the session: the
+    # explain tree shows each node's LOAD/COMPUTE/PRUNE verdict, the cost
+    # numbers that drove it, and which tier/codec served each reused
+    # artifact.  The same tree is available offline via `repro explain
+    # --workspace <workspace>` (the trace persists as JSONL under
+    # <workspace>/traces/).
+    print("\n== explain: why iteration 3 ran the way it did ==")
+    print(session.explain())
 
     print("\n== version log ==")
     print(session.versions.log())

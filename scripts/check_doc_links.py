@@ -17,7 +17,8 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+#: README plus every page under docs/ — including the generated docs/api/.
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").rglob("*.md"))]
 
 #: Path-looking tokens rooted at a known top-level directory.
 PATH_PATTERN = re.compile(

@@ -15,12 +15,15 @@ Public API overview
 * :mod:`repro.bench` — harness that regenerates the paper's figures as tables.
 * :mod:`repro.service` — multi-tenant workflow service over a shared,
   cost-aware artifact cache (``WorkflowService``, ``ServiceClient``).
+* :mod:`repro.introspect` — run traces and ``EXPLAIN``-style plan rendering
+  (``RunTrace``, ``ExplainRenderer``; ``repro explain`` on the CLI).
 """
 
 from repro.baselines import DEEPDIVE, HELIX, HELIX_UNOPTIMIZED, KEYSTONEML, ExecutionStrategy
 from repro.core import HelixSession, SessionRunResult
 from repro.dsl import Workflow
 from repro.execution import ArtifactStore, WorkflowSimulator
+from repro.introspect import ExplainRenderer, RunTrace
 
 __version__ = "1.0.0"
 
@@ -30,6 +33,8 @@ __all__ = [
     "Workflow",
     "ArtifactStore",
     "WorkflowSimulator",
+    "RunTrace",
+    "ExplainRenderer",
     "ExecutionStrategy",
     "HELIX",
     "HELIX_UNOPTIMIZED",

@@ -11,6 +11,8 @@ Entry points::
     python -m repro run census --store-backend tiered --memory-tier-mb 256
     python -m repro store stats --workspace DIR  # artifacts per tier and codec
     python -m repro store evict --workspace DIR --bytes 1000000 --policy lru
+    python -m repro explain --workspace DIR    # why each node was reused/recomputed
+    python -m repro trace export --workspace DIR --out run.jsonl
     python -m repro versions --workspace DIR   # browse a persisted workspace
     python -m repro suggest census             # machine-generated next edits
 
@@ -30,6 +32,12 @@ from repro.baselines.strategies import ALL_STRATEGIES, DEEPDIVE, HELIX, KEYSTONE
 from repro.bench.harness import run_real_comparison, run_simulated_comparison
 from repro.bench.reporting import format_table
 from repro.core.suggestions import suggest_modifications
+from repro.core.workspace import (
+    list_trace_runs,
+    resolve_store_root,
+    resolve_trace_dir,
+    resolve_trace_file,
+)
 from repro.datagen.census import CensusConfig
 from repro.datagen.news import NewsConfig
 from repro.errors import HelixError
@@ -152,6 +160,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="eviction victim order (evict; default: lru)",
     )
     store.add_argument("--limit", type=int, default=30, help="max rows to list (ls; default: 30)")
+
+    explain = subparsers.add_parser(
+        "explain", help="render one run's reuse/min-cut/materialization decisions as a plan tree"
+    )
+    explain.add_argument(
+        "--workspace", required=True,
+        help="session workspace or service root holding persisted run traces",
+    )
+    explain.add_argument(
+        "--run", type=int, default=None,
+        help="iteration index of the run to explain (default: the latest traced run)",
+    )
+    explain.add_argument(
+        "--tenant", default=None,
+        help="tenant whose traces to read when --workspace is a service root",
+    )
+    explain.add_argument("--json", action="store_true", help="emit the JSON rendering instead of ASCII")
+    explain.add_argument("--color", action="store_true", help="colorize verdicts with ANSI escapes")
+
+    trace = subparsers.add_parser(
+        "trace", help="list or export the persisted JSONL run traces of a workspace"
+    )
+    trace.add_argument("action", choices=["ls", "export"], help="what to do")
+    trace.add_argument(
+        "--workspace", required=True,
+        help="session workspace or service root holding persisted run traces",
+    )
+    trace.add_argument("--run", type=int, default=None, help="iteration index (export; default: latest)")
+    trace.add_argument("--tenant", default=None, help="tenant name for service roots")
+    trace.add_argument("--out", default=None, help="write the JSONL here (export; default: stdout)")
 
     versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
     versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
@@ -416,21 +454,77 @@ def _command_submit(
     return 0
 
 
-def _resolve_store_root(workspace: str) -> Optional[str]:
-    """Find the artifact store under a workspace path.
+def _command_explain(
+    workspace: str,
+    run: Optional[int] = None,
+    tenant: Optional[str] = None,
+    as_json: bool = False,
+    color: bool = False,
+    out=None,
+) -> int:
+    """Render one persisted run trace as a query-plan-style tree.
 
-    Accepts a session workspace (``<ws>/artifacts``), a service root
-    (``<ws>/cache``), or the store directory itself (holds ``catalog.json``).
+    Workspace resolution is shared with ``repro store``
+    (:mod:`repro.core.workspace`), so session workspaces and service roots
+    resolve identically across verbs.
     """
-    candidates = [
-        os.path.join(workspace, "artifacts"),
-        os.path.join(workspace, "cache"),
-        workspace,
-    ]
-    for candidate in candidates:
-        if os.path.exists(os.path.join(candidate, "catalog.json")):
-            return candidate
-    return None
+    out = out or sys.stdout
+    import json
+
+    from repro.introspect import ExplainRenderer, RunTrace
+
+    trace_dir = resolve_trace_dir(workspace, tenant=tenant)
+    trace = RunTrace.load(resolve_trace_file(trace_dir, run))
+    renderer = ExplainRenderer(trace)
+    if as_json:
+        print(json.dumps(renderer.render_json(), indent=2, sort_keys=True), file=out)
+    else:
+        print(renderer.render_ascii(color=color), file=out)
+    return 0
+
+
+def _command_trace(
+    action: str,
+    workspace: str,
+    run: Optional[int] = None,
+    tenant: Optional[str] = None,
+    out_path: Optional[str] = None,
+    out=None,
+) -> int:
+    """List (``ls``) or export (``export``) a workspace's persisted traces."""
+    out = out or sys.stdout
+    from repro.introspect import RunTrace
+
+    trace_dir = resolve_trace_dir(workspace, tenant=tenant)
+    if action == "ls":
+        rows = []
+        for index in list_trace_runs(trace_dir):
+            trace = RunTrace.load(resolve_trace_file(trace_dir, index))
+            rows.append(
+                {
+                    "run": index,
+                    "workflow": trace.workflow,
+                    "description": trace.description,
+                    "system": trace.system,
+                    "computed": len(trace.nodes_in_state("compute")),
+                    "loaded": len(trace.nodes_in_state("load")),
+                    "pruned": len(trace.nodes_in_state("prune")),
+                    "wall_s": round(trace.wall_clock_seconds, 4),
+                    **({"tenant": trace.tenant} if trace.tenant else {}),
+                }
+            )
+        print(format_table(rows), file=out)
+        return 0
+    # export
+    trace = RunTrace.load(resolve_trace_file(trace_dir, run))
+    payload = trace.to_jsonl()
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(payload)
+        print(f"exported run {trace.iteration} trace ({len(trace.nodes)} nodes) to {out_path}", file=out)
+    else:
+        out.write(payload)
+    return 0
 
 
 def _command_store(
@@ -451,7 +545,7 @@ def _command_store(
     out = out or sys.stdout
     from repro.execution.store import ArtifactStore, parse_chunk_signature
 
-    root = _resolve_store_root(workspace)
+    root = resolve_store_root(workspace)
     if root is None:
         print(f"error: no artifact catalog found under {workspace}", file=sys.stderr)
         return 2
@@ -581,6 +675,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.action, args.workspace, bytes_needed=args.bytes, policy=args.policy,
                 limit=args.limit,
             )
+        if args.command == "explain":
+            return _command_explain(
+                args.workspace, run=args.run, tenant=args.tenant,
+                as_json=args.json, color=args.color,
+            )
+        if args.command == "trace":
+            return _command_trace(
+                args.action, args.workspace, run=args.run, tenant=args.tenant,
+                out_path=args.out,
+            )
         if args.command == "versions":
             return _command_versions(args.workspace, args.metric)
         if args.command == "suggest":
@@ -588,6 +692,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except HelixError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print (`repro explain |
+        # head`); exit quietly the way well-behaved CLI tools do.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
     return 0
 
 

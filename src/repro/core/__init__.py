@@ -10,6 +10,15 @@ intermediates under the storage budget, and records a new version.
 
 from repro.core.session import HelixSession, SessionRunResult
 from repro.core.suggestions import SuggestedEdit, SuggestionConfig, suggest_modifications
+from repro.core.workspace import (
+    WorkspaceResolutionError,
+    list_trace_runs,
+    resolve_store_root,
+    resolve_trace_dir,
+    resolve_trace_file,
+    trace_directory,
+    trace_path,
+)
 
 __all__ = [
     "HelixSession",
@@ -17,4 +26,11 @@ __all__ = [
     "SuggestedEdit",
     "SuggestionConfig",
     "suggest_modifications",
+    "WorkspaceResolutionError",
+    "resolve_store_root",
+    "resolve_trace_dir",
+    "resolve_trace_file",
+    "trace_directory",
+    "trace_path",
+    "list_trace_runs",
 ]

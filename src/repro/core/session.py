@@ -26,14 +26,16 @@ Usage::
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.baselines.strategies import HELIX, ExecutionStrategy
 from repro.compiler.change_tracker import ChangeTracker, WorkflowDiff, diff_workflows
 from repro.compiler.codegen import CompiledWorkflow, compile_workflow
 from repro.compiler.plan import PhysicalPlan
 from repro.compiler.slicing import slice_to_outputs
+from repro.core.workspace import resolve_trace_file, trace_directory, trace_path
 from repro.dsl.operators import ChangeCategory
 from repro.dsl.workflow import Workflow
 from repro.execution.engine import ExecutionEngine, ExecutionResult
@@ -42,7 +44,10 @@ from repro.execution.stats import IterationReport, RunHistory
 from repro.execution.store import ArtifactStore
 from repro.execution.simulator import RECOMPUTATION_POLICIES
 from repro.graph.dag import NodeState
+from repro.introspect.explain import ExplainRenderer
+from repro.introspect.trace import RunTrace
 from repro.optimizer.cost_model import CostDefaults, CostEstimator, NodeCosts
+from repro.optimizer.recomputation import PlanExplanation, optimal_plan_explained, plan_cost
 from repro.versioning.metrics_tracker import MetricsTracker
 from repro.versioning.version_store import VersionStore, WorkflowVersion
 
@@ -56,6 +61,8 @@ class SessionRunResult:
     report: IterationReport
     outputs: Dict[str, Any] = field(default_factory=dict)
     diff: Optional[WorkflowDiff] = None
+    #: The run's full decision record (``None`` only with ``trace_runs=False``).
+    trace: Optional[RunTrace] = None
 
     @property
     def metrics(self) -> Dict[str, float]:
@@ -121,6 +128,15 @@ class HelixSession:
         each run — the service wraps the policy with cache admission control
         here.  Receives and returns a
         :class:`~repro.optimizer.materialization.MaterializationPolicy`.
+    trace_runs:
+        Record a :class:`~repro.introspect.trace.RunTrace` for every run and
+        persist it as JSONL under ``<workspace>/traces/`` (on by default).
+        The latest trace is available as :attr:`last_trace`; render it with
+        :meth:`explain` or ``repro explain``.
+    trace_owner:
+        Identity stamped into every trace's ``tenant`` field — the workflow
+        service sets this to the tenant name so multi-tenant traces stay
+        attributed.
     """
 
     def __init__(
@@ -137,11 +153,16 @@ class HelixSession:
         codec: str = "auto",
         store: Optional[ArtifactStore] = None,
         materialization_wrapper: Optional[Callable[[Any], Any]] = None,
+        trace_runs: bool = True,
+        trace_owner: str = "",
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
         self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
         self.partitions = max(1, int(partitions)) if partitions else 1
+        self.trace_runs = trace_runs
+        self.trace_owner = trace_owner
+        self.last_trace: Optional[RunTrace] = None
         os.makedirs(workspace, exist_ok=True)
         # Sizing a memory tier without naming a backend implies "tiered"
         # (the rule lives in backend_from_spec).
@@ -198,6 +219,20 @@ class HelixSession:
                 costs[name].forget_reuse()
         return costs
 
+    def _plan_states(
+        self, compiled: CompiledWorkflow, costs: Dict[str, NodeCosts]
+    ) -> "Tuple[Dict[str, NodeState], Optional[PlanExplanation]]":
+        """Run the strategy's recomputation planner.
+
+        The exact planner additionally yields its min-cut certificate (the
+        :class:`~repro.optimizer.recomputation.PlanExplanation` recorded into
+        run traces); heuristic planners have no cut to report.
+        """
+        if self.strategy.recomputation == "optimal":
+            return optimal_plan_explained(compiled.dag, costs, compiled.outputs)
+        planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
+        return planner(compiled.dag, costs, compiled.outputs), None
+
     def plan(self, workflow: Workflow) -> PhysicalPlan:
         """Compile, slice, and optimize a workflow without executing it.
 
@@ -206,10 +241,7 @@ class HelixSession:
         """
         compiled = slice_to_outputs(compile_workflow(workflow))
         costs = self._estimate_costs(compiled)
-        planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
-        states = planner(compiled.dag, costs, compiled.outputs)
-        from repro.optimizer.recomputation import plan_cost  # local import to avoid cycle at module load
-
+        states, _explanation = self._plan_states(compiled, costs)
         return PhysicalPlan(compiled=compiled, states=states, estimated_cost=plan_cost(states, costs))
 
     # ------------------------------------------------------------------
@@ -225,8 +257,7 @@ class HelixSession:
         compiled_full = compile_workflow(workflow)
         compiled = slice_to_outputs(compiled_full)
         costs = self._estimate_costs(compiled)
-        planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
-        states = planner(compiled.dag, costs, compiled.outputs)
+        states, explanation = self._plan_states(compiled, costs)
         plan = PhysicalPlan(compiled=compiled, states=states)
 
         policy = self.strategy.make_materialization_policy(
@@ -241,6 +272,14 @@ class HelixSession:
             change_category = self._infer_change_category(compiled, diff)
 
         iteration_index = len(self.versions)
+        trace = (
+            self._seed_trace(
+                compiled, states, costs, explanation, policy,
+                iteration_index, description, change_category,
+            )
+            if self.trace_runs
+            else None
+        )
         # Pin every artifact the plan LOADs so a concurrent tenant's eviction
         # (shared-cache deployments) cannot invalidate this plan mid-run.
         # Chunked artifacts pin every present chunk of the signature's family.
@@ -259,8 +298,12 @@ class HelixSession:
                 description=description,
                 change_category=change_category,
                 system=self.strategy.name,
+                trace=trace,
             )
 
+        if trace is not None:
+            self.last_trace = trace
+            trace.save(trace_path(self.workspace, iteration_index))
         self.history.update_from_report(result.report)
         self.tracker.observe(compiled)
         self._previous_compiled = compiled
@@ -278,7 +321,104 @@ class HelixSession:
             report=result.report,
             outputs=result.outputs,
             diff=diff,
+            trace=trace,
         )
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _seed_trace(
+        self,
+        compiled: CompiledWorkflow,
+        states: Dict[str, NodeState],
+        costs: Dict[str, NodeCosts],
+        explanation: Optional[PlanExplanation],
+        policy: Any,
+        iteration_index: int,
+        description: str,
+        change_category: str,
+    ) -> RunTrace:
+        """Record the planning half of the run's decision record.
+
+        Every node gets its state verdict, the estimated cost numbers the
+        planner weighed, a human-readable rationale, and — when the exact
+        planner ran — its side of the min-cut plus the saturated cut edges.
+        The scheduler fills in the runtime half during execution.
+        """
+        trace = RunTrace(
+            workflow=compiled.workflow_name,
+            iteration=iteration_index,
+            description=description,
+            change_category=change_category,
+            system=self.strategy.name,
+            tenant=self.trace_owner,
+            backend=self.backend.name,
+            parallelism=self.backend.parallelism,
+            partitions=self.partitions,
+            recomputation_policy=self.strategy.recomputation,
+            materialization_policy=getattr(policy, "name", self.strategy.materialization),
+            outputs=list(compiled.outputs),
+            plan_cost=plan_cost(states, costs),
+            created_at=time.time(),
+        )
+        output_set = set(compiled.outputs)
+        for name in compiled.dag.topological_order():
+            node_costs = costs[name]
+            entry = trace.node(name)
+            entry.signature = compiled.signature_of(name)
+            entry.operator_type = type(compiled.operator(name)).__name__
+            category = compiled.categories.get(name)
+            entry.category = getattr(category, "value", str(category)) if category else ""
+            entry.state = states[name].value
+            entry.parents = list(compiled.dag.parents(name))
+            entry.output = name in output_set
+            entry.est_compute_cost = node_costs.compute_cost
+            entry.est_load_cost = node_costs.load_cost
+            entry.est_output_size = node_costs.output_size
+            entry.was_materialized = node_costs.materialized
+            entry.chunk_count = node_costs.chunk_count
+            entry.chunks_present = node_costs.chunks_present
+            entry.reuse_reason = self._reuse_reason(states[name], node_costs)
+            if explanation is not None:
+                entry.cut_side = "source" if explanation.avail_side.get(name) else "sink"
+        if explanation is not None:
+            trace.cut_value = explanation.cut_value
+            for edge in explanation.cut_edges:
+                trace.add_cut_edge(edge.source, edge.target, edge.capacity, node=edge.node)
+        return trace
+
+    @staticmethod
+    def _reuse_reason(state: NodeState, node_costs: NodeCosts) -> str:
+        """One line of rationale for a node's state verdict, with its numbers."""
+        compute = node_costs.compute_cost
+        load = node_costs.load_cost
+        if state is NodeState.LOAD:
+            return f"reuse: load est {load:.6g}s beats recomputing (est {compute:.6g}s + upstream)"
+        if state is NodeState.PRUNE:
+            return "pruned: no computed consumer needs this value"
+        if 0 < node_costs.chunks_present < node_costs.chunk_count:
+            return (
+                f"recompute est {compute:.6g}s: partial chunk hit "
+                f"({node_costs.chunks_present}/{node_costs.chunk_count} chunks reusable)"
+            )
+        if not node_costs.materialized:
+            return f"recompute est {compute:.6g}s: no materialized artifact to load"
+        return f"recompute est {compute:.6g}s preferred over load est {load:.6g}s"
+
+    def trace_for(self, run: Optional[int] = None) -> RunTrace:
+        """The requested run's trace: in-memory for the latest, JSONL otherwise."""
+        if run is None and self.last_trace is not None:
+            return self.last_trace
+        return RunTrace.load(resolve_trace_file(trace_directory(self.workspace), run))
+
+    def explain(self, run: Optional[int] = None, color: bool = False) -> str:
+        """Render one run's decisions as a query-plan-style tree.
+
+        ``run=None`` explains the latest run (the in-memory
+        :attr:`last_trace` when this session executed one, else the newest
+        persisted trace); pass an iteration index for an earlier run.
+        """
+        return ExplainRenderer(self.trace_for(run)).render_ascii(color=color)
 
     def _persist_state(self) -> None:
         """Write version records and the cost database next to the artifacts."""

@@ -45,6 +45,7 @@ from repro.execution.scheduler import (
     WorkerBackend,
 )
 from repro.execution.store import ArtifactStore
+from repro.introspect.trace import RunTrace
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import MaterializationPolicy
 
@@ -105,8 +106,13 @@ class ExecutionEngine:
         description: str = "",
         change_category: str = "",
         system: str = "helix",
+        trace: Optional[RunTrace] = None,
     ) -> ExecutionResult:
-        """Run ``plan`` and return values plus a fully populated report."""
+        """Run ``plan`` and return values plus a fully populated report.
+
+        ``trace`` (optional) is a :class:`~repro.introspect.trace.RunTrace`
+        the scheduler annotates in place with runtime decisions and timings.
+        """
         return self.scheduler.run(
             plan,
             costs,
@@ -114,4 +120,5 @@ class ExecutionEngine:
             description=description,
             change_category=change_category,
             system=system,
+            trace=trace,
         )

@@ -60,6 +60,7 @@ from repro.errors import BudgetExceededError, ExecutionError, PlanError, Storage
 from repro.execution.stats import IterationReport, NodeRunStats
 from repro.execution.store import ArtifactStore, chunk_signature
 from repro.graph.dag import Dag, NodeState
+from repro.introspect.trace import NodeTrace, RunTrace, WaveTrace, finite_or_none
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import (
     MaterializationDecision,
@@ -440,8 +441,16 @@ class WavefrontScheduler:
         description: str = "",
         change_category: str = "",
         system: str = "helix",
+        trace: Optional[RunTrace] = None,
     ) -> ExecutionResult:
-        """Execute ``plan`` and return values plus a fully populated report."""
+        """Execute ``plan`` and return values plus a fully populated report.
+
+        ``trace`` (optional) is annotated in place with the runtime half of
+        the run's decision record: per-wave wall clock, measured node
+        timings, storage tier/codec on every load and materialized write,
+        and the online materialization verdicts.  The session seeds the same
+        trace with the planning half before calling here.
+        """
         compiled = plan.compiled
         dag = compiled.dag
         #: node → plain value or PartitionedValue; side caches keep coalesced
@@ -462,6 +471,8 @@ class WavefrontScheduler:
         wall_started = time.perf_counter()
         try:
             for wave_index, wave in enumerate(wave_decomposition(dag)):
+                wave_started = time.perf_counter()
+                n_wave_tasks = 0
                 pending: List[_PendingNode] = []
                 tasks: List[ComputeTask] = []
                 for name in wave:
@@ -478,11 +489,23 @@ class WavefrontScheduler:
                         wave=wave_index,
                     )
                     node_stats[name] = stats
+                    node_trace: Optional[NodeTrace] = None
+                    if trace is not None:
+                        node_trace = trace.node(name)
+                        node_trace.signature = signature
+                        node_trace.operator_type = stats.operator_type
+                        node_trace.category = stats.category
+                        node_trace.state = state.value
+                        node_trace.wave = wave_index
+                        if not node_trace.parents:
+                            node_trace.parents = list(operator.dependencies())
 
                     if state is NodeState.PRUNE:
                         continue
                     if state is NodeState.LOAD:
-                        values[name] = self._load_node(name, operator, signature, stats, partitioned)
+                        values[name] = self._load_node(
+                            name, operator, signature, stats, partitioned, node_trace
+                        )
                         continue
                     # COMPUTE: all inputs must exist in earlier waves.
                     for parent in operator.dependencies():
@@ -508,6 +531,7 @@ class WavefrontScheduler:
                     pending.append(entry)
 
                 results = self.backend.run_wave(tasks) if tasks else []
+                n_wave_tasks += len(tasks)
                 # Fold results back in wave order (deterministic, equal to
                 # topological order); combiner merges run here, and their
                 # finalize phases fan back out in a second dispatch round.
@@ -515,6 +539,7 @@ class WavefrontScheduler:
                 for entry in pending:
                     self._fold(entry, results, values, finalize_tasks)
                 if finalize_tasks:
+                    n_wave_tasks += len(finalize_tasks)
                     finalize_results = self.backend.run_wave(finalize_tasks)
                     for entry in pending:
                         if entry.finalize_indices:
@@ -538,6 +563,22 @@ class WavefrontScheduler:
                             entry.name, value, compiled, dag, costs, entry.stats,
                             decisions, writer, logical_budget, pending_signatures,
                         )
+                    if trace is not None and entry.name in decisions:
+                        decision = decisions[entry.name]
+                        node_trace = trace.node(entry.name)
+                        node_trace.mat_materialize = decision.materialize
+                        # Sentinel scores (±inf from the all/none policies)
+                        # and unbounded budgets clamp to None: trace files
+                        # are strict JSON, which has no Infinity token.
+                        node_trace.mat_score = finite_or_none(decision.score)
+                        node_trace.mat_size = decision.size
+                        node_trace.mat_reason = decision.reason
+                        node_trace.mat_budget_before = finite_or_none(decision.remaining_budget)
+                if trace is not None:
+                    trace.waves.append(WaveTrace(
+                        index=wave_index, nodes=list(wave), n_tasks=n_wave_tasks,
+                        wall_seconds=time.perf_counter() - wave_started,
+                    ))
             writer.drain()
         except BaseException:
             # Never leave the writer thread running behind an exception; a
@@ -548,6 +589,8 @@ class WavefrontScheduler:
                 pass
             raise
         wall_clock = time.perf_counter() - wall_started
+        if trace is not None:
+            self._finalize_trace(trace, compiled, node_stats, decisions, wall_clock)
 
         # Everything downstream of the scheduler (session, reports, tests)
         # sees plain values; chunked outputs coalesce exactly once here.
@@ -575,6 +618,59 @@ class WavefrontScheduler:
         return ExecutionResult(report=report, outputs=outputs, values=values, decisions=decisions)
 
     # ------------------------------------------------------------------
+    # Trace finalization
+    # ------------------------------------------------------------------
+    def _finalize_trace(
+        self,
+        trace: RunTrace,
+        compiled,
+        node_stats: Dict[str, NodeRunStats],
+        decisions: Dict[str, MaterializationDecision],
+        wall_clock: float,
+    ) -> None:
+        """Fold measured timings and write placement into the trace.
+
+        Runs after :meth:`AsyncMaterializer.drain`, so every accepted write
+        has landed and the store can answer where each artifact ended up.
+        """
+        trace.backend = trace.backend or self.backend.name
+        trace.parallelism = self.backend.parallelism
+        trace.partitions = self.n_partitions
+        trace.wall_clock_seconds = wall_clock
+        backend_name = getattr(getattr(self.store, "backend", None), "name", "")
+        if backend_name and not trace.store_backend:
+            trace.store_backend = backend_name
+        for name, stats in node_stats.items():
+            entry = trace.node(name)
+            entry.compute_time = stats.compute_time
+            entry.load_time = stats.load_time
+            entry.materialize_time = stats.materialize_time
+            entry.output_size = stats.output_size
+            entry.chunks_loaded = stats.chunks_loaded
+            entry.chunks_computed = stats.chunks_computed
+            entry.materialized = stats.materialized
+            decision = decisions.get(name)
+            if decision is None or not decision.materialize:
+                continue
+            signature = compiled.signature_of(name)
+            write_tiers: set = set()
+            write_codecs: set = set()
+            candidates = [signature] + [
+                chunk_signature(signature, index, self.n_partitions)
+                for index in range(self.n_partitions)
+                if decisions.get(f"{name}[{index}]") is not None
+                and decisions[f"{name}[{index}]"].materialize
+            ]
+            for key in candidates:
+                if not self.store.has(key):
+                    continue
+                tier, codec = self._tier_and_codec(key)
+                write_tiers.add(tier)
+                write_codecs.add(codec)
+            entry.write_tier = "+".join(sorted(tier for tier in write_tiers if tier))
+            entry.write_codec = "+".join(sorted(codec for codec in write_codecs if codec))
+
+    # ------------------------------------------------------------------
     # Value plumbing
     # ------------------------------------------------------------------
     def _plain_value(self, name: str, values: Dict[str, Any], plain_cache: Dict[str, Any], compiled) -> Any:
@@ -593,9 +689,52 @@ class WavefrontScheduler:
             plain_cache[name] = merge(value.chunks) if callable(merge) else merge_value(value.chunks)
         return plain_cache[name]
 
-    def _load_node(self, name: str, operator: Any, signature: str, stats: NodeRunStats, partitioned: bool) -> Any:
+    def _tier_and_codec(self, signature: str) -> Tuple[str, str]:
+        """Best-effort tier/codec probe for one catalog key (trace annotation).
+
+        Custom stores in tests may implement only the primitive surface, so
+        both probes are optional; missing answers render as ``""``.
+        """
+        tier = ""
+        tier_probe = getattr(self.store, "tier_of", None)
+        if callable(tier_probe):
+            try:
+                tier = tier_probe(signature) or ""
+            except Exception:
+                tier = ""
+        codec = ""
+        meta_probe = getattr(self.store, "meta", None)
+        if callable(meta_probe):
+            try:
+                codec = getattr(meta_probe(signature), "codec", "") or ""
+            except Exception:
+                codec = ""
+        return tier, codec
+
+    @staticmethod
+    def _record_read(node_trace: Optional[NodeTrace], tiers: set, codecs: set) -> None:
+        if node_trace is None:
+            return
+        node_trace.read_tier = "+".join(sorted(tier for tier in tiers if tier))
+        node_trace.read_codec = "+".join(sorted(codec for codec in codecs if codec))
+
+    def _load_node(
+        self,
+        name: str,
+        operator: Any,
+        signature: str,
+        stats: NodeRunStats,
+        partitioned: bool,
+        node_trace: Optional[NodeTrace] = None,
+    ) -> Any:
         """Execute one LOAD node: monolithic artifact or a complete chunk family."""
         if self.store.has(signature):
+            if node_trace is not None:
+                # Probe the serving tier *before* the read: a tiered backend
+                # promotes on read, so probing after would report "memory"
+                # for a load the disk actually served.
+                tier, codec = self._tier_and_codec(signature)
+                self._record_read(node_trace, {tier}, {codec})
             value, load_time = self.store.get(signature)
             stats.load_time = load_time
             stats.output_size = self.store.meta(signature).size
@@ -611,7 +750,14 @@ class WavefrontScheduler:
         # can then stay partitioned); otherwise the largest complete family.
         count = self.n_partitions if partitioned and self.n_partitions in complete else complete[-1]
         chunks = []
+        read_tiers: set = set()
+        read_codecs: set = set()
         for index in range(count):
+            chunk_key = chunk_signature(signature, index, count)
+            if node_trace is not None:
+                tier, codec = self._tier_and_codec(chunk_key)
+                read_tiers.add(tier)
+                read_codecs.add(codec)
             try:
                 value, elapsed = self.store.get_chunk(signature, index, count)
             except StorageError as exc:
@@ -620,8 +766,9 @@ class WavefrontScheduler:
                 ) from exc
             stats.load_time += elapsed
             stats.chunks_loaded += 1
-            stats.output_size += self.store.meta(chunk_signature(signature, index, count)).size
+            stats.output_size += self.store.meta(chunk_key).size
             chunks.append(value)
+        self._record_read(node_trace, read_tiers, read_codecs)
         stats.materialized = True
         if partitioned and count == self.n_partitions:
             return PartitionedValue(chunks)

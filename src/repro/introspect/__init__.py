@@ -1,0 +1,38 @@
+"""Run introspection: structured traces and ``EXPLAIN``-style plan rendering.
+
+The paper's optimizer loop makes three families of decisions per iteration —
+reuse (min-cut recomputation planning), materialization (the online cost
+model), and placement (storage tier + codec).  This package makes all of
+them inspectable after the fact:
+
+* :class:`~repro.introspect.trace.RunTrace` — the structured record one run
+  leaves behind: per-node reuse verdicts with the cost numbers that drove
+  them, the min-cut certificate (cut value + saturated cut edges), per-node
+  materialization verdicts, storage tier/codec on every read and write, and
+  per-wave wall-clock timings.  Persists as JSONL next to the artifacts.
+* :class:`~repro.introspect.explain.ExplainRenderer` — turns a trace into a
+  query-plan-style tree (ASCII or JSON), exposed as ``repro explain`` /
+  ``repro trace export`` on the CLI and ``HelixSession.explain()`` /
+  ``HelixSession.last_trace`` on the Python API.
+"""
+
+from repro.introspect.explain import ExplainRenderer, render_trace
+from repro.introspect.trace import (
+    CutEdgeTrace,
+    NodeTrace,
+    RunTrace,
+    TraceError,
+    WaveTrace,
+    finite_or_none,
+)
+
+__all__ = [
+    "RunTrace",
+    "NodeTrace",
+    "CutEdgeTrace",
+    "WaveTrace",
+    "TraceError",
+    "ExplainRenderer",
+    "render_trace",
+    "finite_or_none",
+]

@@ -27,10 +27,14 @@ from repro.optimizer.materialization import (
 from repro.optimizer.maxflow import FlowNetwork
 from repro.optimizer.project_selection import ProjectSelectionInstance, solve_project_selection
 from repro.optimizer.recomputation import (
+    CutEdge,
+    PlanExplanation,
+    build_selection_instance,
     compute_all_plan,
     exhaustive_plan,
     greedy_plan,
     optimal_plan,
+    optimal_plan_explained,
     plan_cost,
     reuse_all_plan,
 )
@@ -44,6 +48,10 @@ __all__ = [
     "ProjectSelectionInstance",
     "solve_project_selection",
     "optimal_plan",
+    "optimal_plan_explained",
+    "build_selection_instance",
+    "PlanExplanation",
+    "CutEdge",
     "greedy_plan",
     "compute_all_plan",
     "reuse_all_plan",

@@ -10,7 +10,7 @@ fully tested here; tests cross-check small instances against
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import OptimizerError
 
@@ -136,6 +136,33 @@ class FlowNetwork:
                     reachable.add(target)
                     queue.append(target)
         return reachable
+
+    def min_cut_edges(
+        self, source: int, reachable: Optional[Set[int]] = None
+    ) -> List[Tuple[int, int, float]]:
+        """The saturated forward edges crossing the minimum cut.
+
+        Must be called after :meth:`max_flow`.  Returns ``(from, to,
+        original_capacity)`` for every forward edge leaving the source side
+        of the cut; the original capacity is recovered as the sum of the
+        residual capacities of the edge and its reverse (flow conservation),
+        and the capacities of the returned edges sum to the max-flow value —
+        the certificate the explain subsystem records for every optimal plan.
+        Callers that already hold :meth:`min_cut_source_side`'s answer pass
+        it as ``reachable`` to skip the second residual-graph traversal.
+        """
+        if reachable is None:
+            reachable = self.min_cut_source_side(source)
+        edges: List[Tuple[int, int, float]] = []
+        for node in reachable:
+            for edge_id in self._adjacency[node]:
+                if edge_id % 2 != 0:  # only forward edges carry capacity
+                    continue
+                target = self._to[edge_id]
+                if target not in reachable:
+                    edges.append((node, target, self._cap[edge_id] + self._cap[edge_id ^ 1]))
+        edges.sort()
+        return edges
 
     def edge_list(self) -> List[Tuple[int, int, float]]:
         """Forward edges as (source-ish, target, remaining capacity) for inspection."""

@@ -46,12 +46,29 @@ class ProjectSelectionInstance:
                 raise OptimizerError(f"prerequisite references unknown item {requires!r}")
 
 
+#: Sentinel endpoints used in :attr:`ProjectSelectionSolution.cut_edges` for
+#: the flow network's artificial source and sink nodes.
+SOURCE = "source"
+SINK = "sink"
+
+
 @dataclass
 class ProjectSelectionSolution:
-    """The optimal closed subset and its total profit."""
+    """The optimal closed subset, its total profit, and the cut certificate.
+
+    ``cut_edges`` lists the saturated edges of the minimum cut as
+    ``(from, to, capacity)`` where each endpoint is an instance item or the
+    :data:`SOURCE` / :data:`SINK` sentinel; their capacities sum to
+    ``cut_value``, the max-flow value.  A ``source → item`` cut edge means
+    the item's (positive) profit was forgone; an ``item → sink`` cut edge
+    means the item's (negative) profit was paid.  Prerequisite edges are
+    effectively infinite and never appear in a cut.
+    """
 
     selected: Set[Hashable]
     profit: float
+    cut_value: float = 0.0
+    cut_edges: List[Tuple[Hashable, Hashable, float]] = field(default_factory=list)
 
 
 def solve_project_selection(instance: ProjectSelectionInstance) -> ProjectSelectionSolution:
@@ -79,4 +96,12 @@ def solve_project_selection(instance: ProjectSelectionInstance) -> ProjectSelect
     cut_value = network.max_flow(source, sink)
     reachable = network.min_cut_source_side(source)
     selected = {item for item in items if index[item] in reachable}
-    return ProjectSelectionSolution(selected=selected, profit=positive_total - cut_value)
+    labels = {0: SOURCE, 1: SINK, **{position: item for item, position in index.items()}}
+    cut_edges = [
+        (labels[from_id], labels[to_id], capacity)
+        for from_id, to_id, capacity in network.min_cut_edges(source, reachable)
+    ]
+    return ProjectSelectionSolution(
+        selected=selected, profit=positive_total - cut_value,
+        cut_value=cut_value, cut_edges=cut_edges,
+    )

@@ -20,12 +20,18 @@ exponential reference implementation used only in tests.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import OptimizerError, PlanError
 from repro.graph.dag import Dag, NodeState
 from repro.optimizer.cost_model import NodeCosts
-from repro.optimizer.project_selection import ProjectSelectionInstance, solve_project_selection
+from repro.optimizer.project_selection import (
+    SINK,
+    SOURCE,
+    ProjectSelectionInstance,
+    solve_project_selection,
+)
 
 
 def _validate_inputs(dag: Dag, costs: Mapping[str, NodeCosts], outputs: Sequence[str]) -> None:
@@ -75,12 +81,55 @@ def validate_states(
 # ---------------------------------------------------------------------------
 # Exact algorithm (project selection / min-cut)
 # ---------------------------------------------------------------------------
-def optimal_plan(
-    dag: Dag,
-    costs: Mapping[str, NodeCosts],
-    outputs: Sequence[str],
-) -> Dict[str, NodeState]:
-    """Optimal state assignment via the project-selection reduction.
+@dataclass(frozen=True)
+class CutEdge:
+    """One saturated edge of the reduction's minimum cut, in node terms.
+
+    ``source`` / ``target`` are the item labels of the flow network —
+    ``"source"``, ``"sink"``, ``"avail:<node>"``, or ``"comp:<node>"`` —
+    ``node`` names the workflow node the edge prices (empty for the rare
+    source/sink bookkeeping edge), and ``capacity`` is the cost the optimal
+    plan pays (or forgoes) across this edge.  The capacities of a plan's cut
+    edges sum to the min-cut value reported by
+    :meth:`~repro.optimizer.maxflow.FlowNetwork.max_flow`.
+    """
+
+    source: str
+    target: str
+    capacity: float
+    node: str = ""
+
+
+@dataclass
+class PlanExplanation:
+    """Why the exact planner chose its state assignment.
+
+    The min-cut *certificate* of the plan: the cut value (equal to the
+    max-flow value of the project-selection network) and the saturated edges
+    crossing the cut, plus which side of the cut each node's ``avail`` item
+    landed on (``True`` = source side = the plan makes the node's value
+    available).  Recorded into every :class:`~repro.introspect.trace.RunTrace`
+    so reuse decisions stay inspectable after the fact.
+    """
+
+    cut_value: float = 0.0
+    cut_edges: List[CutEdge] = field(default_factory=list)
+    avail_side: Dict[str, bool] = field(default_factory=dict)
+    comp_side: Dict[str, bool] = field(default_factory=dict)
+
+
+def _item_label(item) -> Tuple[str, str]:
+    """``(label, node)`` rendering of a project-selection item or sentinel."""
+    if item == SOURCE or item == SINK:
+        return str(item), ""
+    kind, node = item
+    return f"{kind}:{node}", node
+
+
+def build_selection_instance(
+    dag: Dag, costs: Mapping[str, NodeCosts], outputs: Sequence[str]
+) -> ProjectSelectionInstance:
+    """The project-selection instance behind :func:`optimal_plan`.
 
     Two boolean items per node: ``("avail", n)`` — the node's result is
     available this iteration (loaded or computed), with cost ``l_n`` — and
@@ -90,6 +139,9 @@ def optimal_plan(
     for every parent (the prune constraint).  Nodes without a materialized
     artifact get an effectively-infinite load cost; outputs get an overwhelming
     bonus on their ``avail`` item so they are always available.
+
+    Exposed so tests (and curious users) can rebuild the exact flow network a
+    plan's recorded cut certificate came from.
     """
     _validate_inputs(dag, costs, outputs)
 
@@ -111,7 +163,23 @@ def optimal_plan(
         instance.add_prerequisite(("comp", name), ("avail", name))
     for parent, child in dag.edges():
         instance.add_prerequisite(("comp", child), ("avail", parent))
+    return instance
 
+
+def optimal_plan_explained(
+    dag: Dag,
+    costs: Mapping[str, NodeCosts],
+    outputs: Sequence[str],
+) -> Tuple[Dict[str, NodeState], PlanExplanation]:
+    """Optimal state assignment plus its min-cut certificate.
+
+    Same algorithm as :func:`optimal_plan` (see
+    :func:`build_selection_instance` for the reduction), additionally
+    returning the :class:`PlanExplanation` that the explain/trace subsystem
+    records: cut value, saturated cut edges mapped back to node items, and
+    each node's side of the cut.
+    """
+    instance = build_selection_instance(dag, costs, outputs)
     solution = solve_project_selection(instance)
     selected = solution.selected
 
@@ -126,6 +194,31 @@ def optimal_plan(
 
     _prune_useless_loads(dag, outputs, states)
     validate_states(dag, costs, outputs, states)
+
+    explanation = PlanExplanation(cut_value=solution.cut_value)
+    for from_item, to_item, capacity in solution.cut_edges:
+        from_label, from_node = _item_label(from_item)
+        to_label, to_node = _item_label(to_item)
+        explanation.cut_edges.append(
+            CutEdge(source=from_label, target=to_label, capacity=capacity, node=from_node or to_node)
+        )
+    for name in dag.nodes():
+        explanation.avail_side[name] = ("avail", name) in selected
+        explanation.comp_side[name] = ("comp", name) in selected
+    return states, explanation
+
+
+def optimal_plan(
+    dag: Dag,
+    costs: Mapping[str, NodeCosts],
+    outputs: Sequence[str],
+) -> Dict[str, NodeState]:
+    """Optimal state assignment via the project-selection reduction.
+
+    The certificate-free form of :func:`optimal_plan_explained`; see
+    :func:`build_selection_instance` for the reduction itself.
+    """
+    states, _explanation = optimal_plan_explained(dag, costs, outputs)
     return states
 
 

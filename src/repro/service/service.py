@@ -133,6 +133,7 @@ class WorkflowService:
                         materialization_wrapper=lambda policy, _tenant=tenant: (
                             AdmissionControlledPolicy(policy, cache, _tenant)
                         ),
+                        trace_owner=tenant,
                     )
                 else:
                     self._sessions[tenant] = HelixSession(
@@ -145,6 +146,7 @@ class WorkflowService:
                         memory_tier_mb=self.config.memory_tier_mb,
                         codec=self.config.codec,
                         storage_budget=self.config.isolated_budget_bytes,
+                        trace_owner=tenant,
                     )
             return self._sessions[tenant]
 
@@ -224,6 +226,25 @@ class WorkflowService:
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait for every queued request to finish."""
         return self._dispatcher.drain(timeout)
+
+    def explain(self, tenant: str, run: Optional[int] = None) -> str:
+        """Render one tenant's run decisions (``HelixSession.explain``).
+
+        Traces are attributed per tenant — each tenant session persists its
+        own JSONL under ``<root>/tenants/<tenant>/traces/`` — so one tenant's
+        explain never leaks another's workload structure.  A read-only query:
+        an unknown tenant name raises instead of minting a session (and a
+        workspace directory) for the typo.
+        """
+        with self._sessions_lock:
+            session = self._sessions.get(tenant)
+        if session is not None:
+            return session.explain(run=run)
+        from repro.core.workspace import resolve_trace_dir, resolve_trace_file
+        from repro.introspect import ExplainRenderer, RunTrace
+
+        trace_dir = resolve_trace_dir(self.root, tenant=tenant)
+        return ExplainRenderer(RunTrace.load(resolve_trace_file(trace_dir, run))).render_ascii()
 
     def summary(self) -> Dict[str, Any]:
         """Telemetry snapshot joined with the cache's own counters."""

@@ -194,6 +194,78 @@ class TestStorageKnobs:
             main(["run", "census", "--codec", "msgpack"])
 
 
+class TestExplainAndTraceCommands:
+    def make_workspace(self, tmp_path, iterations=2):
+        workspace = str(tmp_path / "ws")
+        session = HelixSession(workspace=workspace)
+        config = CensusConfig(n_train=150, n_test=50, seed=2)
+        session.run(build_census_workflow(CensusVariant(data_config=config)), description="initial")
+        if iterations > 1:
+            session.run(
+                build_census_workflow(CensusVariant(data_config=config, age_bins=8)),
+                description="wider age buckets",
+            )
+        return workspace
+
+    def test_explain_renders_plan_tree(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path)
+        assert main(["explain", "--workspace", workspace]) == 0
+        output = capsys.readouterr().out
+        assert "wider age buckets" in output
+        assert "LOAD" in output and "COMPUTE" in output
+        assert "est[c=" in output and "min-cut" in output
+        assert "tier=" in output and "codec=" in output
+
+    def test_explain_specific_run_and_json(self, capsys, tmp_path):
+        import json
+
+        workspace = self.make_workspace(tmp_path)
+        assert main(["explain", "--workspace", workspace, "--run", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["run"]["iteration"] == 0
+        assert payload["tree"] and payload["nodes"]
+
+    def test_explain_without_traces_errors(self, capsys, tmp_path):
+        assert main(["explain", "--workspace", str(tmp_path)]) == 2
+        assert "no run traces" in capsys.readouterr().err
+
+    def test_explain_service_root_requires_tenant_when_ambiguous(self, capsys, tmp_path):
+        workspace = str(tmp_path / "svc")
+        for tenant in ("alice", "bob"):
+            assert main([
+                "submit", "--workspace", workspace, "--tenant", tenant,
+                "--iteration", "0", "--scale", "150",
+            ]) == 0
+        capsys.readouterr()
+        assert main(["explain", "--workspace", workspace]) == 2
+        assert "--tenant" in capsys.readouterr().err
+        assert main(["explain", "--workspace", workspace, "--tenant", "alice"]) == 0
+        assert "tenant=alice" in capsys.readouterr().out
+
+    def test_trace_ls_and_export(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path)
+        assert main(["trace", "ls", "--workspace", workspace]) == 0
+        listing = capsys.readouterr().out
+        assert "initial" in listing and "wider age buckets" in listing
+
+        out_path = str(tmp_path / "run.jsonl")
+        assert main(["trace", "export", "--workspace", workspace, "--out", out_path]) == 0
+        capsys.readouterr()
+        from repro.introspect import ExplainRenderer, RunTrace
+
+        trace = RunTrace.load(out_path)
+        assert trace.iteration == 1
+        # The exported trace reloads to the identical explain rendering.
+        assert main(["explain", "--workspace", workspace]) == 0
+        assert ExplainRenderer(trace).render_ascii() + "\n" == capsys.readouterr().out
+
+    def test_trace_export_to_stdout(self, capsys, tmp_path):
+        workspace = self.make_workspace(tmp_path, iterations=1)
+        assert main(["trace", "export", "--workspace", workspace, "--run", "0"]) == 0
+        first_line = capsys.readouterr().out.splitlines()[0]
+        assert '"kind": "run"' in first_line
+
+
 class TestSuggestCommand:
     def test_suggest_census_lists_edits(self, capsys):
         assert main(["suggest", "census"]) == 0

@@ -18,8 +18,24 @@ def load_checker():
 
 class TestDocumentationSuite:
     def test_required_documents_exist(self):
-        for path in ("README.md", "docs/architecture.md", "docs/optimizer.md"):
+        for path in (
+            "README.md",
+            "docs/index.md",
+            "docs/architecture.md",
+            "docs/optimizer.md",
+            "docs/explain.md",
+            "docs/how-a-run-is-decided.md",
+        ):
             assert (REPO_ROOT / path).exists(), f"missing required document {path}"
+
+    def test_index_links_every_doc_page(self):
+        """docs/index.md is the TOC: every top-level doc page must be linked."""
+        index = (REPO_ROOT / "docs" / "index.md").read_text(encoding="utf-8")
+        for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+            if page.name == "index.md":
+                continue
+            assert f"({page.name})" in index, f"docs/index.md does not link {page.name}"
+        assert "(api/index.md)" in index, "docs/index.md does not link the API reference"
 
     def test_all_path_references_resolve(self, capsys):
         checker = load_checker()

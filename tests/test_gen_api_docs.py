@@ -1,0 +1,67 @@
+"""The generated API reference must exist, be current, and cover the public API."""
+
+import importlib.util
+import inspect
+import pkgutil
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+API_DIR = REPO_ROOT / "docs" / "api"
+
+
+def load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "gen_api_docs", REPO_ROOT / "scripts" / "gen_api_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGeneratedApiReference:
+    def test_docs_api_is_committed_and_current(self):
+        """`--check` semantics: the committed pages match the code exactly."""
+        generator = load_generator()
+        problems = generator.check_pages(generator.generate_pages())
+        assert not problems, (
+            "docs/api/ is out of date; run `python scripts/gen_api_docs.py`:\n"
+            + "\n".join(problems)
+        )
+
+    def test_generation_is_deterministic(self):
+        generator = load_generator()
+        assert generator.generate_pages() == generator.generate_pages()
+
+    def test_every_public_class_in_repro_init_is_documented(self):
+        """Every class exported from `repro.__init__` has a heading on the
+        page of its defining package."""
+        import repro
+
+        generator = load_generator()
+        pages = generator.generate_pages()
+        for name in repro.__all__:
+            obj = getattr(repro, name, None)
+            if not inspect.isclass(obj):
+                continue
+            page = generator.page_name(obj.__module__) + ".md"
+            assert page in pages, f"no API page for {obj.__module__} (exporting {name})"
+            assert f"### class `{name}`" in pages[page], (
+                f"public class {name} ({obj.__module__}) missing from docs/api/{page}"
+            )
+
+    def test_every_public_package_has_a_page(self):
+        """Every subpackage of `repro` (the `__init__` overview list) is covered."""
+        import repro
+
+        pages = {path.name for path in API_DIR.glob("*.md")}
+        for info in pkgutil.iter_modules(repro.__path__, prefix="repro."):
+            if not info.ispkg:
+                continue
+            assert f"{info.name}.md" in pages, f"no docs/api page for package {info.name}"
+
+    def test_index_links_every_page(self):
+        index = (API_DIR / "index.md").read_text(encoding="utf-8")
+        for path in API_DIR.glob("*.md"):
+            if path.name == "index.md":
+                continue
+            assert f"({path.name})" in index, f"docs/api/index.md does not link {path.name}"

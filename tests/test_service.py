@@ -312,6 +312,46 @@ class TestWorkflowService:
             assert set(summary["tenants"]) == {"alice", "bob"}
             assert first.metrics == second.metrics, "reuse must not change results"
 
+    def test_traces_are_attributed_per_tenant(self, tmp_path):
+        import os
+
+        root = str(tmp_path / "svc")
+        with WorkflowService(root, ServiceConfig(n_workers=1)) as service:
+            ServiceClient(service, "alice").run(tiny_workflow(), timeout=120)
+            bob_result = ServiceClient(service, "bob").run(tiny_workflow(), timeout=120)
+            assert bob_result.trace is not None
+            assert bob_result.trace.tenant == "bob"
+            # Bob's cross-tenant hits show up as load events in *his* trace.
+            assert bob_result.trace.load_events()
+            explained = service.explain("bob")
+            assert "tenant=bob" in explained and "LOAD" in explained
+        for tenant in ("alice", "bob"):
+            trace_dir = os.path.join(root, "tenants", tenant, "traces")
+            assert os.path.isdir(trace_dir) and os.listdir(trace_dir), (
+                f"{tenant}'s traces must persist under the tenant workspace"
+            )
+
+    def test_explain_unknown_tenant_is_read_only(self, tmp_path):
+        """A typo'd tenant name must raise — not mint a session + workspace."""
+        import os
+
+        from repro.core.workspace import WorkspaceResolutionError
+
+        root = str(tmp_path / "svc")
+        with WorkflowService(root, ServiceConfig(n_workers=1)) as service:
+            ServiceClient(service, "alice").run(tiny_workflow(), timeout=120)
+            with pytest.raises(WorkspaceResolutionError):
+                service.explain("aliec")
+            assert service.tenants() == ["alice"], "explain must not create sessions"
+            assert not os.path.isdir(os.path.join(root, "tenants", "aliec"))
+            # A persisted tenant still explains after its session is gone.
+            fresh = WorkflowService(root, ServiceConfig(n_workers=1))
+            try:
+                assert "tenant=alice" in fresh.explain("alice")
+                assert fresh.tenants() == [], "explain on persisted traces stays read-only"
+            finally:
+                fresh.close()
+
     def test_workload_replay_through_client(self, tmp_path):
         with WorkflowService(str(tmp_path / "svc"), ServiceConfig(n_workers=2)) as service:
             results = ServiceClient(service, "alice").run_workload(tiny_workload(3), timeout=180)
