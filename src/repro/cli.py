@@ -150,9 +150,10 @@ def _build_parser() -> argparse.ArgumentParser:
     add_storage_args(submit)
 
     store = subparsers.add_parser(
-        "store", help="inspect or evict a workspace's materialized artifacts per tier and codec"
+        "store",
+        help="inspect, evict from, or migrate a workspace's materialized artifact store",
     )
-    store.add_argument("action", choices=["stats", "ls", "evict"], help="what to do")
+    store.add_argument("action", choices=["stats", "ls", "evict", "migrate"], help="what to do")
     store.add_argument("--workspace", required=True, help="session workspace, service root, or store directory")
     store.add_argument("--bytes", type=float, default=None, help="bytes to free (evict)")
     store.add_argument(
@@ -483,6 +484,20 @@ def _command_explain(
     return 0
 
 
+def _open_catalog_db(workspace: str):
+    """The workspace's SQLite catalog handle, or ``None`` (JSON workspace,
+    or no store at all).  Opens the database directly — listing verbs must
+    not pay an :class:`ArtifactStore` open (which reconciles every catalog
+    row against the byte store) just to read metadata."""
+    from repro.storage.catalog import CatalogDB, sqlite_catalog_path
+
+    root = resolve_store_root(workspace)
+    if root is None:
+        return None
+    path = sqlite_catalog_path(root)
+    return CatalogDB(path) if os.path.exists(path) else None
+
+
 def _command_trace(
     action: str,
     workspace: str,
@@ -497,22 +512,16 @@ def _command_trace(
 
     trace_dir = resolve_trace_dir(workspace, tenant=tenant)
     if action == "ls":
-        rows = []
-        for index in list_trace_runs(trace_dir):
-            trace = RunTrace.load(resolve_trace_file(trace_dir, index))
-            rows.append(
-                {
-                    "run": index,
-                    "workflow": trace.workflow,
-                    "description": trace.description,
-                    "system": trace.system,
-                    "computed": len(trace.nodes_in_state("compute")),
-                    "loaded": len(trace.nodes_in_state("load")),
-                    "pruned": len(trace.nodes_in_state("prune")),
-                    "wall_s": round(trace.wall_clock_seconds, 4),
-                    **({"tenant": trace.tenant} if trace.tenant else {}),
-                }
-            )
+        # Indexed listing: serve header summaries from the catalog's
+        # trace_runs table; only unindexed runs are parsed (and backfilled).
+        from repro.core.trace_index import trace_summaries
+
+        db = _open_catalog_db(workspace)
+        try:
+            rows = trace_summaries(trace_dir, list_trace_runs(trace_dir), db=db)
+        finally:
+            if db is not None:
+                db.close()
         print(format_table(rows), file=out)
         return 0
     # export
@@ -535,7 +544,7 @@ def _command_store(
     limit: int = 30,
     out=None,
 ) -> int:
-    """Inspect (stats / ls) or evict from a workspace's artifact store.
+    """Inspect (stats / ls), evict from, or migrate a workspace's artifact store.
 
     The store opens with the flat disk backend regardless of how it was
     written — catalog keys are backend-relative paths, so sharded and flat
@@ -544,6 +553,21 @@ def _command_store(
     """
     out = out or sys.stdout
     from repro.execution.store import ArtifactStore, parse_chunk_signature
+
+    if action == "migrate":
+        from repro.core.migrate import migrate_workspace
+
+        summary = migrate_workspace(workspace)
+        print(
+            f"migrated {summary['root']} to catalog.sqlite: "
+            f"{summary['artifacts']} artifacts, {summary['owners']} owners, "
+            f"{summary['compute_costs']} compute costs, "
+            f"{summary['trace_runs']} trace runs indexed",
+            file=out,
+        )
+        for backup in summary["backups"]:
+            print(f"  kept backup: {backup}", file=out)
+        return 0
 
     root = resolve_store_root(workspace)
     if root is None:
@@ -566,10 +590,23 @@ def _command_store(
             print(f"  - {meta.signature[:16]}  {meta.node_name}  {meta.size:.0f} B", file=out)
         return 0
 
-    catalog = store.catalog()
     if action == "ls":
+        # Largest-first with deterministic ties (size desc, then signature) —
+        # identical ordering on both catalog formats, which is what makes
+        # `store ls` output stable across a JSON→SQLite migration.  On a
+        # SQLite catalog this is one indexed query; metadata only on both
+        # paths — listing never reads artifact payloads.
+        db = store.catalog_db
+        if db is not None:
+            listed = [(meta.signature, meta) for meta in db.top_artifacts_by_size(limit)]
+            total = db.artifact_count()
+        else:
+            catalog = store.catalog()
+            ordered = sorted(catalog.items(), key=lambda item: (-item[1].size, item[0]))
+            listed = ordered[:limit]
+            total = len(catalog)
         rows = []
-        for signature, meta in sorted(catalog.items(), key=lambda item: -item[1].size)[:limit]:
+        for signature, meta in listed:
             chunk = parse_chunk_signature(signature)
             rows.append(
                 {
@@ -585,11 +622,12 @@ def _command_store(
             print(f"store is empty   store: {root}", file=out)
             return 0
         print(format_table(rows), file=out)
-        if len(catalog) > limit:
-            print(f"... and {len(catalog) - limit} more (use --limit)", file=out)
+        if total > limit:
+            print(f"... and {total - limit} more (use --limit)", file=out)
         return 0
 
     # stats
+    catalog = store.catalog()
     info = store.storage_info()
     chunked = sum(1 for signature in catalog if parse_chunk_signature(signature))
     print(

@@ -1,0 +1,147 @@
+"""In-place migration of a JSON-catalog workspace to the SQLite catalog.
+
+``repro store migrate`` (and :func:`migrate_workspace` under it) converts the
+three legacy JSON metadata files into one WAL-mode ``catalog.sqlite``:
+
+* ``catalog.json`` → the ``artifacts`` (+ derived ``chunks``) tables,
+* ``cache_meta.json`` → the ``owners`` and ``compute_costs`` tables,
+* the trace JSONL headers → the ``trace_runs`` index.
+
+The migration is **lossless and observable-identical**: every catalog entry
+is copied field-for-field (no reconciliation against the byte store — that
+stays the artifact store's open-time job, applied equally to both formats),
+so ``repro store ls`` prints the same table before and after.  It is also
+**reversible by construction**: the JSON files are renamed to ``*.bak``
+rather than deleted, and the trace JSONL files — still the full record, the
+index is derived — are never touched.
+
+Migration is optional.  Un-migrated workspaces keep working through the
+store's dual-read rule (:func:`repro.storage.catalog.open_catalog_state`);
+migrating buys the SQLite plane's multi-process concurrency, crash safety,
+and indexed listings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.core.trace_index import register_trace
+from repro.core.workspace import (
+    list_trace_runs,
+    resolve_store_root,
+    tenant_workspaces,
+    trace_directory,
+)
+from repro.errors import StorageError
+from repro.introspect.trace import RunTrace
+from repro.storage.catalog import (
+    JSON_SIDECAR_FILENAME,
+    ArtifactMeta,
+    CatalogDB,
+    json_catalog_path,
+    sqlite_catalog_path,
+)
+
+
+def _backup(path: str) -> Optional[str]:
+    """Rename a migrated JSON file out of the dual-read probe's way."""
+    if not os.path.exists(path):
+        return None
+    backup_path = f"{path}.bak"
+    os.replace(path, backup_path)
+    return backup_path
+
+
+def migrate_store(root: str) -> Dict[str, Any]:
+    """Convert one store root's JSON metadata into ``catalog.sqlite``.
+
+    Returns a summary of what moved.  Raises :class:`StorageError` when the
+    root is already on SQLite (nothing to migrate — re-running is an
+    explicit no-op rather than a silent one, so scripted migrations notice
+    double runs) or when the JSON catalog is unreadable.
+    """
+    sqlite_path = sqlite_catalog_path(root)
+    if os.path.exists(sqlite_path):
+        raise StorageError(
+            f"{root} already has a SQLite catalog ({sqlite_path}); nothing to migrate"
+        )
+    json_path = json_catalog_path(root)
+    if not os.path.exists(json_path):
+        raise StorageError(f"no JSON catalog to migrate at {json_path}")
+    try:
+        with open(json_path, "r") as handle:
+            entries = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"cannot read artifact catalog at {json_path}: {exc}") from exc
+
+    metas = [ArtifactMeta.from_dict(entry) for entry in entries]
+    db = CatalogDB(sqlite_path)
+    try:
+        db.upsert_artifacts(metas)
+        owners: Dict[str, str] = {}
+        costs: Dict[str, float] = {}
+        sidecar_path = os.path.join(root, JSON_SIDECAR_FILENAME)
+        if os.path.exists(sidecar_path):
+            try:
+                with open(sidecar_path, "r") as handle:
+                    sidecar = json.load(handle)
+            except (OSError, ValueError):
+                sidecar = {}  # same best-effort contract as the cache's loader
+            owners = dict(sidecar.get("owners", {}))
+            costs = {sig: float(cost) for sig, cost in sidecar.get("compute_costs", {}).items()}
+            for signature, tenant in owners.items():
+                db.set_owner(signature, tenant)
+            db.set_compute_costs(costs)
+    finally:
+        db.close()
+
+    backups = [_backup(json_path), _backup(os.path.join(root, JSON_SIDECAR_FILENAME))]
+    return {
+        "root": root,
+        "artifacts": len(metas),
+        "owners": len(owners),
+        "compute_costs": len(costs),
+        "backups": [path for path in backups if path],
+    }
+
+
+def index_traces(db: CatalogDB, workspace: str) -> int:
+    """Backfill the ``trace_runs`` index for every trace dir under ``workspace``.
+
+    Covers the workspace's own ``traces/`` plus each tenant's under a service
+    root.  Unreadable trace files are skipped — the index is derived data and
+    must not make migration fail.
+    """
+    trace_dirs = [trace_directory(workspace)]
+    trace_dirs += [trace_directory(path) for path in tenant_workspaces(workspace).values()]
+    indexed = 0
+    for trace_dir in trace_dirs:
+        for run in list_trace_runs(trace_dir):
+            try:
+                trace = RunTrace.load(os.path.join(trace_dir, f"run-{run:04d}.jsonl"))
+            except Exception:
+                continue
+            if register_trace(db, trace_dir, run, trace):
+                indexed += 1
+    return indexed
+
+
+def migrate_workspace(workspace: str) -> Dict[str, Any]:
+    """The ``repro store migrate`` entry point: store metadata plus trace index.
+
+    Resolves the store root the same way every other verb does (session
+    workspace, service root, or bare store directory), migrates it, then
+    backfills the trace index from the workspace's persisted traces.
+    """
+    root = resolve_store_root(workspace)
+    if root is None:
+        raise StorageError(f"no artifact catalog found under {workspace}")
+    summary = migrate_store(root)
+    db = CatalogDB(sqlite_catalog_path(root))
+    try:
+        summary["trace_runs"] = index_traces(db, workspace)
+    finally:
+        db.close()
+    return summary

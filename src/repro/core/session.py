@@ -35,6 +35,7 @@ from repro.compiler.change_tracker import ChangeTracker, WorkflowDiff, diff_work
 from repro.compiler.codegen import CompiledWorkflow, compile_workflow
 from repro.compiler.plan import PhysicalPlan
 from repro.compiler.slicing import slice_to_outputs
+from repro.core.trace_index import register_trace
 from repro.core.workspace import resolve_trace_file, trace_directory, trace_path
 from repro.dsl.operators import ChangeCategory
 from repro.dsl.workflow import Workflow
@@ -304,6 +305,15 @@ class HelixSession:
         if trace is not None:
             self.last_trace = trace
             trace.save(trace_path(self.workspace, iteration_index))
+            # Index the persisted trace's header summary in the store's
+            # catalog database (best-effort; None on JSON workspaces) so
+            # `repro trace ls` lists without re-parsing trace bodies.
+            register_trace(
+                getattr(self.store, "catalog_db", None),
+                trace_directory(self.workspace),
+                iteration_index,
+                trace,
+            )
         self.history.update_from_report(result.report)
         self.tracker.observe(compiled)
         self._previous_compiled = compiled

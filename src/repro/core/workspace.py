@@ -7,7 +7,8 @@ workspace" must resolve them identically:
   ``<ws>/traces`` (run traces) plus version/cost records;
 * a **service root** — ``<root>/cache`` (the shared artifact cache) plus
   ``<root>/tenants/<tenant>/`` (one session workspace per tenant);
-* a **bare store directory** — holds ``catalog.json`` directly.
+* a **bare store directory** — holds the catalog (``catalog.sqlite`` or the
+  legacy ``catalog.json``) directly.
 
 :func:`resolve_store_root` (used by ``repro store``) and
 :func:`resolve_trace_dir` (used by ``repro explain`` / ``repro trace``) walk
@@ -38,8 +39,10 @@ def resolve_store_root(workspace: str) -> Optional[str]:
     """Find the artifact store under a workspace path.
 
     Accepts a session workspace (``<ws>/artifacts``), a service root
-    (``<ws>/cache``), or the store directory itself (holds ``catalog.json``).
-    Returns ``None`` when no catalog is found.
+    (``<ws>/cache``), or the store directory itself — recognized by its
+    catalog file, either format (``catalog.sqlite`` wins over a leftover
+    ``catalog.json``, mirroring the store's dual-read rule).  Returns
+    ``None`` when no catalog is found.
     """
     candidates = [
         os.path.join(workspace, "artifacts"),
@@ -47,8 +50,9 @@ def resolve_store_root(workspace: str) -> Optional[str]:
         workspace,
     ]
     for candidate in candidates:
-        if os.path.exists(os.path.join(candidate, "catalog.json")):
-            return candidate
+        for catalog_name in ("catalog.sqlite", "catalog.json"):
+            if os.path.exists(os.path.join(candidate, catalog_name)):
+                return candidate
     return None
 
 

@@ -4,72 +4,57 @@ Artifacts are serialized through a per-value codec and written to a pluggable
 :class:`~repro.storage.backends.StorageBackend` under a workspace directory,
 indexed by the producing node's *signature* (not its name), so any future
 iteration whose node hashes to the same signature can reuse the artifact
-regardless of renames.  A JSON catalog sits next to the artifacts so a new
-session can discover what previous sessions materialized — Helix's
+regardless of renames.  A metadata catalog sits next to the artifacts so a
+new session can discover what previous sessions materialized — Helix's
 cross-session reuse story.  Each catalog entry records the codec that encoded
 it, so reads self-describe and a workspace written under one configuration
 reads fine under any other.
 
 The store itself owns the *policy* surface — signatures, budgets, pins,
-eviction, the catalog — while the :mod:`repro.storage` layer owns bytes:
-``disk`` (legacy flat files), ``sharded`` (fan-out subdirectories), ``memory``
-(ephemeral), or ``tiered`` (a capacity-bounded memory tier write-through over
-sharded disk).  On a tiered backend the store additionally keeps a *decoded*
-hot-value cache pinned to the memory tier's residency, so a hot iterative
-loop skips deserialization entirely — loads the cost model can price at
-effectively zero.
+eviction — while the :mod:`repro.storage` layer owns bytes (``disk``,
+``sharded``, ``memory``, ``tiered``) and metadata persistence
+(:mod:`repro.storage.catalog`).  The catalog has two formats, resolved per
+workspace by :func:`~repro.storage.catalog.open_catalog_state`:
+
+* **SQLite** (``catalog.sqlite``, the default for new workspaces) — a
+  WAL-mode database with row-level transactional mutations, so many
+  processes share one store root with concurrent readers, writers that
+  queue instead of failing, and crash safety per committed put;
+* **JSON** (``catalog.json``, legacy) — the batched ``os.replace`` file
+  that pre-migration workspaces still use; ``repro store migrate`` converts
+  in place.
+
+On a tiered backend the store additionally keeps a *decoded* hot-value cache
+pinned to the memory tier's residency, so a hot iterative loop skips
+deserialization entirely — loads the cost model can price at effectively
+zero.
 """
 
 from __future__ import annotations
 
 import contextlib
-import json
-import os
 import pickle
+import os
 import threading
 import time
 from collections import Counter
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import BudgetExceededError, StorageError
 from repro.storage.backends import MemoryBackend, StorageBackend, backend_from_spec
+from repro.storage.catalog import (  # noqa: F401  (re-exported schema surface)
+    ArtifactMeta,
+    CatalogDB,
+    chunk_signature,
+    open_catalog_state,
+    parse_chunk_signature,
+)
 from repro.storage.codecs import DEFAULT_CODEC_ID, CodecRegistry, default_registry
-
-_CATALOG_FILENAME = "catalog.json"
 
 #: An eviction policy: either a registered name or a callable scoring one
 #: :class:`ArtifactMeta` — artifacts with the *lowest* score are evicted first.
 EvictionPolicy = Union[str, Callable[["ArtifactMeta"], float]]
-
-#: Separator between a parent signature and its chunk suffix.  Signatures are
-#: hex SHA-256 digests, so the marker can never occur in a plain signature.
-_CHUNK_MARKER = "#p"
-
-
-def chunk_signature(signature: str, index: int, count: int) -> str:
-    """Catalog key of chunk ``index`` of ``count`` for ``signature``.
-
-    Chunked artifacts store one catalog entry per partition chunk; the chunk
-    family is recovered by parsing keys, so old catalogs (and the shared
-    service cache) need no schema change.
-    """
-    return f"{signature}{_CHUNK_MARKER}{index}.{count}"
-
-
-def parse_chunk_signature(key: str) -> Optional[Tuple[str, int, int]]:
-    """``(parent_signature, index, count)`` when ``key`` names a chunk, else ``None``."""
-    if _CHUNK_MARKER not in key:
-        return None
-    parent, _, suffix = key.rpartition(_CHUNK_MARKER)
-    index_text, _, count_text = suffix.partition(".")
-    try:
-        index, count = int(index_text), int(count_text)
-    except ValueError:
-        return None
-    if not parent or count < 1 or not 0 <= index < count:
-        return None
-    return parent, index, count
 
 
 @dataclass
@@ -94,42 +79,6 @@ class ChunkInventory:
     def missing(self) -> Tuple[int, ...]:
         have = set(self.present)
         return tuple(index for index in range(self.count) if index not in have)
-
-
-@dataclass
-class ArtifactMeta:
-    """Catalog entry for one materialized artifact.
-
-    ``last_load_time`` is the measured *duration* of the most recent read
-    served by the durable tier (the cost model's measured load cost — memory
-    tier hits deliberately do not overwrite it, so the estimate stays honest
-    for a future process whose memory tier starts empty); ``last_access_at``
-    is the wall clock *instant* of the most recent read or write, which is
-    what LRU eviction orders by.  Both are updated under the store lock.
-    ``codec`` names the :mod:`repro.storage.codecs` codec that encoded the
-    payload; catalogs written before the storage layer default to pickle.
-    """
-
-    signature: str
-    node_name: str
-    size: float
-    write_time: float
-    created_at: float
-    filename: str
-    last_load_time: Optional[float] = None
-    last_access_at: Optional[float] = None
-    codec: str = DEFAULT_CODEC_ID
-
-    def accessed_at(self) -> float:
-        """Timestamp for recency ordering (creation time until first access)."""
-        return self.last_access_at if self.last_access_at is not None else self.created_at
-
-    def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
-
-    @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "ArtifactMeta":
-        return cls(**payload)
 
 
 class ChunkStoreOps:
@@ -162,7 +111,7 @@ class ChunkStoreOps:
     def chunk_families(self, signature: str) -> Dict[int, List[int]]:
         """``count -> sorted present chunk indices`` for every stored family."""
         families: Dict[int, List[int]] = {}
-        prefix = f"{signature}{_CHUNK_MARKER}"
+        prefix = f"{signature}#p"
         for key in self.catalog():
             if not key.startswith(prefix):
                 continue
@@ -247,11 +196,15 @@ class ArtifactStore(ChunkStoreOps):
         Capacity of the ``tiered`` backend's memory tier (ignored by the
         other backends; ``None`` = the tiered default of 256 MB).
     flush_every:
-        Persist the catalog after this many deferred mutations.  Puts batch
-        up to ``flush_every`` catalog entries per JSON rewrite (each rewrite
-        keeps the crash-safe ``os.replace`` path); deletes and evictions
-        always flush immediately.  A crash between flushes loses only
-        *reuse* of the unflushed artifacts, never correctness.
+        Batch size for deferred catalog metadata.  Under the JSON catalog
+        this is the legacy batched-put rewrite cadence; under SQLite, puts
+        and deletes always commit immediately (the multi-process durability
+        contract) and only access-metadata touches batch.  A crash between
+        flushes loses only reuse hints, never an acknowledged artifact.
+    catalog:
+        Metadata format: ``"auto"`` (default — an existing ``catalog.sqlite``
+        wins, an existing ``catalog.json`` keeps the legacy format, fresh
+        workspaces get SQLite), or ``"sqlite"`` / ``"json"`` to force one.
     """
 
     def __init__(
@@ -263,6 +216,7 @@ class ArtifactStore(ChunkStoreOps):
         memory_tier_bytes: Optional[float] = None,
         flush_every: int = 8,
         registry: Optional[CodecRegistry] = None,
+        catalog: str = "auto",
     ) -> None:
         self.root = root
         self.budget_bytes = budget_bytes
@@ -272,7 +226,6 @@ class ArtifactStore(ChunkStoreOps):
         self._backend = backend_from_spec(
             backend, root, memory_tier_bytes=memory_tier_bytes, on_demote=self._forget_hot_value
         )
-        self._catalog: Dict[str, ArtifactMeta] = {}
         # The wavefront scheduler's background materializer writes artifacts
         # while the main thread loads others; one re-entrant lock serializes
         # every catalog read/mutation.
@@ -281,21 +234,14 @@ class ArtifactStore(ChunkStoreOps):
         # eviction: sessions pin every signature their in-flight plan LOADs so
         # a concurrent writer's eviction cannot invalidate the plan mid-run.
         self._pins: Counter = Counter()
-        # Access-metadata updates (load times, recency) mark the catalog
-        # dirty instead of rewriting it per read, and puts batch up to
-        # `flush_every` entries per rewrite.  On a busy shared store,
-        # per-mutation JSON rewrites of the whole catalog would dominate
-        # load time.
-        self._catalog_dirty = False
-        self._dirty_mutations = 0
-        self._flush_every = max(1, int(flush_every))
         # Decoded values for artifacts currently resident in a memory tier,
         # keyed by backend key (meta.filename).  Kept strictly in sync with
         # the tier via its demotion callback, so capacity accounting stays
         # the tier's job and a hot loop skips deserialization entirely.
         self._hot_values: Dict[str, Any] = {}
         self._attach_demotion_hook()
-        self._load_catalog()
+        self._state = open_catalog_state(root, catalog=catalog, flush_every=flush_every)
+        self._state.load(self._backend.contains)
 
     # ------------------------------------------------------------------
     # Backend plumbing
@@ -303,6 +249,21 @@ class ArtifactStore(ChunkStoreOps):
     @property
     def backend(self) -> StorageBackend:
         return self._backend
+
+    @property
+    def catalog_format(self) -> str:
+        """``"sqlite"`` or ``"json"`` — which metadata plane this store opened."""
+        return self._state.format
+
+    @property
+    def catalog_db(self) -> Optional[CatalogDB]:
+        """The SQLite catalog handle (``None`` on un-migrated JSON workspaces).
+
+        The trace index, the shared cache's ownership tables, and the
+        indexed CLI listings all ride on this handle — one database file
+        per store root covers all three metadata planes.
+        """
+        return self._state.db
 
     def _memory_tier(self) -> Optional[MemoryBackend]:
         if isinstance(self._backend, MemoryBackend):
@@ -330,7 +291,7 @@ class ArtifactStore(ChunkStoreOps):
     def tier_of(self, signature: str) -> Optional[str]:
         """Which tier would serve ``signature``: ``"memory"``, ``"disk"``, or ``None``."""
         with self._lock:
-            meta = self._catalog.get(signature)
+            meta = self._state.get(signature)
         if meta is None:
             return None
         tier_probe = getattr(self._backend, "tier_of", None)
@@ -346,19 +307,21 @@ class ArtifactStore(ChunkStoreOps):
         with self._lock:
             return {
                 signature
-                for signature, meta in self._catalog.items()
+                for signature, meta in self._state.snapshot().items()
                 if memory.contains(meta.filename)
             }
 
     def codecs_by_signature(self) -> Dict[str, str]:
         """Signature → catalog codec id, for the cost model's throughput table."""
         with self._lock:
-            return {signature: meta.codec for signature, meta in self._catalog.items()}
+            return {
+                signature: meta.codec for signature, meta in self._state.snapshot().items()
+            }
 
     def storage_info(self) -> Dict[str, Any]:
         """Backend, per-tier, and per-codec breakdown (the ``repro store`` verb)."""
         with self._lock:
-            catalog = list(self._catalog.values())
+            catalog = list(self._state.snapshot().values())
         by_codec: Dict[str, Dict[str, float]] = {}
         for meta in catalog:
             entry = by_codec.setdefault(meta.codec, {"artifacts": 0, "bytes": 0.0})
@@ -366,6 +329,7 @@ class ArtifactStore(ChunkStoreOps):
             entry["bytes"] += meta.size
         info: Dict[str, Any] = {
             "backend": self._backend.name,
+            "catalog": self._state.format,
             "artifacts": len(catalog),
             "used_bytes": sum(meta.size for meta in catalog),
             "budget_bytes": self.budget_bytes,
@@ -381,83 +345,42 @@ class ArtifactStore(ChunkStoreOps):
     # ------------------------------------------------------------------
     # Catalog persistence
     # ------------------------------------------------------------------
-    def _catalog_path(self) -> str:
-        return os.path.join(self.root, _CATALOG_FILENAME)
-
-    def _load_catalog(self) -> None:
-        path = self._catalog_path()
-        if not os.path.exists(path):
-            return
-        try:
-            with open(path, "r") as handle:
-                entries = json.load(handle)
-        except (OSError, ValueError) as exc:
-            raise StorageError(f"cannot read artifact catalog at {path}: {exc}") from exc
-        for entry in entries:
-            meta = ArtifactMeta.from_dict(entry)
-            if self._backend.contains(meta.filename):
-                self._catalog[meta.signature] = meta
-
-    def _save_catalog(self) -> None:
-        """Persist the catalog crash-safely: write a temp file, then rename.
-
-        ``os.replace`` is atomic on POSIX and Windows, so a reader (another
-        session sharing this root, or a crashed writer's successor) always
-        sees either the previous complete catalog or the new complete catalog
-        — never a torn write.  The JSON is compact: on a catalog of thousands
-        of artifacts, pretty-printing tripled the bytes rewritten per flush.
-        """
-        entries = [meta.to_dict() for meta in self._catalog.values()]
-        path = self._catalog_path()
-        temp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
-        try:
-            with open(temp_path, "w") as handle:
-                json.dump(entries, handle, separators=(",", ":"))
-            os.replace(temp_path, path)
-        except OSError as exc:
-            with contextlib.suppress(OSError):
-                os.remove(temp_path)
-            raise StorageError(f"cannot write artifact catalog at {path}: {exc}") from exc
-        self._catalog_dirty = False
-        self._dirty_mutations = 0
-
-    def _note_mutation(self) -> None:
-        """Batched flush accounting: persist once per ``flush_every`` mutations."""
-        self._catalog_dirty = True
-        self._dirty_mutations += 1
-        if self._dirty_mutations >= self._flush_every:
-            self._save_catalog()
-
     def flush(self) -> None:
-        """Persist any deferred catalog updates (batched puts, access metadata)."""
+        """Persist any deferred catalog metadata (batched puts under JSON,
+        buffered access touches under SQLite)."""
         with self._lock:
-            if self._catalog_dirty:
-                self._save_catalog()
+            self._state.flush()
+
+    def close(self) -> None:
+        """Flush deferred metadata and release the catalog handle."""
+        with self._lock:
+            self._state.close()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def has(self, signature: str) -> bool:
         with self._lock:
-            return signature in self._catalog
+            return self._state.contains(signature)
 
     def meta(self, signature: str) -> ArtifactMeta:
         with self._lock:
-            if signature not in self._catalog:
+            meta = self._state.get(signature)
+            if meta is None:
                 raise StorageError(f"no artifact for signature {signature[:12]}...")
-            return self._catalog[signature]
+            return meta
 
     def catalog(self) -> Dict[str, ArtifactMeta]:
         with self._lock:
-            return dict(self._catalog)
+            return self._state.snapshot()
 
     def signatures(self) -> List[str]:
         with self._lock:
-            return list(self._catalog)
+            return list(self._state.snapshot())
 
     def used_bytes(self) -> float:
         with self._lock:
-            return sum(meta.size for meta in self._catalog.values())
+            return self._state.used_bytes()
 
     def remaining_budget(self) -> float:
         if self.budget_bytes is None:
@@ -467,16 +390,31 @@ class ArtifactStore(ChunkStoreOps):
     def sizes_by_signature(self) -> Dict[str, float]:
         """Signature → size map consumed by the cost estimator."""
         with self._lock:
-            return {signature: meta.size for signature, meta in self._catalog.items()}
+            return {
+                signature: meta.size for signature, meta in self._state.snapshot().items()
+            }
 
     def load_costs_by_signature(self) -> Dict[str, float]:
         """Signature → last measured load time, where available."""
         with self._lock:
             return {
                 signature: meta.last_load_time
-                for signature, meta in self._catalog.items()
+                for signature, meta in self._state.snapshot().items()
                 if meta.last_load_time is not None
             }
+
+    def chunk_families(self, signature: str) -> Dict[int, List[int]]:
+        """``count -> sorted present chunk indices``, indexed under SQLite.
+
+        The generic :class:`ChunkStoreOps` implementation scans the whole
+        catalog per call; with a SQLite catalog the chunk table answers from
+        its parent-signature index instead.
+        """
+        db = self._state.db
+        if db is not None:
+            with self._lock:
+                return db.chunk_families(signature)
+        return super().chunk_families(signature)
 
     # ------------------------------------------------------------------
     # Mutations
@@ -540,15 +478,18 @@ class ArtifactStore(ChunkStoreOps):
         self-describe).  The backend write happens *outside* the catalog lock
         so a background materializer never stalls concurrent loads; the
         budget is re-checked and the catalog updated atomically around it.
-        (With several concurrent writers the pre-write budget check can
-        transiently race; the wavefront scheduler prevents that by debiting
-        its logical budget before submitting.)
+        The payload lands in the backend *before* its catalog row commits, so
+        a catalog row always names readable bytes — a crash in the gap leaves
+        at most an orphan payload file, never a dangling row.  (With several
+        concurrent writers the pre-write budget check can transiently race;
+        the wavefront scheduler prevents that by debiting its logical budget
+        before submitting.)
         """
         started = started_at if started_at is not None else time.perf_counter()
         size = float(len(payload))
         with self._lock:
-            existing = self._catalog.get(signature)
-            projected = self.used_bytes() - (existing.size if existing else 0.0) + size
+            existing = self._state.get(signature)
+            projected = self._state.used_bytes() - (existing.size if existing else 0.0) + size
             if self.budget_bytes is not None and projected > self.budget_bytes:
                 raise BudgetExceededError(
                     f"materializing {node_name!r} ({size:.0f} B) would exceed the budget "
@@ -575,8 +516,7 @@ class ArtifactStore(ChunkStoreOps):
             codec=codec,
         )
         with self._lock:
-            self._catalog[signature] = meta
-            self._note_mutation()
+            self._state.put(meta)
         return meta
 
     def get(self, signature: str) -> Tuple[Any, float]:
@@ -591,7 +531,7 @@ class ArtifactStore(ChunkStoreOps):
         re-checking that the entry still exists — a concurrent eviction
         between the read and the bookkeeping must not resurrect a deleted
         entry.  Updates are deferred to the next catalog write (or
-        :meth:`flush`) rather than rewriting the catalog per read.
+        :meth:`flush`) rather than hitting the catalog per read.
         """
         meta = self.meta(signature)
         started = time.perf_counter()
@@ -629,25 +569,19 @@ class ArtifactStore(ChunkStoreOps):
     def _touch(self, signature: str, measured_load: Optional[float]) -> None:
         """Record one read's access metadata (deferred to the next flush)."""
         with self._lock:
-            current = self._catalog.get(signature)
-            if current is not None:
-                if measured_load is not None:
-                    current.last_load_time = measured_load
-                current.last_access_at = time.time()
-                self._catalog_dirty = True
+            self._state.touch(signature, time.time(), measured_load)
 
     def delete(self, signature: str) -> None:
-        """Remove one artifact and its catalog entry (flushed immediately)."""
+        """Remove one artifact and its catalog entry (persisted immediately)."""
         with self._lock:
             meta = self.meta(signature)
             self._forget_hot_value(meta.filename)
             self._backend.delete(meta.filename)
-            del self._catalog[signature]
-            self._save_catalog()
+            self._state.delete(signature)
 
     def clear(self) -> None:
         """Remove every artifact (used by tests and by `--fresh` benchmark runs)."""
-        for signature in list(self._catalog):
+        for signature in self.signatures():
             self.delete(signature)
 
     # ------------------------------------------------------------------
@@ -711,14 +645,18 @@ class ArtifactStore(ChunkStoreOps):
         stamps from one catalog flush, constant custom scorers) break on the
         signature, so repeated runs over the same catalog evict the same
         artifacts — reproducibility the cost-aware service benchmarks rely
-        on.
+        on.  Under a SQLite catalog two processes evicting concurrently may
+        pick the same victim; the loser's backend delete is a no-op and the
+        batched row delete is idempotent, so accounting stays consistent.
         """
         evicted: List[ArtifactMeta] = []
         if bytes_needed <= 0:
             return evicted
         with self._lock:
             candidates = [
-                meta for signature, meta in self._catalog.items() if signature not in self._pins
+                meta
+                for signature, meta in self._state.snapshot().items()
+                if signature not in self._pins
             ]
             candidates.sort(key=lambda meta: (self._eviction_score(meta, policy), meta.signature))
             freed = 0.0
@@ -726,12 +664,13 @@ class ArtifactStore(ChunkStoreOps):
                 if freed >= bytes_needed:
                     break
                 self._forget_hot_value(meta.filename)
-                self._backend.delete(meta.filename)
-                del self._catalog[meta.signature]
+                with contextlib.suppress(StorageError):
+                    self._backend.delete(meta.filename)
                 evicted.append(meta)
                 freed += meta.size
             if evicted:
-                # One catalog rewrite for the whole batch — per-victim saves
-                # would block concurrent loads k times over.
-                self._save_catalog()
+                # One catalog transaction (or JSON rewrite) for the whole
+                # batch — per-victim persistence would block concurrent
+                # loads k times over.
+                self._state.delete_many([meta.signature for meta in evicted])
         return evicted

@@ -41,8 +41,7 @@ from repro.execution.store import ArtifactMeta, ArtifactStore, ChunkStoreOps
 from repro.graph.dag import Dag
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy
-
-_SIDECAR_FILENAME = "cache_meta.json"
+from repro.storage.catalog import JSON_SIDECAR_FILENAME as _SIDECAR_FILENAME
 
 
 @dataclass(frozen=True)
@@ -148,11 +147,22 @@ class SharedArtifactCache(ArtifactStore):
 
     # ------------------------------------------------------------------
     # Sidecar persistence (ownership + recompute costs survive restarts)
+    #
+    # Under a SQLite catalog the attribution tables (`owners`,
+    # `compute_costs`) live in the same database as the artifact rows, so
+    # mutations are row-level deltas; un-migrated JSON workspaces keep the
+    # legacy whole-file `cache_meta.json` rewrite.
     # ------------------------------------------------------------------
     def _sidecar_path(self) -> str:
         return os.path.join(self.root, _SIDECAR_FILENAME)
 
     def _load_sidecar(self) -> None:
+        db = self.catalog_db
+        if db is not None:
+            with self._lock:
+                self._owners = db.owners(known_only=True)
+                self._compute_costs = db.compute_costs()
+            return
         path = self._sidecar_path()
         if not os.path.exists(path):
             return
@@ -162,7 +172,7 @@ class SharedArtifactCache(ArtifactStore):
         except (OSError, ValueError):
             return  # best-effort: a torn sidecar only loses attribution hints
         with self._lock:
-            known = set(self._catalog)
+            known = set(self.signatures())
             self._owners = {
                 sig: tenant for sig, tenant in payload.get("owners", {}).items() if sig in known
             }
@@ -181,6 +191,32 @@ class SharedArtifactCache(ArtifactStore):
         except OSError:
             with contextlib.suppress(OSError):
                 os.remove(temp_path)
+
+    def _persist_owner(self, signature: str, tenant: str) -> None:
+        """Persist one new ownership attribution (called under ``self._lock``)."""
+        db = self.catalog_db
+        if db is not None:
+            db.set_owner(signature, tenant)
+        else:
+            self._save_sidecar()
+
+    def _persist_costs(self, costs_by_signature: Dict[str, float]) -> None:
+        """Persist a batch of recompute costs (called under ``self._lock``)."""
+        db = self.catalog_db
+        if db is not None:
+            db.set_compute_costs(
+                {sig: self._compute_costs[sig] for sig in costs_by_signature}
+            )
+        else:
+            self._save_sidecar()
+
+    def _persist_removed_owners(self, signatures: List[str]) -> None:
+        """Drop evicted signatures' attribution (called under ``self._lock``)."""
+        db = self.catalog_db
+        if db is not None:
+            db.delete_owners(signatures)
+        else:
+            self._save_sidecar()
 
     # ------------------------------------------------------------------
     # Budget surface seen by the planner
@@ -210,7 +246,7 @@ class SharedArtifactCache(ArtifactStore):
                 self._compute_costs[signature] = max(
                     float(seconds), self._compute_costs.get(signature, 0.0)
                 )
-            self._save_sidecar()
+            self._persist_costs(costs_by_signature)
 
     def compute_cost(self, signature: str) -> Optional[float]:
         with self._lock:
@@ -248,7 +284,7 @@ class SharedArtifactCache(ArtifactStore):
         with self._lock:
             return sum(
                 meta.size
-                for signature, meta in self._catalog.items()
+                for signature, meta in self.catalog().items()
                 if self._owners.get(signature) == tenant
             )
 
@@ -296,9 +332,9 @@ class SharedArtifactCache(ArtifactStore):
         with self._lock:
             # Re-materializing an existing signature keeps the original
             # owner: the bytes were first paid for by that tenant's quota.
-            self._owners.setdefault(signature, tenant)
+            owner = self._owners.setdefault(signature, tenant)
             self.stats.puts += 1
-            self._save_sidecar()
+            self._persist_owner(signature, owner)
         return meta
 
     def _reclaim_for(self, tenant: str, incoming_bytes: float) -> None:
@@ -342,7 +378,7 @@ class SharedArtifactCache(ArtifactStore):
                 self.stats.evictions += 1
                 self.stats.evicted_bytes += meta.size
                 self._owners.pop(meta.signature, None)
-            self._save_sidecar()
+            self._persist_removed_owners([meta.signature for meta in evicted])
 
     def get_for(self, tenant: str, signature: str) -> Tuple[Any, float]:
         """Attributed load: counts the hit and the recompute seconds it saved."""
@@ -365,7 +401,7 @@ class SharedArtifactCache(ArtifactStore):
         with self._lock:
             per_tenant = {tenant: self.tenant_used_bytes(tenant) for tenant in set(self._owners.values())}
             snapshot = {
-                "artifacts": len(self._catalog),
+                "artifacts": len(self.catalog()),
                 "used_bytes": self.used_bytes(),
                 "budget_bytes": self.config.budget_bytes,
                 "tenant_quota_bytes": self.config.tenant_quota_bytes,
@@ -409,6 +445,16 @@ class TenantStoreView(ChunkStoreOps):
     @property
     def budget_bytes(self) -> Optional[float]:
         return self.cache.config.budget_bytes
+
+    @property
+    def catalog_format(self) -> str:
+        return self.cache.catalog_format
+
+    @property
+    def catalog_db(self):
+        """The shared cache's SQLite catalog handle (``None`` on JSON roots) —
+        sessions running over a tenant view index their run traces here."""
+        return self.cache.catalog_db
 
     # -- queries (unattributed pass-throughs) --------------------------
     def has(self, signature: str) -> bool:

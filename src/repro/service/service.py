@@ -256,6 +256,9 @@ class WorkflowService:
             return
         self._closed = True
         self._dispatcher.close(wait=wait)
+        if self.cache is not None:
+            # Flush deferred access metadata and release the catalog handle.
+            self.cache.close()
 
     def __enter__(self) -> "WorkflowService":
         return self

@@ -16,7 +16,12 @@ here:
   ``pickle+zlib``, a raw-buffer fast path for NumPy arrays, and a dense
   matrix encoding for :class:`~repro.dsl.operators.DenseFeaturizer` feature
   blocks), with the chosen codec id recorded in the artifact catalog so
-  reads self-describe.
+  reads self-describe;
+* :class:`CatalogDB` — the workspace metadata plane: one WAL-mode SQLite
+  database holding the artifact catalog, chunk inventory, cache-ownership
+  tables, and trace-run index, shared safely by concurrent processes
+  (:mod:`repro.storage.catalog` also keeps the legacy JSON catalog format
+  alive behind :func:`open_catalog_state`'s dual-read rule).
 """
 
 from repro.storage.backends import (
@@ -26,6 +31,13 @@ from repro.storage.backends import (
     ShardedDiskBackend,
     StorageBackend,
     backend_from_spec,
+)
+from repro.storage.catalog import (
+    ArtifactMeta,
+    CatalogDB,
+    chunk_signature,
+    open_catalog_state,
+    parse_chunk_signature,
 )
 from repro.storage.codecs import (
     Codec,
@@ -39,7 +51,9 @@ from repro.storage.codecs import (
 from repro.storage.tiered import TieredStore
 
 __all__ = [
+    "ArtifactMeta",
     "BackendStats",
+    "CatalogDB",
     "Codec",
     "CodecRegistry",
     "DenseBlockCodec",
@@ -52,5 +66,8 @@ __all__ = [
     "TieredStore",
     "ZlibPickleCodec",
     "backend_from_spec",
+    "chunk_signature",
     "default_registry",
+    "open_catalog_state",
+    "parse_chunk_signature",
 ]

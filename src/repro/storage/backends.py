@@ -260,9 +260,12 @@ class DiskBackend(StorageBackend):
         return snapshot
 
     def _is_artifact(self, name: str) -> bool:
-        # The artifact store keeps its catalog (and temp files) in the same
-        # root; those are not payload objects.
-        return not name.endswith(".json") and ".tmp." not in name
+        # The artifact store keeps its catalog (JSON or SQLite — including
+        # WAL sidecar files and migration backups) and temp files in the
+        # same root; those are not payload objects.
+        if name.endswith((".json", ".sqlite", ".sqlite-wal", ".sqlite-shm", ".bak")):
+            return False
+        return ".tmp." not in name
 
     def keys(self) -> List[str]:
         try:

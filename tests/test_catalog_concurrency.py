@@ -1,0 +1,139 @@
+"""Multi-process stress: N workers share one store root through the SQLite catalog.
+
+ISSUE-6 satellite.  Each worker subprocess (``repro.storage.harness worker``)
+runs a seeded random mix of puts, gets, deletes, global evictions, and
+trace-index writes against one workspace, then reports everything it
+acknowledged as JSON.  The WAL + busy-timeout configuration is on trial:
+
+* no worker may surface ``database is locked`` (writers queue, not fail);
+* the surviving catalog must equal ground truth reconstructed from the
+  reports — every put acked by exactly one worker, minus everything any
+  worker deleted or evicted;
+* byte accounting must sum exactly: the catalog's ``SUM(size)`` equals the
+  acked sizes of the surviving signatures;
+* ``repro store ls`` must agree with that ground truth;
+* every trace-index write must be present.
+
+Workers namespace their signatures (``w<id>-``) and delete only their own,
+which is what makes the union of reports *exact* ground truth even though
+evictions race globally.  Everything is deterministic per seed; the only
+waits are ``communicate(timeout=...)`` on real subprocess exits.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.cli import main
+from repro.execution.store import ArtifactStore
+from repro.storage.catalog import CatalogDB, sqlite_catalog_path
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+DEADLINE_SECONDS = 120
+WORKERS = 4
+OPS = 30
+
+
+def spawn_worker(root: str, worker_id: int, ops: int, seed: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.storage.harness", "worker",
+            "--root", root, "--worker-id", str(worker_id),
+            "--ops", str(ops), "--seed", str(seed),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def run_stress_round(root: str, workers: int = WORKERS, ops: int = OPS):
+    """Launch the worker fleet concurrently and collect their reports."""
+    procs = [spawn_worker(root, worker_id, ops, seed=100 + worker_id) for worker_id in range(workers)]
+    reports = []
+    for proc in procs:
+        stdout, stderr = proc.communicate(timeout=DEADLINE_SECONDS)
+        assert proc.returncode == 0, f"worker failed:\n{stderr}"
+        assert "database is locked" not in stderr
+        assert "database is locked" not in stdout
+        result_lines = [line for line in stdout.splitlines() if line.startswith("RESULT ")]
+        assert len(result_lines) == 1, stdout
+        reports.append(json.loads(result_lines[0][len("RESULT "):]))
+    return reports
+
+
+def test_stress_round_catalog_matches_ground_truth(tmp_path):
+    root = str(tmp_path / "store")
+    os.makedirs(root)
+    reports = run_stress_round(root)
+
+    acked = {}
+    removed = set()
+    for report in reports:
+        # Namespaced signatures: no two workers may ack the same one.
+        assert not set(report["acked"]) & set(acked)
+        acked.update(report["acked"])
+        removed.update(report["deleted"])
+        removed.update(report["evicted"])
+    survivors = set(acked) - removed
+    assert acked, "stress round must have acked puts"
+
+    db = CatalogDB(sqlite_catalog_path(root))
+    try:
+        assert db.integrity_ok()
+        rows = {meta.signature: meta for meta in db.all_artifacts()}
+        total_bytes = db.artifact_total_bytes()
+        indexed_traces = db.trace_runs_for(os.path.abspath(os.path.join(root, "traces")))
+    finally:
+        db.close()
+
+    # The catalog is exactly the acked-minus-removed set, byte-exact.
+    assert set(rows) == survivors
+    for signature, meta in rows.items():
+        assert int(meta.size) == acked[signature]
+        assert os.path.exists(os.path.join(root, meta.filename))
+    assert total_bytes == float(sum(acked[signature] for signature in survivors))
+
+    # Every trace-index write from every worker is present.
+    assert len(indexed_traces) == sum(report["traces"] for report in reports)
+
+
+def test_stress_round_store_ls_agrees_with_ground_truth(tmp_path, capsys):
+    root = str(tmp_path / "store")
+    os.makedirs(root)
+    reports = run_stress_round(root, workers=3, ops=20)
+
+    acked = {}
+    removed = set()
+    for report in reports:
+        acked.update(report["acked"])
+        removed.update(report["deleted"])
+        removed.update(report["evicted"])
+    survivors = set(acked) - removed
+
+    assert main(["store", "ls", "--workspace", root, "--limit", str(len(acked) + 1)]) == 0
+    out = capsys.readouterr().out
+    if not survivors:
+        assert "store is empty" in out
+        return
+    listed = {
+        line.split()[0]
+        for line in out.splitlines()
+        if line.strip() and line.split()[0].startswith("w")
+    }
+    # Harness signatures are shorter than the 16-char display truncation,
+    # so the listed column is the full signature.
+    assert listed == survivors
+
+    # And the store's own accounting agrees after a fresh open.
+    store = ArtifactStore(root)
+    try:
+        assert store.used_bytes() == float(sum(acked[signature] for signature in survivors))
+    finally:
+        store.close()

@@ -1,0 +1,140 @@
+"""Crash injection: SIGKILL a catalog writer mid-stream, assert no acked put is lost.
+
+ISSUE-6 satellite.  The harness writer (``repro.storage.harness writer``)
+prints ``ACK <signature> <size>`` only after its put has *committed*; this
+test reads those acks as its synchronization primitive — kill after the k-th
+ack, no sleeps anywhere — so the writer dies at a seed-randomized point,
+possibly inside a later put's transaction.  The contract under test:
+
+* the catalog reopens structurally sound (``PRAGMA integrity_check``, with
+  SQLite discarding any torn WAL tail);
+* every acknowledged artifact is still listed, byte-exact, and loadable;
+* no partial row survives: every listed row's payload file exists (the
+  store writes bytes before committing the row).
+
+SIGKILL — not SIGTERM, not an exception — because only an uncatchable kill
+proves durability is in the commit, not in ``finally`` blocks or flushes.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.execution.store import ArtifactStore
+from repro.storage.catalog import CatalogDB, sqlite_catalog_path
+
+_SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+#: Upper bound on any single wait in this file; generous because CI boxes
+#: stall, but every wait is on a real event — nothing sleeps for effect.
+DEADLINE_SECONDS = 60
+
+
+def spawn_writer(root: str, count: int, seed: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.storage.harness", "writer",
+            "--root", root, "--count", str(count), "--seed", str(seed),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def kill_after_acks(proc: subprocess.Popen, kill_at: int) -> list:
+    """Read acks until ``kill_at`` of them, then SIGKILL the writer.
+
+    Reading the pipe *is* the bounded wait: each ``readline`` returns as soon
+    as the writer commits another put, and EOF before ``kill_at`` acks means
+    the writer finished or died early — both failures worth surfacing.
+    """
+    acked = []
+    for line in proc.stdout:
+        if not line.startswith("ACK "):
+            continue
+        _tag, signature, size = line.split()
+        acked.append((signature, int(size)))
+        if len(acked) >= kill_at:
+            proc.kill()
+            break
+    else:
+        pytest.fail(f"writer ended after only {len(acked)} acks (wanted {kill_at})")
+    proc.wait(timeout=DEADLINE_SECONDS)
+    proc.stdout.close()
+    proc.stderr.close()
+    return acked
+
+
+@pytest.mark.parametrize("seed,kill_at", [(1, 3), (2, 17), (3, 41)])
+def test_sigkill_mid_stream_loses_no_acked_put(tmp_path, seed, kill_at):
+    root = str(tmp_path / "store")
+    proc = spawn_writer(root, count=64, seed=seed)
+    acked = kill_after_acks(proc, kill_at)
+    assert len(acked) == kill_at
+
+    # WAL recovery: the catalog reopens structurally sound.
+    db = CatalogDB(sqlite_catalog_path(root))
+    try:
+        assert db.integrity_ok()
+    finally:
+        db.close()
+
+    # Every acknowledged artifact is listed, byte-exact, and loadable; every
+    # surviving row (acked or the in-flight tail put that happened to commit
+    # before the kill landed) names readable bytes.
+    store = ArtifactStore(root)
+    try:
+        listed = store.catalog()
+        for signature, size in acked:
+            assert signature in listed, f"acked {signature} lost after SIGKILL"
+            assert int(listed[signature].size) == size
+            value, _elapsed = store.get(signature)
+            assert isinstance(value, bytes) and value  # decodes, not torn
+        for meta in listed.values():
+            assert os.path.exists(os.path.join(root, meta.filename))
+    finally:
+        store.close()
+
+
+def test_store_reopens_writable_after_kill(tmp_path):
+    """A successor process continues where the killed writer stopped."""
+    root = str(tmp_path / "store")
+    proc = spawn_writer(root, count=64, seed=7)
+    acked = kill_after_acks(proc, kill_at=10)
+
+    store = ArtifactStore(root)
+    try:
+        meta = store.put_bytes("after-crash", "node", b"x" * 128)
+        assert meta.size == 128.0
+        survivors = set(store.signatures())
+    finally:
+        store.close()
+    assert "after-crash" in survivors
+    assert {signature for signature, _size in acked} <= survivors
+
+
+def test_full_writer_run_acks_everything(tmp_path):
+    """Baseline (no kill): the writer's acks equal the final catalog exactly."""
+    root = str(tmp_path / "store")
+    proc = spawn_writer(root, count=20, seed=11)
+    stdout, stderr = proc.communicate(timeout=DEADLINE_SECONDS)
+    assert proc.returncode == 0, stderr
+    acked = dict(
+        (parts[1], int(parts[2]))
+        for parts in (line.split() for line in stdout.splitlines() if line.startswith("ACK "))
+    )
+    assert len(acked) == 20
+
+    store = ArtifactStore(root)
+    try:
+        listed = store.catalog()
+        assert {sig: int(meta.size) for sig, meta in listed.items()} == acked
+    finally:
+        store.close()

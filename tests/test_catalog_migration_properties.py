@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis): JSON→SQLite migration is lossless.
+
+ISSUE-6 satellite.  For arbitrary generated workspaces — catalogs mixing
+plain and chunked artifacts, ownership sidecars, compute costs, and trace
+files — ``repro store migrate`` must round-trip every field exactly, and the
+observable surface (``store ls`` output, the catalog the store exposes, the
+trace listing) must be identical through the dual-read layer before and
+after migration.  Workspaces are built in per-example temp directories (the
+``tmp_path`` fixture is function-scoped, which hypothesis rejects).
+"""
+
+import json
+import math
+import os
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.core.migrate import migrate_workspace
+from repro.core.trace_index import trace_summaries
+from repro.core.workspace import list_trace_runs
+from repro.execution.store import ArtifactStore
+from repro.introspect.trace import RunTrace
+from repro.storage.catalog import CatalogDB, chunk_signature, sqlite_catalog_path
+
+_SIG_ALPHABET = "abcdef0123456789"
+_CODECS = ["pickle", "pickle+zlib", "numpy-raw", "dense-block"]
+
+signatures = st.text(alphabet=_SIG_ALPHABET, min_size=4, max_size=24)
+# JSON round-trips binary64 exactly (json.dump uses repr), so any finite
+# float is fair game for the value fields.
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+sizes = st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def catalog_entries(draw):
+    """A catalog's worth of entries: unique signatures, some chunked."""
+    base_signatures = draw(st.lists(signatures, min_size=0, max_size=8, unique=True))
+    entries = []
+    for position, base in enumerate(base_signatures):
+        if draw(st.booleans()) and position % 2:
+            count = draw(st.integers(min_value=1, max_value=4))
+            index = draw(st.integers(min_value=0, max_value=count - 1))
+            sig = chunk_signature(base, index, count)
+        else:
+            sig = base
+        entries.append(
+            {
+                "signature": sig,
+                "node_name": draw(st.text(min_size=0, max_size=12)),
+                "size": draw(sizes),
+                "write_time": draw(finite_floats),
+                "created_at": draw(finite_floats),
+                "filename": f"{sig}.pkl",
+                "last_load_time": draw(st.none() | finite_floats),
+                "last_access_at": draw(st.none() | finite_floats),
+                "codec": draw(st.sampled_from(_CODECS)),
+            }
+        )
+    return entries
+
+
+@st.composite
+def workspaces(draw):
+    """Entries plus a sidecar (owners over known sigs, arbitrary costs) and traces."""
+    entries = draw(catalog_entries())
+    sigs = [entry["signature"] for entry in entries]
+    owners = {}
+    if sigs:
+        owned = draw(st.lists(st.sampled_from(sigs), max_size=len(sigs), unique=True))
+        owners = {sig: draw(st.sampled_from(["alice", "bob", "carol"])) for sig in owned}
+    costs = draw(
+        st.dictionaries(signatures, st.floats(min_value=0.0, max_value=1e6), max_size=4)
+    )
+    trace_count = draw(st.integers(min_value=0, max_value=3))
+    return entries, owners, costs, trace_count
+
+
+def build_json_workspace(workspace: str, entries, owners, costs, trace_count) -> str:
+    """Materialize a legacy-format session workspace; returns the store root."""
+    root = os.path.join(workspace, "artifacts")
+    os.makedirs(root, exist_ok=True)
+    with open(os.path.join(root, "catalog.json"), "w") as handle:
+        json.dump(entries, handle, separators=(",", ":"))
+    # Payload files, so the store's open-time reconciliation (applied equally
+    # to both formats) keeps every generated entry.
+    for entry in entries:
+        with open(os.path.join(root, entry["filename"]), "wb") as handle:
+            handle.write(b"x")
+    if owners or costs:
+        with open(os.path.join(root, "cache_meta.json"), "w") as handle:
+            json.dump({"owners": owners, "compute_costs": costs}, handle)
+    traces_dir = os.path.join(workspace, "traces")
+    for iteration in range(trace_count):
+        trace = RunTrace(
+            workflow="gen", iteration=iteration, description=f"generated {iteration}",
+            system="helix", wall_clock_seconds=float(iteration), created_at=float(iteration),
+        )
+        trace.save(os.path.join(traces_dir, f"run-{iteration:04d}.jsonl"))
+    return root
+
+
+def observe(workspace: str, root: str, capacity: int):
+    """Everything a user can see through the dual-read layer."""
+    store = ArtifactStore(root)
+    try:
+        catalog = store.catalog()
+        used = store.used_bytes()
+        fmt = store.catalog_format
+    finally:
+        store.close()
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert cli_main(["store", "ls", "--workspace", workspace, "--limit", str(capacity)]) == 0
+    traces_dir = os.path.join(workspace, "traces")
+    listing = trace_summaries(traces_dir, list_trace_runs(traces_dir), db=None)
+    return catalog, used, buffer.getvalue(), listing, fmt
+
+
+@given(workspaces())
+@settings(max_examples=20, deadline=None)
+def test_migration_round_trips_losslessly(generated):
+    entries, owners, costs, trace_count = generated
+    with tempfile.TemporaryDirectory() as workspace:
+        root = build_json_workspace(workspace, entries, owners, costs, trace_count)
+        capacity = len(entries) + 1
+
+        pre = observe(workspace, root, capacity)
+        summary = migrate_workspace(workspace)
+        post = observe(workspace, root, capacity)
+
+        # Dual-read: the full observable surface is identical pre/post.
+        # (used_bytes compares with a 1-ulp-scale tolerance: Python's sum()
+        # and SQL's SUM() may add the same exact sizes in different orders,
+        # and float addition is not associative — every individual size
+        # round-trips exactly, asserted below.)
+        pre_catalog, pre_used, pre_ls, pre_traces, pre_fmt = pre
+        post_catalog, post_used, post_ls, post_traces, post_fmt = post
+        assert (pre_catalog, pre_ls, pre_traces) == (post_catalog, post_ls, post_traces)
+        assert math.isclose(pre_used, post_used, rel_tol=1e-12, abs_tol=0.0)
+        assert (pre_fmt, post_fmt) == ("json", "sqlite")
+        assert summary["artifacts"] == len(entries)
+        assert summary["trace_runs"] == trace_count
+
+        # Losslessness at the row level: every field of every entry
+        # round-tripped exactly (floats are REAL = binary64 in SQLite).
+        db = CatalogDB(sqlite_catalog_path(root))
+        try:
+            rows = {meta.signature: meta.to_dict() for meta in db.all_artifacts()}
+            assert rows == {entry["signature"]: dict(entry) for entry in entries}
+            # Owners filter to known signatures on read (same rule the JSON
+            # sidecar loader applied); generated owners are all known.
+            assert db.owners(known_only=True) == owners
+            assert db.compute_costs() == costs
+            # Chunked entries landed in the indexed chunk table too.
+            for entry in entries:
+                sig = entry["signature"]
+                if "#p" in sig:
+                    parent = sig.split("#p")[0]
+                    families = db.chunk_families(parent)
+                    index, count = (int(part) for part in sig.split("#p")[1].split("."))
+                    assert index in families[count]
+        finally:
+            db.close()
+
+        # The JSON files moved aside as backups; re-running is a loud no-op.
+        assert not os.path.exists(os.path.join(root, "catalog.json"))
+        assert os.path.exists(os.path.join(root, "catalog.json.bak"))
+        import pytest
+
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            migrate_workspace(workspace)

@@ -2,11 +2,11 @@
 
 ISSUE-2 satellite: two `HelixSession`s sharing one artifact-store root must
 (a) get signature-level cross-session cache hits and (b) never corrupt the
-shared ``catalog.json``, now that catalog writes go through a temp file +
-``os.replace``.
+shared catalog — originally the temp-file + ``os.replace`` JSON rewrite,
+now the WAL-mode SQLite catalog (whose multi-*process* behavior is covered
+separately by ``tests/test_catalog_concurrency.py``).
 """
 
-import json
 import os
 import threading
 
@@ -66,12 +66,13 @@ class TestSharedStoreObject:
             thread.join()
 
         assert errors == []
-        # The shared catalog must be valid JSON and every entry loadable.
-        with open(os.path.join(store.root, "catalog.json")) as handle:
-            entries = json.load(handle)
+        # The shared catalog must be structurally sound and every entry loadable.
+        store.flush()
+        assert store.catalog_db is not None and store.catalog_db.integrity_ok()
+        entries = store.catalog()
         assert entries, "concurrent sessions must have materialized artifacts"
-        for entry in entries:
-            assert os.path.exists(os.path.join(store.root, entry["filename"]))
+        for meta in entries.values():
+            assert os.path.exists(os.path.join(store.root, meta.filename))
         for signature in store.signatures():
             value, elapsed = store.get(signature)
             assert elapsed >= 0.0
@@ -116,11 +117,13 @@ class TestSharedStoreRoot:
             thread.join()
 
         assert errors == []
-        # Crash-safe replace-style writes: the file is always complete JSON
-        # (last writer wins on contents; no torn/interleaved writes).
-        with open(os.path.join(root, "catalog.json")) as handle:
-            entries = json.load(handle)
-        assert isinstance(entries, list) and entries
+        # Transactional row-level writes: a fresh instance over the same root
+        # sees a structurally sound catalog holding both writers' artifacts.
+        for store in stores:
+            store.flush()
+        reopened = ArtifactStore(root)
+        assert reopened.catalog_db is not None and reopened.catalog_db.integrity_ok()
+        assert reopened.signatures()
         # No temp files left behind by either writer.
         leftovers = [name for name in os.listdir(root) if ".tmp." in name]
         assert leftovers == []

@@ -130,11 +130,11 @@ class TestDeletionAndPersistence:
 
     def test_corrupt_catalog_raises_storage_error(self, tmp_path):
         root = str(tmp_path / "a")
-        ArtifactStore(root)
+        ArtifactStore(root, catalog="json")
         with open(os.path.join(root, "catalog.json"), "w") as handle:
             handle.write("{not json")
         with pytest.raises(StorageError):
-            ArtifactStore(root)
+            ArtifactStore(root)  # dual-read "auto" resolves this root to JSON
 
 
 class TestAccessRecency:
@@ -164,7 +164,7 @@ class TestAccessRecency:
         import json
 
         root = str(tmp_path / "a")
-        store = ArtifactStore(root)
+        store = ArtifactStore(root, catalog="json")
         store.put("s1", "n1", [1])
         store.flush()
         # Strip the new fields, as a catalog written by an older version.
@@ -180,6 +180,13 @@ class TestAccessRecency:
 
 
 class TestCrashSafeCatalog:
+    """Crash-safety contract of the *legacy JSON* catalog format.
+
+    New workspaces default to the WAL-mode SQLite catalog (covered by
+    ``tests/test_catalog_crash.py`` and friends); these tests pin the JSON
+    format explicitly because un-migrated workspaces still rely on it.
+    """
+
     def test_no_temp_files_left_after_writes(self, store):
         for index in range(5):
             store.put(f"s{index}", "n", list(range(index + 1)))
@@ -192,7 +199,7 @@ class TestCrashSafeCatalog:
         import json
 
         root = str(tmp_path / "a")
-        store = ArtifactStore(root)
+        store = ArtifactStore(root, catalog="json")
         store.put("s1", "n1", [1, 2, 3])
         store.get("s1")  # deferred: catalog on disk not yet updated
         store.flush()
@@ -204,7 +211,7 @@ class TestCrashSafeCatalog:
         import json
 
         root = str(tmp_path / "a")
-        store = ArtifactStore(root, flush_every=3)
+        store = ArtifactStore(root, flush_every=3, catalog="json")
         store.put("s1", "n1", [1, 2, 3])
         store.get("s1")
         store.put("s2", "n2", [4])
@@ -221,7 +228,7 @@ class TestCrashSafeCatalog:
         import json
 
         root = str(tmp_path / "a")
-        store = ArtifactStore(root)
+        store = ArtifactStore(root, catalog="json")
         store.put("s1", "n1", [1])
         store.put("s2", "n2", [2])
         store.delete("s1")
@@ -231,7 +238,7 @@ class TestCrashSafeCatalog:
 
     def test_catalog_json_is_compact(self, tmp_path):
         root = str(tmp_path / "a")
-        store = ArtifactStore(root)
+        store = ArtifactStore(root, catalog="json")
         store.put("s1", "n1", [1])
         store.flush()
         with open(os.path.join(root, "catalog.json")) as handle:

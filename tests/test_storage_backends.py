@@ -109,6 +109,10 @@ class TestDiskBackends:
         backend = DiskBackend(str(tmp_path))
         (tmp_path / "catalog.json").write_text("[]")
         (tmp_path / "catalog.json.tmp.1.2").write_text("[]")
+        (tmp_path / "catalog.sqlite").write_bytes(b"")
+        (tmp_path / "catalog.sqlite-wal").write_bytes(b"")
+        (tmp_path / "catalog.sqlite-shm").write_bytes(b"")
+        (tmp_path / "catalog.json.bak").write_text("[]")
         backend.put_bytes("sig.pkl", b"x")
         assert backend.keys() == ["sig.pkl"]
 

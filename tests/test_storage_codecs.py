@@ -157,7 +157,7 @@ class TestSelfDescribingReads:
         import os
 
         root = str(tmp_path / "a")
-        store = ArtifactStore(root)
+        store = ArtifactStore(root, catalog="json")
         store.put("sig", "node", [1, 2])
         store.flush()
         with open(os.path.join(root, "catalog.json")) as handle:
