@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""Incremental (delta-driven) recomputation benchmark: append-mostly and rolling-window feeds.
+
+Code changes are what Helix's signature reuse handles; this benchmark
+exercises what happens when the *data* changes between iterations.  A
+file-backed dense census pipeline (FileSource → CsvScanner →
+DenseFeaturizer → LabelExtractor → FeatureAssembler → Learner → Predictor →
+Evaluator) runs twice in one session:
+
+* run 1 on the base files — records per-chunk input fingerprints in the
+  SQLite catalog and materializes chunked artifacts;
+* run 2 after the feed changed — the delta planner diffs the input chunk
+  by chunk, the propagator pushes dirtiness through the DAG, and the
+  optimizer prices "recompute dirty + load clean" per node.
+
+Two scenario generators model the two streaming shapes the ROADMAP names:
+
+* **append-mostly** — 5% more training rows appended to the same file;
+  only the stretched tail chunk is dirty (statuses ``clean×(n−1), dirty``).
+* **rolling-window** — the training and test windows both advance by
+  exactly one chunk; every surviving chunk is clean but *shifted*
+  (remap ``i → i+1``), which only content-based chunk matching can see.
+
+Rows are pre-generated once at the largest scale and sliced into CSV files
+(the census generator draws train and test from one seeded stream, so
+generating at two scales would change every row).  The IE workload's
+corpus operators run under SHUFFLE/COMBINE partition modes, which widen
+dirtiness to whole nodes by construction — the census pipeline is where
+chunk-level deltas are expressible, so both scenarios use it.
+
+The run fails (non-zero exit) when the delta run's model metrics differ
+from a cold full recompute (fresh workspace, ``incremental=False``) in any
+digit, or when the delta run recomputed more than 30% of the chunks of the
+delta-eligible nodes (the chunk-scope nodes the propagator resolved; nodes
+widened to whole-node dirtiness — model training and everything after it —
+are recomputed in full by design and reported separately).
+
+Run from the repo root::
+
+    python benchmarks/bench_incremental.py            # append + rolling, full scale
+    python benchmarks/bench_incremental.py --smoke    # CI: append only, tiny data
+
+Emits ``BENCH_incremental.json`` at the repo root (the start of the
+``BENCH_*.json`` perf trajectory) unless ``--no-write`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.session import HelixSession  # noqa: E402
+from repro.datagen.census import CENSUS_FIELDS, CensusConfig, generate_census_dataset  # noqa: E402
+from repro.dsl.operators import (  # noqa: E402
+    CsvScanner,
+    DenseFeaturizer,
+    Evaluator,
+    FeatureAssembler,
+    FileSource,
+    LabelExtractor,
+    Learner,
+    Predictor,
+)
+from repro.dsl.workflow import Workflow  # noqa: E402
+from repro.workloads.census_workload import NUMERIC_FIELDS  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_incremental.json")
+
+#: Chunk fraction the delta run may recompute on delta-eligible nodes
+#: (the acceptance bar: 5% appended rows over 16 chunks dirties 1/16).
+MAX_DELTA_CHUNK_FRACTION = 0.30
+
+
+def _rows_to_lines(records) -> List[str]:
+    return [",".join(str(record[field]) for field in CENSUS_FIELDS) for record in records]
+
+
+def _write_feed(path: str, lines: List[str]) -> str:
+    """Write ``lines`` as the feed file; returns a content stamp for FileSource."""
+    body = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(body)
+    return hashlib.sha256(body.encode()).hexdigest()[:16]
+
+
+def build_feed_workflow(train_path: str, test_path: str, version: str,
+                        embed_dim: int, passes: int) -> Workflow:
+    """The file-backed linear dense census pipeline."""
+    wf = Workflow("census_feed")
+    data = wf.add("data", FileSource(train=train_path, test=test_path, version=version))
+    rows = wf.add("rows", CsvScanner(data, fields=CENSUS_FIELDS, numeric_fields=NUMERIC_FIELDS))
+    dense = wf.add(
+        "dense",
+        DenseFeaturizer(
+            rows,
+            fields=["age", "education_num", "capital_gain", "capital_loss", "hours_per_week"],
+            embed_dim=embed_dim,
+            passes=passes,
+            out_features=6,
+        ),
+    )
+    target = wf.add("target", LabelExtractor(rows, field="target"))
+    examples = wf.add("examples", FeatureAssembler(extractors=[dense], label=target))
+    model = wf.add("model", Learner(examples, model_type="logistic_regression",
+                                    reg_param=0.1, max_iter=40))
+    predictions = wf.add("predictions", Predictor(model, examples))
+    checked = wf.add("checked", Evaluator(predictions, metrics=("accuracy", "f1")))
+    wf.mark_output(predictions, checked)
+    return wf
+
+
+# ---------------------------------------------------------------------------
+# Scenario generators
+# ---------------------------------------------------------------------------
+def append_scenario(scale: int, partitions: int) -> Dict[str, object]:
+    """Base feed of ``scale`` training rows, then 5% more rows appended."""
+    appended = max(1, scale // 20)
+    n_test = max(partitions * 10, scale // 10)
+    dataset = generate_census_dataset(
+        CensusConfig(n_train=scale + appended, n_test=n_test, seed=7)
+    )
+    train = _rows_to_lines(dataset.train.records())
+    test = _rows_to_lines(dataset.test.records())
+    return {
+        "name": "append",
+        "description": f"append {appended} rows (5%) to a {scale}-row feed",
+        "base": (train[:scale], test),
+        "changed": (train, test),
+        "expected_mode": "append",
+    }
+
+
+def rolling_scenario(scale: int, partitions: int) -> Dict[str, object]:
+    """Train and test windows both advance by exactly one chunk of rows."""
+    train_step = scale // partitions
+    n_test = partitions * max(10, scale // (10 * partitions))
+    test_step = n_test // partitions
+    dataset = generate_census_dataset(
+        CensusConfig(n_train=scale + train_step, n_test=n_test + test_step, seed=7)
+    )
+    train = _rows_to_lines(dataset.train.records())
+    test = _rows_to_lines(dataset.test.records())
+    return {
+        "name": "rolling",
+        "description": f"advance a {scale}-row window by one chunk ({train_step} rows)",
+        "base": (train[:scale], test[:n_test]),
+        "changed": (train[train_step:], test[test_step:]),
+        "expected_mode": "rolling",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+def delta_chunk_stats(result) -> Dict[str, object]:
+    """Recomputed-chunk accounting for the delta run, split by delta scope."""
+    trace = result.trace
+    eligible_total = eligible_computed = 0
+    widened_total = widened_computed = 0
+    verdicts: Dict[str, str] = {}
+    for name, entry in trace.nodes.items():
+        stats = result.report.node_stats.get(name)
+        if stats is None:
+            continue
+        chunks = max(stats.chunks_computed + stats.chunks_loaded, entry.delta_chunks_total)
+        if not chunks:
+            continue
+        if entry.delta_strategy:
+            verdicts[name] = entry.delta_strategy
+            eligible_total += chunks
+            eligible_computed += stats.chunks_computed
+        else:
+            widened_total += chunks
+            widened_computed += stats.chunks_computed
+    fraction = eligible_computed / eligible_total if eligible_total else 1.0
+    return {
+        "eligible_chunks": eligible_total,
+        "eligible_recomputed": eligible_computed,
+        "eligible_recompute_fraction": round(fraction, 4),
+        "widened_chunks": widened_total,
+        "widened_recomputed": widened_computed,
+        "verdicts": verdicts,
+    }
+
+
+def run_scenario(scenario: Dict[str, object], partitions: int,
+                 embed_dim: int, passes: int) -> Dict[str, object]:
+    """One scenario end to end: base run, delta run, cold comparison run."""
+    root = tempfile.mkdtemp(prefix=f"bench_incr_{scenario['name']}_")
+    try:
+        train_path = os.path.join(root, "train.csv")
+        test_path = os.path.join(root, "test.csv")
+
+        base_train, base_test = scenario["base"]
+        version = _write_feed(train_path, base_train)
+        version += _write_feed(test_path, base_test)
+        session = HelixSession(
+            os.path.join(root, "ws"), partitions=partitions,
+            store_backend="tiered", memory_tier_mb=512,
+        )
+        build = lambda v: build_feed_workflow(train_path, test_path, v, embed_dim, passes)
+        started = time.perf_counter()
+        session.run(build(version), description=f"{scenario['name']}: base feed")
+        base_wall = time.perf_counter() - started
+
+        changed_train, changed_test = scenario["changed"]
+        version = _write_feed(train_path, changed_train)
+        version += _write_feed(test_path, changed_test)
+        started = time.perf_counter()
+        delta_run = session.run(build(version), description=f"{scenario['name']}: changed feed")
+        delta_wall = time.perf_counter() - started
+
+        cold = HelixSession(os.path.join(root, "cold"), partitions=partitions,
+                            incremental=False)
+        started = time.perf_counter()
+        cold_run = cold.run(build(version))
+        cold_wall = time.perf_counter() - started
+
+        stats = delta_chunk_stats(delta_run)
+        deltas = [
+            {
+                "input": entry.node or entry.input_key,
+                "mode": entry.mode,
+                "clean": entry.clean_chunks,
+                "dirty": entry.dirty_chunks,
+                "new": entry.new_chunks,
+                "chunks": entry.chunk_count,
+            }
+            for entry in (delta_run.trace.deltas if delta_run.trace else [])
+        ]
+        return {
+            "scenario": scenario["name"],
+            "description": scenario["description"],
+            "partitions": partitions,
+            "detected": deltas,
+            "expected_mode": scenario["expected_mode"],
+            **stats,
+            "delta_metrics": dict(delta_run.report.metrics),
+            "cold_metrics": dict(cold_run.report.metrics),
+            "base_wall_s": round(base_wall, 4),
+            "delta_wall_s": round(delta_wall, 4),
+            "cold_wall_s": round(cold_wall, 4),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def check_scenario(result: Dict[str, object], failures: List[str]) -> None:
+    name = result["scenario"]
+    if result["delta_metrics"] != result["cold_metrics"]:
+        failures.append(f"{name}: delta-run metrics differ from cold full recompute")
+    if not result["detected"]:
+        failures.append(f"{name}: no input delta was detected")
+    elif all(entry["mode"] != result["expected_mode"] for entry in result["detected"]):
+        failures.append(
+            f"{name}: expected a {result['expected_mode']!r} delta, "
+            f"detected {[entry['mode'] for entry in result['detected']]}"
+        )
+    if result["eligible_chunks"] == 0:
+        failures.append(f"{name}: no node was delta-eligible (nothing chunk-diffable)")
+    elif result["eligible_recompute_fraction"] > MAX_DELTA_CHUNK_FRACTION:
+        failures.append(
+            f"{name}: recomputed {result['eligible_recompute_fraction']:.1%} of "
+            f"delta-eligible chunks (> {MAX_DELTA_CHUNK_FRACTION:.0%} bar)"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="incremental recomputation benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: append scenario only, tiny data")
+    parser.add_argument("--scale", type=int, default=6400,
+                        help="training rows in the base feed (full mode)")
+    parser.add_argument("--partitions", type=int, default=16, help="chunk count")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_incremental.json and benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale, embed_dim, passes = 1600, 96, 4
+        scenarios = [append_scenario(scale, args.partitions)]
+    else:
+        scale, embed_dim, passes = args.scale, 192, 6
+        scenarios = [
+            append_scenario(scale, args.partitions),
+            rolling_scenario(scale, args.partitions),
+        ]
+
+    failures: List[str] = []
+    results: List[Dict[str, object]] = []
+    for scenario in scenarios:
+        result = run_scenario(scenario, args.partitions, embed_dim, passes)
+        results.append(result)
+        check_scenario(result, failures)
+
+    payload = {
+        "benchmark": "incremental",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "partitions": args.partitions,
+        "max_delta_chunk_fraction": MAX_DELTA_CHUNK_FRACTION,
+        "scenarios": results,
+        "ok": not failures,
+    }
+    report = json.dumps(payload, indent=2, sort_keys=True)
+    print(report)
+    if not args.no_write:
+        try:
+            with open(BENCH_JSON, "w") as handle:
+                handle.write(report + "\n")
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            name = "incremental_smoke" if args.smoke else "incremental_comparison"
+            with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+                handle.write(report + "\n")
+        except OSError:
+            pass
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {failure}" for failure in failures), file=sys.stderr)
+        return 1
+    print("\nOK: incremental benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,12 +17,17 @@ Public API overview
   cost-aware artifact cache (``WorkflowService``, ``ServiceClient``).
 * :mod:`repro.introspect` — run traces and ``EXPLAIN``-style plan rendering
   (``RunTrace``, ``ExplainRenderer``; ``repro explain`` on the CLI).
+* :mod:`repro.incremental` — delta-driven incremental recomputation:
+  chunk-level input change detection (``DeltaDetector``), DAG dirtiness
+  propagation (``DirtyPropagator``), and delta-aware chunk-reuse planning
+  (``DeltaPlanner``).
 """
 
 from repro.baselines import DEEPDIVE, HELIX, HELIX_UNOPTIMIZED, KEYSTONEML, ExecutionStrategy
 from repro.core import HelixSession, SessionRunResult
 from repro.dsl import Workflow
 from repro.execution import ArtifactStore, WorkflowSimulator
+from repro.incremental import DeltaDetector, DeltaPlanner, DirtyPropagator
 from repro.introspect import ExplainRenderer, RunTrace
 
 __version__ = "1.0.0"
@@ -35,6 +40,9 @@ __all__ = [
     "WorkflowSimulator",
     "RunTrace",
     "ExplainRenderer",
+    "DeltaDetector",
+    "DirtyPropagator",
+    "DeltaPlanner",
     "ExecutionStrategy",
     "HELIX",
     "HELIX_UNOPTIMIZED",

@@ -11,6 +11,7 @@ Entry points::
     python -m repro run census --store-backend tiered --memory-tier-mb 256
     python -m repro store stats --workspace DIR  # artifacts per tier and codec
     python -m repro store evict --workspace DIR --bytes 1000000 --policy lru
+    python -m repro store vacuum --workspace DIR  # compact the SQLite catalog
     python -m repro explain --workspace DIR    # why each node was reused/recomputed
     python -m repro trace export --workspace DIR --out run.jsonl
     python -m repro versions --workspace DIR   # browse a persisted workspace
@@ -153,7 +154,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "store",
         help="inspect, evict from, or migrate a workspace's materialized artifact store",
     )
-    store.add_argument("action", choices=["stats", "ls", "evict", "migrate"], help="what to do")
+    store.add_argument(
+        "action", choices=["stats", "ls", "evict", "migrate", "vacuum"], help="what to do"
+    )
     store.add_argument("--workspace", required=True, help="session workspace, service root, or store directory")
     store.add_argument("--bytes", type=float, default=None, help="bytes to free (evict)")
     store.add_argument(
@@ -191,6 +194,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--run", type=int, default=None, help="iteration index (export; default: latest)")
     trace.add_argument("--tenant", default=None, help="tenant name for service roots")
     trace.add_argument("--out", default=None, help="write the JSONL here (export; default: stdout)")
+    trace.add_argument(
+        "--limit", type=int, default=None,
+        help="list only the most recent N runs (ls; default: all)",
+    )
 
     versions = subparsers.add_parser("versions", help="list persisted workflow versions in a workspace")
     versions.add_argument("--workspace", required=True, help="workspace directory of a previous session")
@@ -504,6 +511,7 @@ def _command_trace(
     run: Optional[int] = None,
     tenant: Optional[str] = None,
     out_path: Optional[str] = None,
+    limit: Optional[int] = None,
     out=None,
 ) -> int:
     """List (``ls``) or export (``export``) a workspace's persisted traces."""
@@ -516,13 +524,23 @@ def _command_trace(
         # trace_runs table; only unindexed runs are parsed (and backfilled).
         from repro.core.trace_index import trace_summaries
 
+        runs = list_trace_runs(trace_dir)
+        elided = 0
+        if limit is not None and limit >= 0 and len(runs) > limit:
+            elided = len(runs) - limit
+            runs = runs[-limit:] if limit else []
         db = _open_catalog_db(workspace)
         try:
-            rows = trace_summaries(trace_dir, list_trace_runs(trace_dir), db=db)
+            rows = trace_summaries(trace_dir, runs, db=db)
         finally:
             if db is not None:
                 db.close()
-        print(format_table(rows), file=out)
+        if rows:
+            print(format_table(rows), file=out)
+        if elided:
+            print(f"... {elided} older runs hidden (use --limit)", file=out)
+        elif not rows:
+            print(f"no traced runs under {trace_dir}", file=out)
         return 0
     # export
     trace = RunTrace.load(resolve_trace_file(trace_dir, run))
@@ -567,6 +585,30 @@ def _command_store(
         )
         for backup in summary["backups"]:
             print(f"  kept backup: {backup}", file=out)
+        return 0
+
+    if action == "vacuum":
+        # Compacts the SQLite catalog in place: checkpoint the WAL into the
+        # main database, VACUUM, and report the bytes handed back to the
+        # filesystem.  Deliberately bypasses ArtifactStore — vacuuming is
+        # pure catalog maintenance and must not trigger a store reconcile.
+        db = _open_catalog_db(workspace)
+        if db is None:
+            print(
+                f"error: no SQLite catalog under {workspace} (JSON workspaces have "
+                "nothing to vacuum; run `repro store migrate` first)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            stats = db.vacuum()
+        finally:
+            db.close()
+        print(
+            f"vacuumed catalog: {stats['bytes_before']:.0f} B -> {stats['bytes_after']:.0f} B "
+            f"({stats['bytes_reclaimed']:.0f} B reclaimed)",
+            file=out,
+        )
         return 0
 
     root = resolve_store_root(workspace)
@@ -721,7 +763,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "trace":
             return _command_trace(
                 args.action, args.workspace, run=args.run, tenant=args.tenant,
-                out_path=args.out,
+                out_path=args.out, limit=args.limit,
             )
         if args.command == "versions":
             return _command_versions(args.workspace, args.metric)

@@ -138,6 +138,17 @@ class HelixSession:
         Identity stamped into every trace's ``tenant`` field — the workflow
         service sets this to the tenant name so multi-tenant traces stay
         attributed.
+    incremental:
+        Delta-driven incremental recomputation (``None`` = auto: on for
+        chunked runs, i.e. ``partitions > 1``).  When active, inputs are
+        fingerprinted chunk-by-chunk into the catalog's ``input_deltas``
+        table; when an input's *data* changes between runs, clean chunks of
+        downstream partition-wise nodes are served from the previous run's
+        chunk artifacts and only dirty chunks recompute — the optimizer
+        prices delta-vs-full per node (see :mod:`repro.incremental`).
+        Requires a SQLite-catalog workspace and a strategy with
+        cross-iteration reuse; ``False`` disables detection entirely and
+        reproduces non-incremental behavior exactly.
     """
 
     def __init__(
@@ -156,11 +167,13 @@ class HelixSession:
         materialization_wrapper: Optional[Callable[[Any], Any]] = None,
         trace_runs: bool = True,
         trace_owner: str = "",
+        incremental: Optional[bool] = None,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
         self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
         self.partitions = max(1, int(partitions)) if partitions else 1
+        self.incremental = incremental
         self.trace_runs = trace_runs
         self.trace_owner = trace_owner
         self.last_trace: Optional[RunTrace] = None
@@ -191,7 +204,35 @@ class HelixSession:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _estimate_costs(self, compiled: CompiledWorkflow) -> Dict[str, NodeCosts]:
+    @property
+    def incremental_active(self) -> bool:
+        """Whether delta detection engages for this session's runs."""
+        if self.incremental is False:
+            return False
+        if self.partitions <= 1 or not self.strategy.cross_iteration_reuse:
+            # Delta reuse is defined over chunked artifacts; without
+            # partitioning (or with reuse forbidden) there is nothing to do.
+            return False
+        if self.incremental is None:
+            return getattr(self.store, "catalog_db", None) is not None
+        return True
+
+    def _plan_deltas(self, compiled: CompiledWorkflow, iteration_index: int):
+        """Fingerprint changed inputs and plan chunk reuse (None = inactive)."""
+        if not self.incremental_active:
+            return None
+        from repro.errors import StorageError
+        from repro.incremental.planner import DeltaPlanner
+
+        planner = DeltaPlanner(self.partitions)
+        try:
+            return planner.plan(
+                compiled, self.store, run_iteration=iteration_index, recorded_at=time.time()
+            )
+        except StorageError:
+            return None  # fingerprinting is advisory; run proceeds full
+
+    def _estimate_costs(self, compiled: CompiledWorkflow, delta_plan=None) -> Dict[str, NodeCosts]:
         # Tier/codec signals are optional store surface (custom stores in
         # tests may implement only the primitive operations).
         codecs = getattr(self.store, "codecs_by_signature", None)
@@ -205,6 +246,7 @@ class HelixSession:
             recoverable_partitions=self.partitions,
             codecs_by_signature=codecs() if callable(codecs) else None,
             memory_resident=resident() if callable(resident) else None,
+            delta_hints=delta_plan.hints() if delta_plan is not None else None,
         )
         # Strategy restrictions: comparators that cannot reuse certain node
         # categories (or anything at all) simply see those nodes as
@@ -257,7 +299,9 @@ class HelixSession:
         """Execute one iteration of ``workflow`` and record a new version."""
         compiled_full = compile_workflow(workflow)
         compiled = slice_to_outputs(compiled_full)
-        costs = self._estimate_costs(compiled)
+        iteration_index = len(self.versions)
+        delta_plan = self._plan_deltas(compiled, iteration_index)
+        costs = self._estimate_costs(compiled, delta_plan)
         states, explanation = self._plan_states(compiled, costs)
         plan = PhysicalPlan(compiled=compiled, states=states)
 
@@ -272,11 +316,11 @@ class HelixSession:
         if not change_category:
             change_category = self._infer_change_category(compiled, diff)
 
-        iteration_index = len(self.versions)
         trace = (
             self._seed_trace(
                 compiled, states, costs, explanation, policy,
                 iteration_index, description, change_category,
+                delta_plan=delta_plan,
             )
             if self.trace_runs
             else None
@@ -300,6 +344,7 @@ class HelixSession:
                 change_category=change_category,
                 system=self.strategy.name,
                 trace=trace,
+                delta_plan=delta_plan,
             )
 
         if trace is not None:
@@ -347,6 +392,7 @@ class HelixSession:
         iteration_index: int,
         description: str,
         change_category: str,
+        delta_plan=None,
     ) -> RunTrace:
         """Record the planning half of the run's decision record.
 
@@ -370,7 +416,22 @@ class HelixSession:
             outputs=list(compiled.outputs),
             plan_cost=plan_cost(states, costs),
             created_at=time.time(),
+            incremental=self.incremental_active,
         )
+        if delta_plan is not None:
+            from repro.introspect.trace import DeltaTrace
+
+            for name, delta in sorted(delta_plan.inputs.items()):
+                trace.deltas.append(DeltaTrace(
+                    input_key=delta.input_key,
+                    node=name,
+                    mode=delta.mode,
+                    chunk_count=delta.chunk_count,
+                    clean_chunks=delta.clean_chunks,
+                    dirty_chunks=sum(1 for s in delta.statuses if s == "dirty"),
+                    new_chunks=sum(1 for s in delta.statuses if s == "new"),
+                    removed_chunks=delta.removed_chunks,
+                ))
         output_set = set(compiled.outputs)
         for name in compiled.dag.topological_order():
             node_costs = costs[name]
@@ -389,6 +450,16 @@ class HelixSession:
             entry.chunk_count = node_costs.chunk_count
             entry.chunks_present = node_costs.chunks_present
             entry.reuse_reason = self._reuse_reason(states[name], node_costs)
+            entry.delta_strategy = node_costs.delta_strategy
+            entry.delta_chunks_total = node_costs.delta_chunk_count
+            entry.delta_chunks_dirty = node_costs.delta_dirty_chunks
+            entry.delta_chunks_reused = node_costs.delta_reusable_chunks
+            entry.delta_est_savings = node_costs.delta_savings
+            if delta_plan is not None:
+                if name in delta_plan.candidates:
+                    entry.delta_reason = delta_plan.candidates[name].reason
+                elif name in delta_plan.widened:
+                    entry.delta_reason = delta_plan.widened[name]
             if explanation is not None:
                 entry.cut_side = "source" if explanation.avail_side.get(name) else "sink"
         if explanation is not None:
@@ -406,6 +477,19 @@ class HelixSession:
             return f"reuse: load est {load:.6g}s beats recomputing (est {compute:.6g}s + upstream)"
         if state is NodeState.PRUNE:
             return "pruned: no computed consumer needs this value"
+        if node_costs.delta_strategy == "delta":
+            return (
+                f"delta: recompute {node_costs.delta_dirty_chunks}/"
+                f"{node_costs.delta_chunk_count} dirty chunks + load "
+                f"{node_costs.delta_reusable_chunks} clean (est {compute:.6g}s, "
+                f"saves est {node_costs.delta_savings:.6g}s vs full)"
+            )
+        if node_costs.delta_strategy == "full":
+            return (
+                f"recompute est {compute:.6g}s: delta rejected "
+                f"({node_costs.delta_reusable_chunks}/{node_costs.delta_chunk_count} "
+                f"chunks reusable, loading them would not beat full recompute)"
+            )
         if 0 < node_costs.chunks_present < node_costs.chunk_count:
             return (
                 f"recompute est {compute:.6g}s: partial chunk hit "

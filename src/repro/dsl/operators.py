@@ -110,19 +110,30 @@ class FileSource(Operator):
     Mirrors ``data refers_to new FileSource(train=..., test=...)`` in the
     paper's Census program.  Each record is ``{"line": <raw text>}``; parsing
     happens downstream in :class:`CsvScanner`.
+
+    ``version`` ties the node signature to the file *contents* rather than
+    just the paths: callers that rewrite a file in place (append-mostly or
+    rolling-window feeds) pass a content stamp (mtime, digest, sequence
+    number) so the planner sees the data change and the incremental delta
+    detector can engage.  When unset, params — and therefore signatures —
+    are identical to earlier releases.
     """
 
     category = ChangeCategory.SOURCE
 
-    def __init__(self, train: str, test: str) -> None:
+    def __init__(self, train: str, test: str, version: Optional[str] = None) -> None:
         self.train_path = train
         self.test_path = test
+        self.version = version
 
     def dependencies(self) -> List[str]:
         return []
 
     def params(self) -> Dict[str, Any]:
-        return {"train": self.train_path, "test": self.test_path}
+        params: Dict[str, Any] = {"train": self.train_path, "test": self.test_path}
+        if self.version is not None:
+            params["version"] = self.version
+        return params
 
     @staticmethod
     def _read_lines(path: str, name: str) -> DataCollection:

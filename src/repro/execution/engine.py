@@ -107,11 +107,14 @@ class ExecutionEngine:
         change_category: str = "",
         system: str = "helix",
         trace: Optional[RunTrace] = None,
+        delta_plan=None,
     ) -> ExecutionResult:
         """Run ``plan`` and return values plus a fully populated report.
 
         ``trace`` (optional) is a :class:`~repro.introspect.trace.RunTrace`
         the scheduler annotates in place with runtime decisions and timings.
+        ``delta_plan`` (optional) carries the incremental planner's seeded
+        root values and chunk-reuse maps for delta-strategy nodes.
         """
         return self.scheduler.run(
             plan,
@@ -121,4 +124,5 @@ class ExecutionEngine:
             change_category=change_category,
             system=system,
             trace=trace,
+            delta_plan=delta_plan,
         )

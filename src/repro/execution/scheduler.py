@@ -442,6 +442,7 @@ class WavefrontScheduler:
         change_category: str = "",
         system: str = "helix",
         trace: Optional[RunTrace] = None,
+        delta_plan: Optional[Any] = None,
     ) -> ExecutionResult:
         """Execute ``plan`` and return values plus a fully populated report.
 
@@ -450,6 +451,13 @@ class WavefrontScheduler:
         timings, storage tier/codec on every load and materialized write,
         and the online materialization verdicts.  The session seeds the same
         trace with the planning half before calling here.
+
+        ``delta_plan`` (optional, partitioned runs only) is the incremental
+        planner's :class:`~repro.incremental.planner.DeltaPlan`: root values
+        it already computed during change detection are *seeded* instead of
+        re-executed, and nodes the optimizer priced as ``"delta"`` pre-load
+        their clean chunks from the previous signature's chunk artifacts and
+        compute only the dirty ones.
         """
         compiled = plan.compiled
         dag = compiled.dag
@@ -514,11 +522,29 @@ class WavefrontScheduler:
                                 f"node {name!r} (wave {wave_index}, backend {self.backend.name!r}) "
                                 f"needs input {parent!r} which is neither computed nor loaded"
                             )
+                    if (
+                        partitioned
+                        and delta_plan is not None
+                        and name in delta_plan.seeds
+                        and delta_plan.seeds[name].n_partitions == self.n_partitions
+                    ):
+                        # The delta planner already ran this root while
+                        # fingerprinting its input; reuse that value (split at
+                        # the delta boundaries) instead of computing it again.
+                        values[name] = delta_plan.seeds[name]
+                        stats.compute_time = delta_plan.seed_times.get(name, 0.0)
+                        stats.chunks_computed = self.n_partitions
+                        pending.append(_PendingNode(
+                            name=name, operator=operator, stats=stats, kind="seeded",
+                            n_chunks=self.n_partitions,
+                        ))
+                        continue
                     entry = None
                     if partitioned:
                         entry = self._plan_partitioned_node(
                             name, operator, signature, stats, costs,
                             values, plain_cache, split_cache, compiled, tasks,
+                            delta_plan,
                         )
                     if entry is None:
                         inputs = {
@@ -790,6 +816,7 @@ class WavefrontScheduler:
         split_cache: Dict[str, List[Any]],
         compiled,
         tasks: List[ComputeTask],
+        delta_plan: Optional[Any] = None,
     ) -> Optional[_PendingNode]:
         """Emit this node's partitioned tasks; ``None`` falls back to a single task."""
         mode = self.partition_planner.mode_for(operator)
@@ -829,10 +856,32 @@ class WavefrontScheduler:
             and getattr(node_costs, "chunk_count", 0) == n
             and getattr(node_costs, "chunks_present", 0) > 0
         )
+        # Delta reuse: the optimizer chose "recompute dirty + load clean"
+        # for this node, serving clean chunks from the *previous* run's
+        # signature (the current signature has no artifacts — the input data
+        # changed).  Same-signature recovery, when possible, wins: it serves
+        # the exact artifact, delta reuse a content-equal stand-in.
+        reuse_plan = (
+            delta_plan.reuse_for(name, costs) if delta_plan is not None else None
+        )
+        if reuse_plan is not None and reuse_plan.chunk_count != n:
+            reuse_plan = None
         for index in range(n):
             if recover and self.store.has_chunk(signature, index, n):
                 try:
                     value, elapsed = self.store.get_chunk(signature, index, n)
+                except StorageError:
+                    pass  # evicted since planning: recompute this chunk
+                else:
+                    entry.preloaded[index] = value
+                    stats.load_time += elapsed
+                    stats.chunks_loaded += 1
+                    continue
+            if reuse_plan is not None and index in reuse_plan.reuse:
+                try:
+                    value, elapsed = self.store.get_chunk(
+                        reuse_plan.old_signature, reuse_plan.reuse[index], n
+                    )
                 except StorageError:
                     pass  # evicted since planning: recompute this chunk
                 else:
@@ -935,6 +984,8 @@ class WavefrontScheduler:
     ) -> None:
         """Fold one node's wave results into the value map (scheduling thread)."""
         stats = entry.stats
+        if entry.kind == "seeded":
+            return  # value pre-set from the delta planner's eager compute
         if entry.kind == "single":
             value, elapsed = results[entry.task_indices[0]]
             stats.compute_time += elapsed

@@ -1,0 +1,32 @@
+"""Delta-driven incremental recomputation.
+
+Helix's signature-keyed reuse handles *code* changes between iterations; this
+package handles *data* changes: when an input's rows change between runs, it
+detects which row chunks actually changed (:mod:`~repro.incremental.detector`),
+propagates chunk dirtiness through the DAG under recovered previous-run
+signatures (:mod:`~repro.incremental.propagate`), and plans which stored chunk
+artifacts can stand in for clean chunks (:mod:`~repro.incremental.planner`) so
+the optimizer can price "recompute dirty + load clean + merge" against a full
+recompute per node.
+"""
+
+from repro.incremental.detector import (
+    ChunkFingerprint,
+    DeltaDetector,
+    InputDelta,
+    InputFingerprint,
+)
+from repro.incremental.planner import DeltaPlan, DeltaPlanner, NodeDeltaPlan
+from repro.incremental.propagate import DirtyPropagator, NodeDelta
+
+__all__ = [
+    "ChunkFingerprint",
+    "DeltaDetector",
+    "DeltaPlan",
+    "DeltaPlanner",
+    "DirtyPropagator",
+    "InputDelta",
+    "InputFingerprint",
+    "NodeDelta",
+    "NodeDeltaPlan",
+]

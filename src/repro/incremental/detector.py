@@ -1,0 +1,302 @@
+"""Chunk-level change detection on workflow inputs.
+
+Helix's reuse machinery keys everything on node signatures, which is exactly
+right when *code* changes between iterations — but when *data* changes, the
+source signature flips and every downstream artifact is invalidated even if
+99% of the rows are byte-identical.  The :class:`DeltaDetector` closes that
+gap: it fingerprints an input value chunk by chunk (the same row-aligned
+chunks :func:`repro.partition.chunks.split_value` produces) and classifies
+each chunk as ``clean``/``dirty``/``new``/``removed`` against the fingerprint
+recorded for the previous run.
+
+Two properties make the classification usable downstream:
+
+* **Stable boundaries.**  Balanced ``block_slices`` boundaries shift when a
+  single row is appended, which would mark every chunk dirty.  The detector
+  therefore re-uses the *previous* run's per-chunk row counts for chunks
+  ``0..n-2`` and stretches only the tail chunk — append-mostly feeds keep
+  their prefix chunks byte-stable.  Shrunk inputs fall back to balanced
+  boundaries (everything dirty), which is always safe.
+* **Content, not position.**  A chunk is clean when its digest matches *any*
+  previous chunk's digest, recorded as a ``remap`` (new index → old index).
+  Rolling windows that advance by exactly one chunk therefore re-use
+  ``n - 1`` chunks shifted by one, not zero.
+
+The append fast path keeps one streaming digest over all prefix chunks: when
+it matches the stored ``prefix_digest``, the per-chunk digests for the prefix
+are copied from the previous fingerprint and only the tail chunk is hashed
+chunk-wise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.partition.chunks import Shape, _block_counts, axis_rows
+
+#: Chunk classification statuses.
+CLEAN = "clean"
+DIRTY = "dirty"
+NEW = "new"
+
+#: Separators folded into digests between rows and between axes, so that
+#: moving a row across an axis boundary can never collide with the unmoved
+#: layout.
+_ROW_SEP = b"\x1e"
+_AXIS_SEP = b"\x1d"
+
+
+def _hash_rows(hasher: "hashlib._Hash", rows: Sequence[Any]) -> None:
+    for row in rows:
+        hasher.update(repr(row).encode("utf-8", "backslashreplace"))
+        hasher.update(_ROW_SEP)
+
+
+@dataclass(frozen=True)
+class ChunkFingerprint:
+    """Content identity of one chunk: per-axis row counts plus a sha256."""
+
+    axis_counts: Tuple[int, ...]
+    digest: str
+
+
+@dataclass
+class InputFingerprint:
+    """Per-chunk fingerprints of one input node's value for one run."""
+
+    input_key: str
+    signature: str
+    chunks: List[ChunkFingerprint]
+    prefix_digest: str = ""
+    run_iteration: int = 0
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    def boundaries(self) -> Shape:
+        """Per-axis per-chunk row counts (the :data:`Shape` of this split)."""
+        n_axes = len(self.chunks[0].axis_counts) if self.chunks else 0
+        return tuple(
+            tuple(chunk.axis_counts[axis] for chunk in self.chunks) for axis in range(n_axes)
+        )
+
+
+@dataclass
+class InputDelta:
+    """Chunk-wise diff of one input against its previous fingerprint."""
+
+    input_key: str
+    node: str
+    old_signature: str
+    new_signature: str
+    statuses: List[str]
+    remap: Dict[int, int]
+    boundaries: Shape
+    mode: str
+    removed_chunks: int = 0
+    fingerprint: Optional[InputFingerprint] = field(default=None, repr=False)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.statuses)
+
+    @property
+    def clean_chunks(self) -> int:
+        return sum(1 for status in self.statuses if status == CLEAN)
+
+    @property
+    def dirty_chunks(self) -> int:
+        return self.chunk_count - self.clean_chunks
+
+    @property
+    def dirty_fraction(self) -> float:
+        if not self.statuses:
+            return 1.0
+        return self.dirty_chunks / self.chunk_count
+
+
+class DeltaDetector:
+    """Fingerprints input values and diffs them against the previous run."""
+
+    def __init__(self, n_partitions: int) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        self.n_partitions = n_partitions
+
+    # -- boundary selection -------------------------------------------------
+    def _stable_boundaries(
+        self, axes: List[List[Any]], previous: Optional[InputFingerprint]
+    ) -> Shape:
+        """Chunk boundaries for the new value.
+
+        Keeps the previous run's counts for chunks ``0..n-2`` whenever each
+        axis is at least as long as that prefix (append-mostly and equal-size
+        rolling feeds), so prefix chunks stay byte-stable.  Otherwise falls
+        back to balanced blocks.
+        """
+        n = self.n_partitions
+        if previous is not None and previous.chunk_count == n and n > 0:
+            old = previous.boundaries()
+            if len(old) == len(axes):
+                stretched: List[Tuple[int, ...]] = []
+                for axis_index, rows in enumerate(axes):
+                    prefix = old[axis_index][:-1]
+                    tail = len(rows) - sum(prefix)
+                    if tail < 0:
+                        break
+                    stretched.append(tuple(prefix) + (tail,))
+                else:
+                    return tuple(stretched)
+        return tuple(_block_counts(len(rows), n) for rows in axes)
+
+    # -- fingerprinting -----------------------------------------------------
+    def _chunk_digest(self, axes: List[List[Any]], starts: List[int], counts: Sequence[int]) -> str:
+        hasher = hashlib.sha256()
+        for axis_index, rows in enumerate(axes):
+            start = starts[axis_index]
+            _hash_rows(hasher, rows[start:start + counts[axis_index]])
+            hasher.update(_AXIS_SEP)
+        return hasher.hexdigest()
+
+    def _prefix_digest(self, axes: List[List[Any]], boundaries: Shape) -> str:
+        """One streaming digest over all rows of chunks ``0..n-2``."""
+        hasher = hashlib.sha256()
+        for axis_index, rows in enumerate(axes):
+            prefix = sum(boundaries[axis_index][:-1])
+            _hash_rows(hasher, rows[:prefix])
+            hasher.update(_AXIS_SEP)
+        return hasher.hexdigest()
+
+    def fingerprint(
+        self,
+        input_key: str,
+        value: Any,
+        signature: str,
+        previous: Optional[InputFingerprint] = None,
+        run_iteration: int = 0,
+    ) -> Optional[InputFingerprint]:
+        """Per-chunk fingerprint of ``value``, or ``None`` if not row-shaped."""
+        axes = axis_rows(value)
+        if axes is None:
+            return None
+        boundaries = self._stable_boundaries(axes, previous)
+        n = self.n_partitions
+        prefix_digest = self._prefix_digest(axes, boundaries)
+
+        chunks: List[ChunkFingerprint] = []
+        starts = [0 for _ in axes]
+        fast_prefix = (
+            previous is not None
+            and previous.prefix_digest == prefix_digest
+            and previous.chunk_count == n
+            and all(
+                tuple(boundaries[a][:-1]) == tuple(previous.boundaries()[a][:-1])
+                for a in range(len(axes))
+            )
+        )
+        for index in range(n):
+            counts = [boundaries[a][index] for a in range(len(axes))]
+            if fast_prefix and index < n - 1 and previous is not None:
+                chunks.append(previous.chunks[index])
+            else:
+                chunks.append(
+                    ChunkFingerprint(
+                        axis_counts=tuple(counts),
+                        digest=self._chunk_digest(axes, starts, counts),
+                    )
+                )
+            for axis_index in range(len(axes)):
+                starts[axis_index] += counts[axis_index]
+        return InputFingerprint(
+            input_key=input_key,
+            signature=signature,
+            chunks=chunks,
+            prefix_digest=prefix_digest,
+            run_iteration=run_iteration,
+        )
+
+    # -- classification -----------------------------------------------------
+    @staticmethod
+    def _classify_mode(statuses: Sequence[str], remap: Dict[int, int]) -> str:
+        n = len(statuses)
+        clean = [i for i, status in enumerate(statuses) if status == CLEAN]
+        if not clean:
+            return "full"
+        if len(clean) == n:
+            return "unchanged"
+        shifts = {remap[i] - i for i in clean}
+        if shifts == {0} and clean == list(range(n - 1)):
+            return "append"
+        if len(shifts) == 1 and next(iter(shifts)) > 0:
+            return "rolling"
+        return "mixed"
+
+    def detect(
+        self,
+        input_key: str,
+        node: str,
+        value: Any,
+        new_signature: str,
+        previous: Optional[InputFingerprint],
+        run_iteration: int = 0,
+    ) -> Optional[InputDelta]:
+        """Diff ``value`` against ``previous``; ``None`` if not row-shaped.
+
+        With no previous fingerprint every chunk is ``new`` (mode
+        ``initial``) — callers still get the fresh fingerprint to record.
+        """
+        fingerprint = self.fingerprint(
+            input_key, value, new_signature, previous=previous, run_iteration=run_iteration
+        )
+        if fingerprint is None:
+            return None
+        n = fingerprint.chunk_count
+        if previous is None:
+            return InputDelta(
+                input_key=input_key,
+                node=node,
+                old_signature="",
+                new_signature=new_signature,
+                statuses=[NEW] * n,
+                remap={},
+                boundaries=fingerprint.boundaries(),
+                mode="initial",
+                fingerprint=fingerprint,
+            )
+        old_by_digest: Dict[str, int] = {}
+        for index, chunk in enumerate(previous.chunks):
+            old_by_digest.setdefault(chunk.digest, index)
+        statuses: List[str] = []
+        remap: Dict[int, int] = {}
+        claimed: set = set()
+        for index, chunk in enumerate(fingerprint.chunks):
+            old_index = old_by_digest.get(chunk.digest)
+            if old_index is None:
+                statuses.append(DIRTY)
+            else:
+                statuses.append(CLEAN)
+                remap[index] = old_index
+                claimed.add(old_index)
+        # An unclaimed old chunk only counts as *removed* when its position
+        # wasn't simply rewritten in place (a dirty new chunk at the same
+        # index supersedes it); rolled-off window chunks do count.
+        removed = sum(
+            1
+            for index in range(previous.chunk_count)
+            if index not in claimed and (index >= n or statuses[index] == CLEAN)
+        )
+        return InputDelta(
+            input_key=input_key,
+            node=node,
+            old_signature=previous.signature,
+            new_signature=new_signature,
+            statuses=statuses,
+            remap=remap,
+            boundaries=fingerprint.boundaries(),
+            mode=self._classify_mode(statuses, remap),
+            removed_chunks=removed,
+            fingerprint=fingerprint,
+        )

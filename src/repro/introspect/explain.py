@@ -93,6 +93,8 @@ class ExplainRenderer:
             context += f"  store={trace.store_backend}"
         if trace.tenant:
             context += f"  tenant={trace.tenant}"
+        if trace.incremental:
+            context += "  incremental=on"
         lines.append(context)
         if trace.recomputation_policy or trace.materialization_policy:
             lines.append(
@@ -111,6 +113,17 @@ class ExplainRenderer:
         if trace.wall_clock_seconds > 0.0:
             summary += f"  wall={_seconds(trace.wall_clock_seconds)}"
         lines.append(summary)
+        if trace.deltas:
+            lines.append("input deltas:")
+            for delta in trace.deltas:
+                parts = [f"  Δ {delta.node or delta.input_key}: {delta.mode or '?'}"]
+                parts.append(
+                    f"{delta.clean_chunks} clean / {delta.dirty_chunks} dirty / "
+                    f"{delta.new_chunks} new of {delta.chunk_count} chunks"
+                )
+                if delta.removed_chunks:
+                    parts.append(f"{delta.removed_chunks} removed")
+                lines.append("  ".join(parts))
         lines.append(f"legend: {_MARKS['compute']} recompute   {_MARKS['load']} reuse (load)   "
                      f"{_MARKS['prune']} pruned   ✂ min-cut boundary")
         lines.append("")
@@ -189,6 +202,18 @@ class ExplainRenderer:
         )
         if entry.reuse_reason:
             parts.append(f"[{entry.reuse_reason}]")
+        if entry.delta_strategy:
+            delta = (
+                f"Δ={entry.delta_strategy}"
+                f" {entry.delta_chunks_dirty}/{entry.delta_chunks_total} dirty"
+            )
+            if entry.delta_strategy == "delta":
+                delta += f" reuse {entry.delta_chunks_reused}"
+                if entry.delta_est_savings > 0.0:
+                    delta += f" saves~{_seconds(entry.delta_est_savings)}"
+            elif entry.delta_reason:
+                delta += f" ({entry.delta_reason})"
+            parts.append(delta)
         if entry.mat_materialize is not None:
             verdict = "materialize" if entry.mat_materialize else "skip"
             mat = f"mat={verdict}"

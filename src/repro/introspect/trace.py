@@ -87,6 +87,20 @@ class NodeTrace:
     #: Human-readable rationale for the state verdict, with the cost numbers.
     reuse_reason: str = ""
 
+    # -- incremental (delta) verdict -------------------------------------
+    #: ``"delta"`` when the optimizer priced "recompute dirty chunks + load
+    #: clean chunks" below a full recompute, ``"full"`` when delta was
+    #: considered and rejected, ``""`` when no input delta applied.
+    delta_strategy: str = ""
+    delta_chunks_total: int = 0
+    delta_chunks_dirty: int = 0
+    delta_chunks_reused: int = 0
+    #: Estimated seconds saved by the delta strategy over full recompute.
+    delta_est_savings: float = 0.0
+    #: Why the node widened to full recompute (dirtiness scope, missing
+    #: artifacts), when it did.
+    delta_reason: str = ""
+
     # -- min-cut position ------------------------------------------------
     #: Side of the min cut the node's ``avail`` item landed on:
     #: ``"source"`` (value made available) / ``"sink"`` / ``""`` (no cut —
@@ -146,6 +160,21 @@ class WaveTrace:
 
 
 @dataclass
+class DeltaTrace:
+    """Chunk-level change detection result for one workflow input."""
+
+    input_key: str
+    node: str = ""
+    #: ``initial`` / ``append`` / ``rolling`` / ``mixed`` / ``full`` / ``unchanged``.
+    mode: str = ""
+    chunk_count: int = 0
+    clean_chunks: int = 0
+    dirty_chunks: int = 0
+    new_chunks: int = 0
+    removed_chunks: int = 0
+
+
+@dataclass
 class RunTrace:
     """The full decision record of one workflow iteration."""
 
@@ -169,10 +198,13 @@ class RunTrace:
     cut_value: Optional[float] = None
     wall_clock_seconds: float = 0.0
     created_at: float = 0.0
+    #: Whether delta-driven incremental recomputation was active this run.
+    incremental: bool = False
 
     nodes: Dict[str, NodeTrace] = field(default_factory=dict)
     cut_edges: List[CutEdgeTrace] = field(default_factory=list)
     waves: List[WaveTrace] = field(default_factory=list)
+    deltas: List[DeltaTrace] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Recording
@@ -209,7 +241,7 @@ class RunTrace:
     # ------------------------------------------------------------------
     #: Everything except the record containers is header metadata; deriving
     #: the list keeps new fields from silently dropping out of persistence.
-    _CONTAINER_FIELDS = ("nodes", "cut_edges", "waves")
+    _CONTAINER_FIELDS = ("nodes", "cut_edges", "waves", "deltas")
 
     @classmethod
     def _header_fields(cls) -> "tuple":
@@ -222,6 +254,7 @@ class RunTrace:
             "nodes": [asdict(self.nodes[name]) for name in sorted(self.nodes)],
             "cut_edges": [asdict(edge) for edge in self.cut_edges],
             "waves": [asdict(wave) for wave in self.waves],
+            "deltas": [asdict(delta) for delta in self.deltas],
         }
 
     def to_jsonl(self) -> str:
@@ -245,6 +278,7 @@ class RunTrace:
         lines.extend(dumps({"kind": "node", **entry}) for entry in payload["nodes"])
         lines.extend(dumps({"kind": "cut_edge", **entry}) for entry in payload["cut_edges"])
         lines.extend(dumps({"kind": "wave", **entry}) for entry in payload["waves"])
+        lines.extend(dumps({"kind": "delta", **entry}) for entry in payload["deltas"])
         return "\n".join(lines) + "\n"
 
     @classmethod
@@ -272,6 +306,8 @@ class RunTrace:
                 trace.cut_edges.append(CutEdgeTrace(**_known_fields(CutEdgeTrace, record)))
             elif kind == "wave":
                 trace.waves.append(WaveTrace(**_known_fields(WaveTrace, record)))
+            elif kind == "delta":
+                trace.deltas.append(DeltaTrace(**_known_fields(DeltaTrace, record)))
             else:
                 raise TraceError(f"trace line {line_number} has unknown kind {kind!r}")
         if trace is None:

@@ -35,6 +35,14 @@ class NodeCosts:
     the present ones" — the scheduler's partial-hit recovery.
     ``full_compute_cost`` always preserves the undiscounted estimate so
     strategies that forbid reuse can plan against it.
+
+    The ``delta_*`` fields carry the incremental optimizer's verdict when a
+    *data* change left some of the node's chunks clean under its previous
+    signature: ``delta_strategy`` is ``"delta"`` when "recompute dirty chunks
+    + load clean chunks + merge" priced below a full recompute (and
+    ``compute_cost`` is then that delta price, so the min-cut sees it), or
+    ``"full"`` when delta was considered and rejected.  Empty means no delta
+    applied to this node.
     """
 
     compute_cost: float
@@ -44,6 +52,11 @@ class NodeCosts:
     chunk_count: int = 0
     chunks_present: int = 0
     full_compute_cost: Optional[float] = None
+    delta_strategy: str = ""
+    delta_chunk_count: int = 0
+    delta_dirty_chunks: int = 0
+    delta_reusable_chunks: int = 0
+    delta_savings: float = 0.0
 
     def __post_init__(self) -> None:
         self.compute_cost = max(0.0, float(self.compute_cost))
@@ -64,6 +77,32 @@ class NodeCosts:
         self.chunk_count = 0
         self.chunks_present = 0
         self.compute_cost = self.full_compute_cost
+        self.delta_strategy = ""
+        self.delta_chunk_count = 0
+        self.delta_dirty_chunks = 0
+        self.delta_reusable_chunks = 0
+        self.delta_savings = 0.0
+
+
+@dataclass
+class DeltaHint:
+    """What the incremental planner knows about one node's reusable chunks.
+
+    Produced by :class:`repro.incremental.DeltaPlanner` (kept here so the
+    optimizer does not import the incremental package): ``reusable_chunks``
+    old-signature chunk artifacts, totalling ``reusable_bytes``, can stand in
+    for clean chunks of this run's ``chunk_count``-way split.
+    """
+
+    chunk_count: int
+    dirty_chunks: int
+    reusable_chunks: int
+    reusable_bytes: float
+    old_signature: str = ""
+    #: True when every reusable chunk sits in a memory tier — its loads are
+    #: then priced at memory bandwidth, the same way ``estimate`` prices
+    #: memory-resident whole artifacts.
+    memory_resident: bool = False
 
 
 @dataclass
@@ -136,6 +175,7 @@ class CostEstimator:
         recoverable_partitions: int = 1,
         codecs_by_signature: Optional[Mapping[str, str]] = None,
         memory_resident: Optional[Iterable[str]] = None,
+        delta_hints: Optional[Mapping[str, "DeltaHint"]] = None,
     ) -> Dict[str, NodeCosts]:
         """Estimate costs for every node of ``compiled``.
 
@@ -168,6 +208,13 @@ class CostEstimator:
             Signatures a memory tier would serve.  Their loads are priced by
             the memory model (near zero) — capped by any measured value, so
             a hit can only get cheaper, never regress the estimate.
+        delta_hints:
+            Node name → :class:`DeltaHint` from the incremental planner, for
+            nodes whose signature changed because *input data* changed but
+            whose previous-signature chunk family still covers some clean
+            chunks.  Prices "recompute dirty + load clean + merge" against
+            the full recompute; the cheaper side becomes ``compute_cost``
+            and the verdict lands in the ``delta_*`` fields.
         """
         history = dict(history or {})
         materialized_sizes = dict(materialized_sizes or {})
@@ -234,7 +281,7 @@ class CostEstimator:
                 # A partial family cut at different boundaries is unusable by
                 # this run: no discount, no chunk fields — full recompute.
 
-            costs[name] = NodeCosts(
+            node_costs = NodeCosts(
                 compute_cost=compute_cost,
                 load_cost=load_cost,
                 output_size=output_size,
@@ -243,7 +290,29 @@ class CostEstimator:
                 chunks_present=chunks_present,
                 full_compute_cost=full_compute_cost,
             )
+            hint = (delta_hints or {}).get(name)
+            if hint is not None and not materialized and hint.chunk_count > 0:
+                self._apply_delta_hint(node_costs, hint)
+            costs[name] = node_costs
         return costs
+
+    def _apply_delta_hint(self, node_costs: NodeCosts, hint: "DeltaHint") -> None:
+        """Price delta-vs-full for one node and record the verdict in place."""
+        full = node_costs.compute_cost
+        dirty_fraction = hint.dirty_chunks / hint.chunk_count
+        delta_cost = full * dirty_fraction + self.defaults.load_cost_for_size(
+            hint.reusable_bytes, memory_resident=hint.memory_resident
+        )
+        node_costs.delta_chunk_count = hint.chunk_count
+        node_costs.delta_dirty_chunks = hint.dirty_chunks
+        node_costs.delta_reusable_chunks = hint.reusable_chunks
+        if hint.reusable_chunks > 0 and delta_cost < full:
+            node_costs.delta_strategy = "delta"
+            node_costs.delta_savings = full - delta_cost
+            node_costs.compute_cost = delta_cost
+        else:
+            node_costs.delta_strategy = "full"
+            node_costs.delta_savings = 0.0
 
     @staticmethod
     def _operator_type_averages(history: Mapping[str, CostRecord]) -> Dict[str, tuple]:

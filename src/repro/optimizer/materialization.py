@@ -63,19 +63,34 @@ def per_chunk_costs(costs: Mapping[str, NodeCosts], node: str, n_chunks: int) ->
     materialized partially, chunk by chunk, until the budget runs out.
     Ancestor compute costs stay at full value: recomputing any missing chunk
     still requires the ancestors' (chunked) outputs to exist.
+
+    A delta-strategy node's ``compute_cost`` is the discounted "recompute
+    dirty + load clean" price, which would *understate* the value of
+    materializing its chunks (once written under the new signature, a future
+    run loads them instead of paying the full pipeline again).  The per-chunk
+    view therefore splits the undiscounted ``full_compute_cost`` for delta
+    nodes, carrying the ``delta_*`` verdict through unchanged.
     """
     if n_chunks < 1:
         raise OptimizerError(f"need at least one chunk, got {n_chunks}")
     view = dict(costs)
     base = costs[node]
+    compute = base.compute_cost
+    if base.delta_strategy == "delta":
+        compute = base.full_compute_cost or base.compute_cost
     view[node] = NodeCosts(
-        compute_cost=base.compute_cost / n_chunks,
+        compute_cost=compute / n_chunks,
         load_cost=base.load_cost / n_chunks,
         output_size=base.output_size / n_chunks,
         materialized=base.materialized,
         chunk_count=base.chunk_count,
         chunks_present=base.chunks_present,
         full_compute_cost=(base.full_compute_cost or base.compute_cost) / n_chunks,
+        delta_strategy=base.delta_strategy,
+        delta_chunk_count=base.delta_chunk_count,
+        delta_dirty_chunks=base.delta_dirty_chunks,
+        delta_reusable_chunks=base.delta_reusable_chunks,
+        delta_savings=base.delta_savings / n_chunks,
     )
     return view
 

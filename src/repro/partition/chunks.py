@@ -87,6 +87,26 @@ def _two_axis(value: Any) -> Optional[Tuple[List[Any], List[Any]]]:
     return None
 
 
+def axis_rows(value: Any) -> Optional[List[List[Any]]]:
+    """The value's rows, one list per row axis, or ``None`` if not row-shaped.
+
+    Split-carrying values answer ``[train rows, test rows]``; flat
+    collections answer a single axis.  This is the row view the incremental
+    delta detector fingerprints: hashing axis-by-axis in this order matches
+    exactly how :func:`split_value` slices the value into chunks.
+    """
+    two = _two_axis(value)
+    if two is not None:
+        return [two[0], two[1]]
+    if isinstance(value, PartitionedCollection):
+        return [list(value.coalesce())]
+    if isinstance(value, DataCollection):
+        return [list(value.records())]
+    if isinstance(value, list):
+        return [list(value)]
+    return None
+
+
 def is_splittable(value: Any) -> bool:
     """True when :func:`split_value` can chunk ``value`` row-wise."""
     return (

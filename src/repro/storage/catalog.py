@@ -193,6 +193,24 @@ _SCHEMA_STATEMENTS = (
         value TEXT NOT NULL
     )
     """,
+    # Per-chunk input fingerprints for incremental (delta-driven) runs: one
+    # row per chunk, keyed by workflow-scoped input key.  ``chunk_index`` -1
+    # is the prefix row (the streaming digest over chunks 0..n-2 that powers
+    # the append fast path).  Only the latest run's fingerprint is kept per
+    # key — delta detection is one indexed range query.
+    """
+    CREATE TABLE IF NOT EXISTS input_deltas (
+        input_key     TEXT NOT NULL,
+        chunk_index   INTEGER NOT NULL,
+        chunk_count   INTEGER NOT NULL,
+        axis_counts   TEXT NOT NULL,
+        digest        TEXT NOT NULL,
+        signature     TEXT NOT NULL DEFAULT '',
+        run_iteration INTEGER NOT NULL DEFAULT 0,
+        recorded_at   REAL NOT NULL DEFAULT 0.0,
+        PRIMARY KEY (input_key, chunk_index)
+    )
+    """,
 )
 
 #: Columns of one ``trace_runs`` row, in schema order.
@@ -504,8 +522,120 @@ class CatalogDB:
         return {int(row["iteration"]): {name: row[name] for name in TRACE_RUN_COLUMNS} for row in rows}
 
     # ------------------------------------------------------------------
+    # Input fingerprints (incremental delta detection)
+    # ------------------------------------------------------------------
+    def record_input_fingerprint(
+        self,
+        input_key: str,
+        signature: str,
+        run_iteration: int,
+        recorded_at: float,
+        chunks: List[Tuple[Tuple[int, ...], str]],
+        prefix_digest: str = "",
+    ) -> None:
+        """Replace the stored fingerprint of one input with this run's.
+
+        ``chunks`` is ``[(axis_counts, digest), ...]`` in chunk order; the
+        prefix digest is stored as the ``chunk_index = -1`` row.  Replacement
+        is transactional so a reader never sees a half-written fingerprint.
+        """
+        chunk_count = len(chunks)
+        rows = [
+            (
+                input_key, index, chunk_count, json.dumps(list(axis_counts)),
+                digest, signature, int(run_iteration), float(recorded_at),
+            )
+            for index, (axis_counts, digest) in enumerate(chunks)
+        ]
+        if prefix_digest:
+            rows.append(
+                (input_key, -1, chunk_count, "[]", prefix_digest, signature,
+                 int(run_iteration), float(recorded_at))
+            )
+
+        def work(conn: sqlite3.Connection) -> None:
+            conn.execute("DELETE FROM input_deltas WHERE input_key = ?", (input_key,))
+            conn.executemany(
+                "INSERT INTO input_deltas (input_key, chunk_index, chunk_count, "
+                "axis_counts, digest, signature, run_iteration, recorded_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+
+        self._transaction(work)
+
+    def input_fingerprint(self, input_key: str) -> Optional[Dict[str, Any]]:
+        """The stored fingerprint of one input, or ``None``.
+
+        Returns ``{"signature", "run_iteration", "prefix_digest",
+        "chunks": [(axis_counts, digest), ...]}`` — the detector's
+        :class:`~repro.incremental.detector.InputFingerprint` wire shape,
+        kept as plain tuples so the storage layer stays import-light.
+        """
+        rows = self._execute(
+            "SELECT * FROM input_deltas WHERE input_key = ? ORDER BY chunk_index",
+            (input_key,),
+        ).fetchall()
+        if not rows:
+            return None
+        prefix_digest = ""
+        chunks: List[Tuple[Tuple[int, ...], str]] = []
+        signature = ""
+        run_iteration = 0
+        for row in rows:
+            signature = row["signature"]
+            run_iteration = int(row["run_iteration"])
+            if int(row["chunk_index"]) < 0:
+                prefix_digest = row["digest"]
+            else:
+                try:
+                    axis_counts = tuple(int(c) for c in json.loads(row["axis_counts"]))
+                except (ValueError, TypeError):
+                    return None  # unreadable fingerprint: treat as absent
+                chunks.append((axis_counts, row["digest"]))
+        if not chunks:
+            return None
+        return {
+            "signature": signature,
+            "run_iteration": run_iteration,
+            "prefix_digest": prefix_digest,
+            "chunks": chunks,
+        }
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def _database_bytes(self) -> int:
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
+
+    def vacuum(self) -> Dict[str, int]:
+        """Checkpoint the WAL into the main file and rebuild the database.
+
+        ``wal_checkpoint(TRUNCATE)`` folds every committed WAL frame into
+        ``catalog.sqlite`` and truncates the ``-wal`` file to zero bytes —
+        without it the WAL grows unbounded across long service runs, because
+        a checkpoint never truncates while any reader holds the file open.
+        ``VACUUM`` then rewrites the main file densely, reclaiming pages
+        freed by evictions.  Both statements must run outside an explicit
+        transaction.  Returns byte counts for reporting.
+        """
+        before = self._database_bytes()
+        self._execute("PRAGMA wal_checkpoint(TRUNCATE)").fetchone()
+        self._execute("VACUUM")
+        self._execute("PRAGMA wal_checkpoint(TRUNCATE)").fetchone()
+        after = self._database_bytes()
+        return {
+            "bytes_before": before,
+            "bytes_after": after,
+            "bytes_reclaimed": max(0, before - after),
+        }
+
     def integrity_ok(self) -> bool:
         """SQLite's own structural check — the crash-injection harness's
         first assertion after reopening a killed writer's catalog."""

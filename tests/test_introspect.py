@@ -274,7 +274,7 @@ class TestTraceRoundTrip:
             build_census_workflow(CensusVariant(data_config=census_config())), description="initial"
         )
         payload = render_trace(result.trace, fmt="json")
-        assert set(payload) == {"run", "nodes", "cut_edges", "waves", "tree"}
+        assert set(payload) == {"run", "nodes", "cut_edges", "waves", "deltas", "tree"}
         assert payload["run"]["workflow"] == "census"
         assert payload["tree"], "the plan tree starts at the declared outputs"
 
