@@ -1,0 +1,290 @@
+#!/usr/bin/env python3
+"""Observability overhead benchmark: the metrics plane must stay under 2%.
+
+The unified metrics plane (``repro.obs``) instruments every hot layer —
+scheduler waves and node spans, storage reads/writes per tier and codec,
+SQLite catalog operations, the optimizer solve, the incremental planner.
+Instrumentation that costs real wall-clock time would poison every other
+``BENCH_*.json`` number, so this benchmark pins the price down:
+
+* the same cold census run (fresh workspace each repetition, so both modes
+  do identical work) executes ``reps`` times with ``metrics=False`` (every
+  instrument is the shared null object) and ``reps`` times with a live
+  per-run :class:`~repro.obs.registry.MetricsRegistry`, interleaved so
+  machine drift hits both modes equally;
+* the comparison uses min-of-N wall clock — the minimum is the run with the
+  least scheduler noise, which is the right estimator for "what does the
+  code itself cost";
+* because shared CI machines routinely jitter more than 2% run-to-run even
+  for identical code, the bar is enforced twice: an *accounting* gate
+  multiplies the microbenchmarked per-operation instrument cost by the
+  number of events the run actually recorded (always enforced at exactly
+  2% of wall, deterministic), and the *wall-clock* gate compares the two
+  min-of-N times against ``max(2%, the machine's own same-code noise
+  floor)`` measured from the disabled runs' spread;
+* the run also fails when the enabled run's registry does not cover the
+  instrumented layers (a rename that silently detaches a layer should
+  fail here, not in production).
+
+Run from the repo root::
+
+    python benchmarks/bench_observability.py           # full scale
+    python benchmarks/bench_observability.py --smoke   # CI: tiny data
+
+Emits ``BENCH_observability.json`` at the repo root unless ``--no-write``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.session import HelixSession  # noqa: E402
+from repro.datagen.census import CensusConfig  # noqa: E402
+from repro.obs.registry import LATENCY_BUCKETS, MetricsRegistry  # noqa: E402
+from repro.workloads.census_workload import CensusVariant, build_census_workflow  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_observability.json")
+
+#: The acceptance bar: enabling the full metrics plane may cost at most
+#: this fraction of min-of-N wall clock on a cold census run.
+MAX_OVERHEAD_FRACTION = 0.02
+
+#: Every instrumented layer must contribute at least one series to an
+#: enabled run's registry; a prefix disappearing means the layer came
+#: unwired (e.g. a constructor stopped threading ``metrics=`` through).
+REQUIRED_PREFIXES = (
+    "repro_scheduler_",
+    "repro_wave_seconds",
+    "repro_node_seconds",
+    "repro_run_span_seconds",
+    "repro_store_",
+    "repro_catalog_",
+    "repro_optimizer_",
+)
+
+
+def per_op_costs() -> Dict[str, float]:
+    """Microbenchmark the three instrument operations on a live registry.
+
+    These are the only things the hot paths ever do (counter increments,
+    histogram observes, span enter/exit); everything else in the plane runs
+    at snapshot/export time, off the hot path.
+    """
+    # A tight span loop legitimately trips the slow-op detector (any jitter
+    # is 10x a microsecond p95); silence it for the microbenchmark only.
+    obs_logger = logging.getLogger("repro.obs")
+    previous_level = obs_logger.level
+    obs_logger.setLevel(logging.ERROR)
+    registry = MetricsRegistry()
+    counter = registry.counter("bench_ops_total", tenant="bench")
+    histogram = registry.histogram(
+        "bench_latency_seconds", buckets=LATENCY_BUCKETS, tenant="bench"
+    )
+    n = 50_000
+    started = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+    counter_s = (time.perf_counter() - started) / n
+    started = time.perf_counter()
+    for i in range(n):
+        histogram.observe(0.0003 * (i % 11))
+    observe_s = (time.perf_counter() - started) / n
+    spans = 5_000
+    started = time.perf_counter()
+    for _ in range(spans):
+        with registry.span("bench"):
+            pass
+    span_s = (time.perf_counter() - started) / spans
+    obs_logger.setLevel(previous_level)
+    return {"counter_s": counter_s, "observe_s": observe_s, "span_s": span_s}
+
+
+def event_counts(snapshot: List[Dict]) -> Dict[str, int]:
+    """How many instrument operations a run's snapshot implies.
+
+    Amount-valued counters (``*_bytes_total``, ``*_seconds_total``) are
+    skipped — their value is a sum, not a call count, and each sits next to
+    an event-valued counter incremented by the same code path.  Remaining
+    counter values overcount when a single ``inc(n)`` added more than one
+    (conservative, in the right direction); gauge sets are approximated by
+    the counter total since every gauge write in the codebase sits next to
+    a counter increment on the same code path.
+    """
+    counter_events = 0
+    observe_events = 0
+    span_events = 0
+    for series in snapshot:
+        if series["type"] == "counter":
+            if "bytes" in series["name"] or "seconds" in series["name"]:
+                continue
+            counter_events += int(series["value"])
+        elif series["type"] == "histogram":
+            if "span" in series["name"] or series["name"] in (
+                "repro_wave_seconds", "repro_node_seconds",
+            ):
+                span_events += int(series["count"])
+            else:
+                observe_events += int(series["count"])
+    return {
+        "counter_events": counter_events * 2,  # + the neighbouring gauge sets
+        "observe_events": observe_events,
+        "span_events": span_events,
+    }
+
+
+def run_once(variant: CensusVariant, partitions: int,
+             registry: "MetricsRegistry | bool") -> Dict[str, object]:
+    """One cold census run in a throwaway workspace; returns wall + snapshot."""
+    root = tempfile.mkdtemp(prefix="bench_obs_")
+    try:
+        started = time.perf_counter()
+        session = HelixSession(
+            os.path.join(root, "ws"), partitions=partitions,
+            store_backend="tiered", memory_tier_mb=256, metrics=registry,
+        )
+        session.run(build_census_workflow(variant))
+        wall = time.perf_counter() - started
+        snapshot: List[Dict] = []
+        if isinstance(registry, MetricsRegistry):
+            snapshot = registry.snapshot()
+        return {"wall_s": wall, "snapshot": snapshot}
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def measure(variant: CensusVariant, partitions: int, reps: int) -> Dict[str, object]:
+    """Interleaved min-of-N comparison of metrics-off vs metrics-on runs."""
+    costs = per_op_costs()
+    off_walls: List[float] = []
+    on_walls: List[float] = []
+    snapshot: List[Dict] = []
+    # One throwaway warm-up run per mode so imports and datagen caches are
+    # paid before anything is timed.
+    run_once(variant, partitions, False)
+    run_once(variant, partitions, MetricsRegistry())
+    for _ in range(reps):
+        off_walls.append(run_once(variant, partitions, False)["wall_s"])
+        result = run_once(variant, partitions, MetricsRegistry())
+        on_walls.append(result["wall_s"])
+        snapshot = result["snapshot"]
+    min_off = min(off_walls)
+    min_on = min(on_walls)
+    overhead = (min_on - min_off) / min_off if min_off > 0 else 0.0
+    # The machine's own noise floor: how far apart two *identical* (both
+    # disabled) runs land.  An apparent overhead inside this band is not a
+    # detection, it is jitter.
+    spread = sorted(off_walls)
+    noise = (spread[1] - spread[0]) / spread[0] if len(spread) > 1 and spread[0] > 0 else 0.0
+    events = event_counts(snapshot)
+    accounted_s = (
+        events["counter_events"] * costs["counter_s"]
+        + events["observe_events"] * costs["observe_s"]
+        + events["span_events"] * costs["span_s"]
+    )
+    accounted = accounted_s / min_on if min_on > 0 else 0.0
+    return {
+        "reps": reps,
+        "disabled_walls_s": [round(w, 4) for w in off_walls],
+        "enabled_walls_s": [round(w, 4) for w in on_walls],
+        "min_disabled_s": round(min_off, 4),
+        "min_enabled_s": round(min_on, 4),
+        "overhead_fraction": round(overhead, 4),
+        "noise_floor_fraction": round(noise, 4),
+        "per_op_costs_us": {k: round(v * 1e6, 3) for k, v in costs.items()},
+        "events": events,
+        "accounted_overhead_fraction": round(accounted, 6),
+        "series_count": len(snapshot),
+        "series_names": sorted({series["name"] for series in snapshot}),
+    }
+
+
+def check(result: Dict[str, object], failures: List[str]) -> None:
+    if result["accounted_overhead_fraction"] > MAX_OVERHEAD_FRACTION:
+        failures.append(
+            f"accounted instrumentation cost "
+            f"{result['accounted_overhead_fraction']:.2%} of wall exceeds the "
+            f"{MAX_OVERHEAD_FRACTION:.0%} bar "
+            f"({result['events']} events at {result['per_op_costs_us']} µs/op)"
+        )
+    wall_bar = max(MAX_OVERHEAD_FRACTION, result["noise_floor_fraction"])
+    if result["overhead_fraction"] > wall_bar:
+        failures.append(
+            f"metrics wall-clock overhead {result['overhead_fraction']:.2%} "
+            f"exceeds the bar ({wall_bar:.2%} = max(2%, same-code noise "
+            f"floor); min disabled {result['min_disabled_s']}s, "
+            f"min enabled {result['min_enabled_s']}s)"
+        )
+    names = result["series_names"]
+    for prefix in REQUIRED_PREFIXES:
+        if not any(name.startswith(prefix) for name in names):
+            failures.append(f"no series with prefix {prefix!r} — layer unwired?")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="observability overhead benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: tiny data, fewer repetitions")
+    parser.add_argument("--scale", type=int, default=8000,
+                        help="training rows (full mode)")
+    parser.add_argument("--partitions", type=int, default=4, help="chunk count")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timed repetitions per mode (default 5, smoke 3)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_observability.json and benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    scale = 2000 if args.smoke else args.scale
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 5)
+    variant = CensusVariant(
+        data_config=CensusConfig(n_train=scale, n_test=max(200, scale // 10))
+    )
+
+    failures: List[str] = []
+    result = measure(variant, args.partitions, reps)
+    check(result, failures)
+
+    payload = {
+        "benchmark": "observability",
+        "mode": "smoke" if args.smoke else "full",
+        "scale": scale,
+        "partitions": args.partitions,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        **result,
+        "ok": not failures,
+    }
+    report = json.dumps(payload, indent=2, sort_keys=True)
+    print(report)
+    if not args.no_write:
+        try:
+            with open(BENCH_JSON, "w") as handle:
+                handle.write(report + "\n")
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            name = "observability_smoke" if args.smoke else "observability_overhead"
+            with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+                handle.write(report + "\n")
+        except OSError:
+            pass
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {failure}" for failure in failures), file=sys.stderr)
+        return 1
+    print("\nOK: observability benchmark passed "
+          f"(overhead {result['overhead_fraction']:.2%}, "
+          f"{result['series_count']} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ Public API overview
   chunk-level input change detection (``DeltaDetector``), DAG dirtiness
   propagation (``DirtyPropagator``), and delta-aware chunk-reuse planning
   (``DeltaPlanner``).
+* :mod:`repro.obs` — the unified metrics plane: thread-safe labeled
+  registry (``MetricsRegistry``), hierarchical spans with a slow-op log,
+  and Prometheus/JSON exporters (``repro metrics`` / ``repro top``).
 """
 
 from repro.baselines import DEEPDIVE, HELIX, HELIX_UNOPTIMIZED, KEYSTONEML, ExecutionStrategy
@@ -29,6 +32,7 @@ from repro.dsl import Workflow
 from repro.execution import ArtifactStore, WorkflowSimulator
 from repro.incremental import DeltaDetector, DeltaPlanner, DirtyPropagator
 from repro.introspect import ExplainRenderer, RunTrace
+from repro.obs import MetricsRegistry, get_registry
 
 __version__ = "1.0.0"
 
@@ -43,6 +47,8 @@ __all__ = [
     "DeltaDetector",
     "DirtyPropagator",
     "DeltaPlanner",
+    "MetricsRegistry",
+    "get_registry",
     "ExecutionStrategy",
     "HELIX",
     "HELIX_UNOPTIMIZED",

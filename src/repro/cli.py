@@ -12,6 +12,9 @@ Entry points::
     python -m repro store stats --workspace DIR  # artifacts per tier and codec
     python -m repro store evict --workspace DIR --bytes 1000000 --policy lru
     python -m repro store vacuum --workspace DIR  # compact the SQLite catalog
+    python -m repro metrics --workspace DIR --format prometheus  # exported series
+    python -m repro metrics --workspace DIR --filter 'repro_cache_.*'
+    python -m repro top --workspace DIR --once # queue depths, hit rates, p50/p95/p99
     python -m repro explain --workspace DIR    # why each node was reused/recomputed
     python -m repro trace export --workspace DIR --out run.jsonl
     python -m repro versions --workspace DIR   # browse a persisted workspace
@@ -165,6 +168,32 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store.add_argument("--limit", type=int, default=30, help="max rows to list (ls; default: 30)")
 
+    metrics = subparsers.add_parser(
+        "metrics", help="dump the runtime metrics snapshot a run/serve left in the workspace"
+    )
+    metrics.add_argument(
+        "--workspace", required=True,
+        help="workspace whose metrics.json to read (written by `repro run` / `repro serve`)",
+    )
+    metrics.add_argument(
+        "--format", default="table", choices=["table", "prometheus", "json"],
+        help="output format (default: table with bucket-derived p50/p95/p99)",
+    )
+    metrics.add_argument(
+        "--filter", default=None, dest="pattern",
+        help="regex over 'name{k=v,...}' selecting which series to show",
+    )
+
+    top = subparsers.add_parser(
+        "top", help="refreshing terminal dashboard over a workspace's metrics snapshot"
+    )
+    top.add_argument("--workspace", required=True, help="workspace whose metrics.json to watch")
+    top.add_argument("--once", action="store_true", help="render a single frame and exit")
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2.0)",
+    )
+
     explain = subparsers.add_parser(
         "explain", help="render one run's reuse/min-cut/materialization decisions as a plan tree"
     )
@@ -315,6 +344,12 @@ def _command_run(
         + f")   workspace: {workspace}",
         file=out,
     )
+    # Persist the run's metrics so `repro metrics` / `repro top` can read
+    # them from another process (sessions report into the default registry).
+    from repro.obs import get_registry, save_registry
+
+    metrics_file = save_registry(get_registry(), workspace)
+    print(f"metrics: {metrics_file}", file=out)
     return 0
 
 
@@ -400,6 +435,10 @@ def _command_serve(
             )
         else:
             print(f"isolated stores (baseline)   workspace: {workspace}", file=out)
+        from repro.obs import save_registry
+
+        metrics_file = save_registry(service.metrics_registry, workspace)
+        print(f"metrics: {metrics_file}", file=out)
         return 1 if failures else 0
 
 
@@ -459,6 +498,9 @@ def _command_submit(
             f"workspace: {workspace}",
             file=out,
         )
+        from repro.obs import save_registry
+
+        save_registry(service.metrics_registry, workspace)
     return 0
 
 
@@ -668,7 +710,10 @@ def _command_store(
             print(f"... and {total - limit} more (use --limit)", file=out)
         return 0
 
-    # stats
+    # stats — rendered through the same registry-snapshot → format_table
+    # pipeline as `repro metrics`, so the two verbs can never disagree.
+    from repro.obs import registry_from_storage_info, rows_from_snapshot
+
     catalog = store.catalog()
     info = store.storage_info()
     chunked = sum(1 for signature in catalog if parse_chunk_signature(signature))
@@ -679,21 +724,128 @@ def _command_store(
         f"budget: {info['budget_bytes'] if info['budget_bytes'] is not None else 'unbounded'}",
         file=out,
     )
-    codec_rows = [
-        {"codec": codec, "artifacts": int(entry["artifacts"]), "bytes": int(entry["bytes"])}
-        for codec, entry in sorted(info["by_codec"].items())
+    rows = [
+        {"metric": row["metric"], "labels": row["labels"], "value": round(float(row["value"]), 3)}
+        for row in rows_from_snapshot(registry_from_storage_info(info).snapshot())
     ]
-    if codec_rows:
-        print(format_table(codec_rows), file=out)
-    tiers = info.get("tiers")
-    if tiers:
-        tier_rows = [
-            {"tier": tier, **{key: int(value) for key, value in stats.items()}}
-            for tier, stats in tiers.items()
-            if tier != "tiering"
-        ]
-        print(format_table(tier_rows), file=out)
+    if rows:
+        print(format_table(rows), file=out)
     return 0
+
+
+def _round_metric_row(row: dict) -> dict:
+    """Round a snapshot table row's floats for terminal display."""
+    rounded = dict(row)
+    for key in ("value", "p50", "p95", "p99"):
+        if isinstance(rounded.get(key), float):
+            rounded[key] = round(rounded[key], 6)
+    return rounded
+
+
+def _command_metrics(
+    workspace: str, fmt: str = "table", pattern: Optional[str] = None, out=None
+) -> int:
+    """Dump (and optionally filter) a workspace's persisted metrics snapshot."""
+    out = out or sys.stdout
+    from repro.obs import (
+        filter_series,
+        load_helps,
+        load_snapshot,
+        metrics_path,
+        render_json,
+        render_prometheus,
+        rows_from_snapshot,
+    )
+
+    path = metrics_path(workspace)
+    if not os.path.exists(path):
+        print(
+            f"error: no metrics snapshot at {path} "
+            "(run `repro run`, `repro serve`, or `repro submit` over this workspace first)",
+            file=sys.stderr,
+        )
+        return 2
+    series = filter_series(load_snapshot(path), pattern)
+    if fmt == "prometheus":
+        out.write(render_prometheus(series, helps=load_helps(path)))
+        return 0
+    if fmt == "json":
+        print(render_json(series), file=out)
+        return 0
+    rows = [_round_metric_row(row) for row in rows_from_snapshot(series)]
+    if not rows:
+        print("no matching series", file=out)
+        return 0
+    print(format_table(rows), file=out)
+    return 0
+
+
+def _render_top_frame(workspace: str, series: list) -> str:
+    """One `repro top` frame: occupancy gauges, event counters, latency
+    quantiles — all derived from bucket counts, never raw samples."""
+    from repro.obs import rows_from_snapshot
+
+    rows = rows_from_snapshot(series)
+    gauges = [r for r in rows if r["type"] == "gauge"]
+    counters = [r for r in rows if r["type"] == "counter"]
+    histograms = [r for r in rows if r["type"] == "histogram"]
+    counters.sort(key=lambda r: -float(r["value"]))
+
+    def table(selected, columns, limit=20):
+        if not selected:
+            return "  (none)"
+        shown = [
+            {key: _round_metric_row(row)[key] for key in columns} for row in selected[:limit]
+        ]
+        text = format_table(shown)
+        if len(selected) > limit:
+            text += f"\n  ... and {len(selected) - limit} more (use `repro metrics --filter`)"
+        return text
+
+    sections = [
+        f"repro top — {workspace} ({len(series)} series)",
+        "",
+        "queues & occupancy (gauges)",
+        table(gauges, ("metric", "labels", "value")),
+        "",
+        "events (counters, largest first)",
+        table(counters, ("metric", "labels", "value")),
+        "",
+        "latencies & distributions (bucket-derived quantiles)",
+        table(histograms, ("metric", "labels", "count", "p50", "p95", "p99")),
+    ]
+    return "\n".join(sections)
+
+
+def _command_top(
+    workspace: str, once: bool = False, interval: float = 2.0, out=None
+) -> int:
+    """Refreshing dashboard over ``<workspace>/metrics.json``."""
+    out = out or sys.stdout
+    import time
+
+    from repro.obs import load_snapshot, metrics_path
+
+    path = metrics_path(workspace)
+    if not os.path.exists(path):
+        print(
+            f"error: no metrics snapshot at {path} "
+            "(run `repro run`, `repro serve`, or `repro submit` over this workspace first)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        while True:
+            frame = _render_top_frame(workspace, load_snapshot(path))
+            if once:
+                print(frame, file=out)
+                return 0
+            # Clear screen + home, like top(1); one frame per interval.
+            out.write("\x1b[2J\x1b[H" + frame + "\n")
+            out.flush()
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _command_versions(workspace: str, metric: Optional[str], out=None) -> int:
@@ -755,6 +907,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.action, args.workspace, bytes_needed=args.bytes, policy=args.policy,
                 limit=args.limit,
             )
+        if args.command == "metrics":
+            return _command_metrics(args.workspace, fmt=args.format, pattern=args.pattern)
+        if args.command == "top":
+            return _command_top(args.workspace, once=args.once, interval=args.interval)
         if args.command == "explain":
             return _command_explain(
                 args.workspace, run=args.run, tenant=args.tenant,

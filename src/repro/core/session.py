@@ -47,6 +47,7 @@ from repro.execution.simulator import RECOMPUTATION_POLICIES
 from repro.graph.dag import NodeState
 from repro.introspect.explain import ExplainRenderer
 from repro.introspect.trace import RunTrace
+from repro.obs.registry import MetricsRegistry, get_registry, resolve_registry
 from repro.optimizer.cost_model import CostDefaults, CostEstimator, NodeCosts
 from repro.optimizer.recomputation import PlanExplanation, optimal_plan_explained, plan_cost
 from repro.versioning.metrics_tracker import MetricsTracker
@@ -149,6 +150,15 @@ class HelixSession:
         Requires a SQLite-catalog workspace and a strategy with
         cross-iteration reuse; ``False`` disables detection entirely and
         reproduces non-incremental behavior exactly.
+    metrics:
+        Runtime metrics destination (see :mod:`repro.obs`).  ``None``/``True``
+        use the process-default :func:`~repro.obs.registry.get_registry`
+        (inheriting an injected ``store``'s registry when one is provided),
+        ``False`` disables metric recording for this session's layers, and a
+        :class:`~repro.obs.registry.MetricsRegistry` instance routes
+        everything — store, scheduler, catalog, optimizer, incremental
+        planner — into that private registry.  The resolved registry is
+        available as :attr:`metrics_registry`.
     """
 
     def __init__(
@@ -168,6 +178,7 @@ class HelixSession:
         trace_runs: bool = True,
         trace_owner: str = "",
         incremental: Optional[bool] = None,
+        metrics: "None | bool | MetricsRegistry" = None,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
@@ -177,6 +188,16 @@ class HelixSession:
         self.trace_runs = trace_runs
         self.trace_owner = trace_owner
         self.last_trace: Optional[RunTrace] = None
+        if metrics is None and store is not None:
+            # An injected store (shared service cache) already carries the
+            # registry its owner wired in — inherit it so session- and
+            # store-level series land in the same place.
+            inherited = getattr(store, "metrics", None)
+            self.metrics_registry = (
+                inherited if isinstance(inherited, MetricsRegistry) else get_registry()
+            )
+        else:
+            self.metrics_registry = resolve_registry(metrics)
         os.makedirs(workspace, exist_ok=True)
         # Sizing a memory tier without naming a backend implies "tiered"
         # (the rule lives in backend_from_spec).
@@ -186,6 +207,7 @@ class HelixSession:
             backend=store_backend,
             codec=codec,
             memory_tier_bytes=memory_tier_mb * 1024 * 1024 if memory_tier_mb is not None else None,
+            metrics=self.metrics_registry,
         )
         self.materialization_wrapper = materialization_wrapper
         self.history = RunHistory()
@@ -224,7 +246,7 @@ class HelixSession:
         from repro.errors import StorageError
         from repro.incremental.planner import DeltaPlanner
 
-        planner = DeltaPlanner(self.partitions)
+        planner = DeltaPlanner(self.partitions, metrics=self.metrics_registry)
         try:
             return planner.plan(
                 compiled, self.store, run_iteration=iteration_index, recorded_at=time.time()
@@ -262,6 +284,25 @@ class HelixSession:
                 costs[name].forget_reuse()
         return costs
 
+    def _record_delta_verdicts(self, costs: Dict[str, NodeCosts]) -> None:
+        """Count the cost model's per-node delta pricing verdicts.
+
+        The planner only *offers* chunk reuse; acceptance lands on each
+        node's :attr:`~repro.optimizer.cost_model.NodeCosts.delta_strategy`
+        after pricing (``"delta"`` accepted, ``"full"`` rejected).
+        """
+        accepted = sum(1 for c in costs.values() if c.delta_strategy == "delta")
+        rejected = sum(1 for c in costs.values() if c.delta_strategy == "full")
+        help_text = "Delta-vs-full pricing verdicts on planner-offered nodes."
+        if accepted:
+            self.metrics_registry.counter(
+                "repro_incremental_delta_nodes_total", help=help_text, verdict="accepted"
+            ).inc(accepted)
+        if rejected:
+            self.metrics_registry.counter(
+                "repro_incremental_delta_nodes_total", help=help_text, verdict="rejected"
+            ).inc(rejected)
+
     def _plan_states(
         self, compiled: CompiledWorkflow, costs: Dict[str, NodeCosts]
     ) -> "Tuple[Dict[str, NodeState], Optional[PlanExplanation]]":
@@ -272,7 +313,9 @@ class HelixSession:
         run traces); heuristic planners have no cut to report.
         """
         if self.strategy.recomputation == "optimal":
-            return optimal_plan_explained(compiled.dag, costs, compiled.outputs)
+            return optimal_plan_explained(
+                compiled.dag, costs, compiled.outputs, registry=self.metrics_registry
+            )
         planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
         return planner(compiled.dag, costs, compiled.outputs), None
 
@@ -297,11 +340,15 @@ class HelixSession:
         change_category: str = "",
     ) -> SessionRunResult:
         """Execute one iteration of ``workflow`` and record a new version."""
+        if self.metrics_registry.slow_op_log is not None:
+            self.metrics_registry.slow_op_log.reset()
         compiled_full = compile_workflow(workflow)
         compiled = slice_to_outputs(compiled_full)
         iteration_index = len(self.versions)
         delta_plan = self._plan_deltas(compiled, iteration_index)
         costs = self._estimate_costs(compiled, delta_plan)
+        if delta_plan is not None and self.metrics_registry.enabled:
+            self._record_delta_verdicts(costs)
         states, explanation = self._plan_states(compiled, costs)
         plan = PhysicalPlan(compiled=compiled, states=states)
 
@@ -310,7 +357,13 @@ class HelixSession:
         )
         if self.materialization_wrapper is not None:
             policy = self.materialization_wrapper(policy)
-        engine = ExecutionEngine(self.store, policy, backend=self.backend, partitions=self.partitions)
+        engine = ExecutionEngine(
+            self.store,
+            policy,
+            backend=self.backend,
+            partitions=self.partitions,
+            metrics=self.metrics_registry,
+        )
 
         diff = diff_workflows(self._previous_compiled, compiled) if self._previous_compiled else None
         if not change_category:
@@ -335,7 +388,12 @@ class HelixSession:
             signature = compiled.signature_of(name)
             load_signatures.append(signature)
             load_signatures.extend(self.store.chunk_signatures(signature))
-        with self.store.pin(load_signatures):
+        run_span = self.metrics_registry.span(
+            "run",
+            metric="repro_run_span_seconds",
+            tenant=self.trace_owner or "default",
+        )
+        with run_span, self.store.pin(load_signatures):
             result: ExecutionResult = engine.execute(
                 plan,
                 costs,

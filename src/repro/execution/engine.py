@@ -74,6 +74,9 @@ class ExecutionEngine:
         Optional custom :class:`~repro.partition.planner.PartitionPlanner`
         (extra combiners, custom mode registry); a default planner is built
         when ``partitions > 1``.
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` the scheduler
+        reports wave/node timings into; defaults to the store's registry.
     """
 
     def __init__(
@@ -83,6 +86,7 @@ class ExecutionEngine:
         backend: Optional[WorkerBackend] = None,
         partitions: int = 1,
         partition_planner=None,
+        metrics=None,
     ) -> None:
         self.store = store
         self.backend = backend or SerialBackend()
@@ -92,6 +96,7 @@ class ExecutionEngine:
             self.backend,
             n_partitions=partitions,
             partition_planner=partition_planner,
+            metrics=metrics,
         )
 
     @property

@@ -61,6 +61,7 @@ from repro.execution.stats import IterationReport, NodeRunStats
 from repro.execution.store import ArtifactStore, chunk_signature
 from repro.graph.dag import Dag, NodeState
 from repro.introspect.trace import NodeTrace, RunTrace, WaveTrace, finite_or_none
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import (
     MaterializationDecision,
@@ -300,12 +301,24 @@ class AsyncMaterializer:
 
     _SENTINEL = object()
 
-    def __init__(self, store: ArtifactStore, queue_size: int = 8) -> None:
+    def __init__(
+        self, store: ArtifactStore, queue_size: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.store = store
         self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_size))
         self._errors: List[BaseException] = []
         self._written = 0
         self._thread: Optional[threading.Thread] = None
+        registry = metrics if metrics is not None else get_registry()
+        self._queue_gauge = registry.gauge(
+            "repro_materializer_queue_depth",
+            help="Encoded payloads waiting on the background writer.",
+        )
+        self._writes_total = registry.counter(
+            "repro_materializer_writes_total",
+            help="Artifacts persisted by the background materializer.",
+        )
 
     def _ensure_started(self) -> None:
         if self._thread is None:
@@ -324,6 +337,7 @@ class AsyncMaterializer:
         """
         self._ensure_started()
         self._queue.put((signature, node_name, payload, stats, codec))
+        self._queue_gauge.set(self._queue.qsize())
 
     def _loop(self) -> None:
         while True:
@@ -348,12 +362,14 @@ class AsyncMaterializer:
                     stats.output_size += meta.size
                     stats.materialized = True
                     self._written += 1
+                    self._writes_total.inc()
                 else:
                     stats.output_size += float(len(payload))
             except BaseException as exc:  # surfaced by drain()
                 self._errors.append(exc)
             finally:
                 self._queue.task_done()
+                self._queue_gauge.set(self._queue.qsize())
 
     def drain(self) -> int:
         """Block until every queued write has landed; re-raise the first failure.
@@ -365,6 +381,7 @@ class AsyncMaterializer:
             self._queue.join()
             self._thread.join()
             self._thread = None
+            self._queue_gauge.set(self._queue.qsize())
         if self._errors:
             error = self._errors[0]
             self._errors = []
@@ -422,6 +439,7 @@ class WavefrontScheduler:
         write_queue_size: int = 8,
         n_partitions: int = 1,
         partition_planner: Optional[PartitionPlanner] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.materialization_policy = materialization_policy or MaterializeNone()
@@ -431,6 +449,11 @@ class WavefrontScheduler:
         if partition_planner is None and self.n_partitions > 1:
             partition_planner = PartitionPlanner(self.n_partitions)
         self.partition_planner = partition_planner
+        if metrics is None:
+            metrics = getattr(store, "metrics", None)
+            if not isinstance(metrics, MetricsRegistry):
+                metrics = get_registry()
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def run(
@@ -468,7 +491,9 @@ class WavefrontScheduler:
         split_cache: Dict[str, List[Any]] = {}
         node_stats: Dict[str, NodeRunStats] = {}
         decisions: Dict[str, MaterializationDecision] = {}
-        writer = AsyncMaterializer(self.store, queue_size=self.write_queue_size)
+        writer = AsyncMaterializer(
+            self.store, queue_size=self.write_queue_size, metrics=self.metrics
+        )
         # Budget accounting is *logical*: debited at decision time, not at
         # write-completion time, so decisions cannot race the writer thread
         # and a parallel run decides exactly what a serial run would.
@@ -511,9 +536,13 @@ class WavefrontScheduler:
                     if state is NodeState.PRUNE:
                         continue
                     if state is NodeState.LOAD:
-                        values[name] = self._load_node(
-                            name, operator, signature, stats, partitioned, node_trace
-                        )
+                        with self.metrics.span(
+                            "node", metric="repro_node_load_span_seconds",
+                            node_kind=stats.category,
+                        ):
+                            values[name] = self._load_node(
+                                name, operator, signature, stats, partitioned, node_trace
+                            )
                         continue
                     # COMPUTE: all inputs must exist in earlier waves.
                     for parent in operator.dependencies():
@@ -556,7 +585,8 @@ class WavefrontScheduler:
                         tasks.append((name, operator, inputs))
                     pending.append(entry)
 
-                results = self.backend.run_wave(tasks) if tasks else []
+                with self.metrics.span("wave", metric="repro_wave_dispatch_seconds"):
+                    results = self.backend.run_wave(tasks) if tasks else []
                 n_wave_tasks += len(tasks)
                 # Fold results back in wave order (deterministic, equal to
                 # topological order); combiner merges run here, and their
@@ -600,10 +630,25 @@ class WavefrontScheduler:
                         node_trace.mat_size = decision.size
                         node_trace.mat_reason = decision.reason
                         node_trace.mat_budget_before = finite_or_none(decision.remaining_budget)
+                wave_wall = time.perf_counter() - wave_started
+                if self.metrics.enabled:
+                    self.metrics.histogram(
+                        "repro_wave_seconds",
+                        help="Wall-clock seconds per dependency wave.",
+                    ).observe(wave_wall)
+                    self.metrics.counter(
+                        "repro_scheduler_waves_total",
+                        help="Dependency waves executed.",
+                    ).inc()
+                    if n_wave_tasks:
+                        self.metrics.counter(
+                            "repro_scheduler_tasks_total",
+                            help="Compute tasks dispatched to the worker backend.",
+                        ).inc(n_wave_tasks)
                 if trace is not None:
                     trace.waves.append(WaveTrace(
                         index=wave_index, nodes=list(wave), n_tasks=n_wave_tasks,
-                        wall_seconds=time.perf_counter() - wave_started,
+                        wall_seconds=wave_wall,
                     ))
             writer.drain()
         except BaseException:
@@ -615,6 +660,8 @@ class WavefrontScheduler:
                 pass
             raise
         wall_clock = time.perf_counter() - wall_started
+        if self.metrics.enabled:
+            self._record_run_metrics(wall_clock, node_stats)
         if trace is not None:
             self._finalize_trace(trace, compiled, node_stats, decisions, wall_clock)
 
@@ -642,6 +689,43 @@ class WavefrontScheduler:
         report.metrics = _collect_metrics(compiled.outputs, values)
         outputs = {name: values[name] for name in compiled.outputs if name in values}
         return ExecutionResult(report=report, outputs=outputs, values=values, decisions=decisions)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _record_run_metrics(self, wall_clock: float, node_stats: Dict[str, NodeRunStats]) -> None:
+        """Fold one run's measured node timings into the registry."""
+        metrics = self.metrics
+        metrics.histogram(
+            "repro_scheduler_run_seconds",
+            help="Wall-clock seconds per scheduler run.",
+        ).observe(wall_clock)
+        chunks_computed = 0
+        chunks_loaded = 0
+        for stats in node_stats.values():
+            if stats.compute_time > 0.0:
+                metrics.histogram(
+                    "repro_node_seconds",
+                    help="Measured per-node seconds, by operator category and phase.",
+                    node_kind=stats.category,
+                    phase="compute",
+                ).observe(stats.compute_time)
+            if stats.load_time > 0.0:
+                metrics.histogram(
+                    "repro_node_seconds", node_kind=stats.category, phase="load",
+                ).observe(stats.load_time)
+            chunks_computed += stats.chunks_computed
+            chunks_loaded += stats.chunks_loaded
+        if chunks_computed:
+            metrics.counter(
+                "repro_scheduler_chunks_total",
+                help="Partition chunks produced, by source (computed vs reused from the store).",
+                source="computed",
+            ).inc(chunks_computed)
+        if chunks_loaded:
+            metrics.counter(
+                "repro_scheduler_chunks_total", source="reused",
+            ).inc(chunks_loaded)
 
     # ------------------------------------------------------------------
     # Trace finalization

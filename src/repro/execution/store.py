@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.errors import BudgetExceededError, StorageError
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.storage.backends import MemoryBackend, StorageBackend, backend_from_spec
 from repro.storage.catalog import (  # noqa: F401  (re-exported schema surface)
     ArtifactMeta,
@@ -217,14 +218,20 @@ class ArtifactStore(ChunkStoreOps):
         flush_every: int = 8,
         registry: Optional[CodecRegistry] = None,
         catalog: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.root = root
         self.budget_bytes = budget_bytes
         self.codec = codec
         self.registry = registry if registry is not None else default_registry()
+        self.metrics = metrics if metrics is not None else get_registry()
         os.makedirs(root, exist_ok=True)
         self._backend = backend_from_spec(
-            backend, root, memory_tier_bytes=memory_tier_bytes, on_demote=self._forget_hot_value
+            backend,
+            root,
+            memory_tier_bytes=memory_tier_bytes,
+            on_demote=self._forget_hot_value,
+            registry=self.metrics,
         )
         # The wavefront scheduler's background materializer writes artifacts
         # while the main thread loads others; one re-entrant lock serializes
@@ -240,7 +247,9 @@ class ArtifactStore(ChunkStoreOps):
         # the tier's job and a hot loop skips deserialization entirely.
         self._hot_values: Dict[str, Any] = {}
         self._attach_demotion_hook()
-        self._state = open_catalog_state(root, catalog=catalog, flush_every=flush_every)
+        self._state = open_catalog_state(
+            root, catalog=catalog, flush_every=flush_every, registry=self.metrics
+        )
         self._state.load(self._backend.contains)
 
     # ------------------------------------------------------------------
@@ -517,6 +526,15 @@ class ArtifactStore(ChunkStoreOps):
         )
         with self._lock:
             self._state.put(meta)
+        self.metrics.histogram(
+            "repro_store_write_seconds",
+            help="Artifact write latency (serialize time included when the caller folds it in).",
+        ).observe(write_time)
+        self.metrics.counter(
+            "repro_store_write_bytes_total",
+            help="Artifact bytes written, by codec.",
+            codec=codec,
+        ).inc(size)
         return meta
 
     def get(self, signature: str) -> Tuple[Any, float]:
@@ -540,6 +558,7 @@ class ArtifactStore(ChunkStoreOps):
         if hot is not None:
             elapsed = time.perf_counter() - started
             self._touch(signature, measured_load=None)
+            self._record_read(elapsed, meta, tier="hot")
             return hot, elapsed
         try:
             reader = getattr(self._backend, "read", None)
@@ -564,7 +583,21 @@ class ArtifactStore(ChunkStoreOps):
         elapsed = time.perf_counter() - started
         self._offer_hot_value(meta.filename, value)
         self._touch(signature, measured_load=None if memory_served else elapsed)
+        self._record_read(elapsed, meta, tier="memory" if memory_served else "disk")
         return value, elapsed
+
+    def _record_read(self, elapsed: float, meta: ArtifactMeta, tier: str) -> None:
+        self.metrics.histogram(
+            "repro_store_read_seconds",
+            help="Artifact read latency, by serving tier (hot = decoded-value cache).",
+            tier=tier,
+        ).observe(elapsed)
+        self.metrics.counter(
+            "repro_store_read_bytes_total",
+            help="Artifact bytes read, by serving tier and codec.",
+            tier=tier,
+            codec=meta.codec,
+        ).inc(meta.size)
 
     def _touch(self, signature: str, measured_load: Optional[float]) -> None:
         """Record one read's access metadata (deferred to the next flush)."""
@@ -673,4 +706,13 @@ class ArtifactStore(ChunkStoreOps):
                 # batch — per-victim persistence would block concurrent
                 # loads k times over.
                 self._state.delete_many([meta.signature for meta in evicted])
+        if evicted:
+            self.metrics.counter(
+                "repro_store_evictions_total",
+                help="Artifacts evicted by the store's budget enforcement.",
+            ).inc(len(evicted))
+            self.metrics.counter(
+                "repro_store_evicted_bytes_total",
+                help="Bytes reclaimed by store evictions.",
+            ).inc(sum(meta.size for meta in evicted))
         return evicted

@@ -37,6 +37,7 @@ from repro.incremental.detector import (
     InputFingerprint,
 )
 from repro.incremental.propagate import DirtyPropagator, NODE_SCOPE
+from repro.obs.registry import get_registry
 from repro.optimizer.cost_model import DeltaHint
 from repro.partition.chunks import PartitionedValue, split_value
 from repro.partition.planner import PartitionPlanner
@@ -118,10 +119,12 @@ class DeltaPlanner:
         self,
         n_partitions: int,
         partition_planner: Optional[PartitionPlanner] = None,
+        metrics=None,
     ) -> None:
         self.n_partitions = n_partitions
         self.detector = DeltaDetector(n_partitions)
         self.propagator = DirtyPropagator(partition_planner or PartitionPlanner(n_partitions))
+        self.metrics = metrics if metrics is not None else get_registry()
 
     def _root_needs_compute(self, store: Any, signature: str) -> bool:
         """True when neither a monolithic artifact nor a complete chunk
@@ -194,6 +197,25 @@ class DeltaPlanner:
         if not plan.seeds:
             return None
         self._plan_reuse(compiled, store, plan)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_incremental_plans_total",
+                help="Delta plans produced (at least one changed root detected).",
+            ).inc()
+            if plan.candidates:
+                self.metrics.counter(
+                    "repro_incremental_candidates_total",
+                    help="Nodes offered chunk-level delta reuse by the planner.",
+                ).inc(len(plan.candidates))
+                self.metrics.counter(
+                    "repro_incremental_reusable_chunks_total",
+                    help="Clean chunks the planner mapped to stored artifacts.",
+                ).inc(sum(len(c.reuse) for c in plan.candidates.values()))
+            if plan.widened:
+                self.metrics.counter(
+                    "repro_incremental_widened_total",
+                    help="Nodes whose delta widened to a full recompute.",
+                ).inc(len(plan.widened))
         return plan
 
     def _plan_reuse(self, compiled: CompiledWorkflow, store: Any, plan: DeltaPlan) -> None:

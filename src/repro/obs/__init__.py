@@ -1,0 +1,70 @@
+"""Unified runtime metrics plane: labeled registry, spans, and exporters.
+
+Every hot layer of the reproduction — the wavefront scheduler, the tiered
+storage backends, the SQLite catalog, the shared multi-tenant cache and
+dispatcher, the recomputation optimizer, and the incremental planner —
+reports into one process-wide, thread-safe :class:`MetricsRegistry` of
+labeled counters, gauges, and fixed-bucket + reservoir histograms.  A
+lightweight hierarchical span layer (run → wave → node → io) wraps the same
+registry with context-manager instrumentation and a structured slow-op log.
+
+Snapshots export as Prometheus text exposition or JSON (``repro metrics``,
+``repro top`` on the CLI); ``ServiceTelemetry`` renders its per-tenant table
+as a read-view over the same registry, so no layer keeps a second,
+disagreeing set of books.
+"""
+
+from repro.obs.bridge import metrics_path, registry_from_storage_info, save_registry
+from repro.obs.export import (
+    filter_series,
+    load_helps,
+    load_snapshot,
+    quantile_from_series,
+    render_json,
+    render_prometheus,
+    rows_from_snapshot,
+    save_snapshot,
+)
+from repro.obs.registry import (
+    BYTES_BUCKETS,
+    COUNT_BUCKETS,
+    FRACTION_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    resolve_registry,
+    set_registry,
+)
+from repro.obs.spans import Span, SlowOpLog
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SlowOpLog",
+    "get_registry",
+    "set_registry",
+    "resolve_registry",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS",
+    "BYTES_BUCKETS",
+    "COUNT_BUCKETS",
+    "FRACTION_BUCKETS",
+    "render_prometheus",
+    "render_json",
+    "rows_from_snapshot",
+    "quantile_from_series",
+    "filter_series",
+    "save_snapshot",
+    "load_snapshot",
+    "load_helps",
+    "metrics_path",
+    "save_registry",
+    "registry_from_storage_info",
+]

@@ -1,0 +1,208 @@
+"""Snapshot exporters: Prometheus text exposition, JSON, and table rows.
+
+Everything here consumes the plain-dict series produced by
+:meth:`repro.obs.registry.MetricsRegistry.snapshot`, which is also the JSON
+on-disk format (``<workspace>/metrics.json``, written at the end of
+``repro run`` / ``repro serve``).  The CLI verbs ``repro metrics`` and
+``repro top`` therefore work on live registries and persisted snapshots
+alike, and quantiles are always rebuilt from bucket counts — no exporter
+ever walks a raw sample list.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "rows_from_snapshot",
+    "quantile_from_series",
+    "filter_series",
+    "save_snapshot",
+    "load_snapshot",
+    "load_helps",
+]
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+_INF_LABEL = 'le="+Inf"'
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _label_text(labels: Dict[str, object], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Sequence[Dict], helps: Optional[Dict[str, str]] = None) -> str:
+    """Render a snapshot as Prometheus text exposition format.
+
+    Counters and gauges emit one sample per label set; histograms emit the
+    conventional cumulative ``_bucket{le=...}`` series (ending at
+    ``le="+Inf"``) plus ``_sum`` and ``_count``.
+    """
+    helps = helps or {}
+    by_name: Dict[str, List[Dict]] = {}
+    for series in snapshot:
+        by_name.setdefault(series["name"], []).append(series)
+
+    lines: List[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        kind = group[0]["type"]
+        help_text = helps.get(name, "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in group:
+            labels = series.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(f"{name}{_label_text(labels)} {_format_value(series['value'])}")
+            else:  # histogram
+                cumulative = 0
+                for boundary, count in series.get("buckets", []):
+                    cumulative += count
+                    extra = f'le="{_format_value(boundary)}"'
+                    lines.append(f"{name}_bucket{_label_text(labels, extra)} {cumulative}")
+                cumulative += series.get("overflow", 0)
+                lines.append(f"{name}_bucket{_label_text(labels, _INF_LABEL)} {cumulative}")
+                lines.append(f"{name}_sum{_label_text(labels)} {_format_value(series.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_label_text(labels)} {series.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: Sequence[Dict]) -> str:
+    """Render a snapshot as a stable, indented JSON document."""
+    return json.dumps({"series": list(snapshot)}, indent=2, sort_keys=True)
+
+
+def save_snapshot(
+    snapshot: Sequence[Dict], path: str, helps: Optional[Dict[str, str]] = None
+) -> None:
+    """Write a snapshot to ``path`` as JSON (the ``metrics.json`` format).
+
+    ``helps`` (metric name → help text, usually
+    :meth:`~repro.obs.registry.MetricsRegistry.helps`) rides along so a
+    later ``repro metrics --format prometheus`` can emit ``# HELP`` lines.
+    """
+    document = {"series": list(snapshot), "helps": dict(helps or {})}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> List[Dict]:
+    """Load a snapshot previously written by :func:`save_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return list(document.get("series", []))
+
+
+def load_helps(path: str) -> Dict[str, str]:
+    """Load the help texts saved alongside a snapshot (may be empty)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return dict(document.get("helps", {}))
+
+
+def filter_series(snapshot: Sequence[Dict], pattern: Optional[str]) -> List[Dict]:
+    """Series whose ``name{k=v,...}`` rendering matches ``pattern`` (regex)."""
+    if not pattern:
+        return list(snapshot)
+    matcher = re.compile(pattern)
+    kept: List[Dict] = []
+    for series in snapshot:
+        labels = series.get("labels", {})
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        full_name = f"{series['name']}{{{label_text}}}" if label_text else series["name"]
+        if matcher.search(full_name):
+            kept.append(series)
+    return kept
+
+
+def quantile_from_series(series: Dict, q: float) -> float:
+    """Nearest-rank quantile rebuilt from a histogram series' bucket counts.
+
+    Mirrors :meth:`repro.obs.registry.Histogram.quantile` for snapshots that
+    have been round-tripped through JSON (no reservoir refinement: the
+    overflow bucket falls back to the recorded max).  The estimate is inside
+    the bucket containing the true sample quantile, clamped to the recorded
+    ``[min, max]``.
+    """
+    count = int(series.get("count", 0))
+    if count <= 0:
+        return 0.0
+    q = min(1.0, max(0.0, float(q)))
+    rank = min(count, max(1, math.ceil(q * count)))
+    buckets = series.get("buckets", [])
+    lo = float(series.get("min", 0.0))
+    hi = float(series.get("max", 0.0))
+    cumulative = 0
+    previous_boundary = None
+    for boundary, bucket_count in buckets:
+        if bucket_count and cumulative + bucket_count >= rank:
+            upper = float(boundary)
+            lower = float(previous_boundary) if previous_boundary is not None else min(lo, upper)
+            fraction = (rank - cumulative) / bucket_count
+            estimate = lower + (upper - lower) * fraction
+            return min(max(estimate, lo), hi)
+        cumulative += bucket_count
+        previous_boundary = boundary
+    return hi
+
+
+def rows_from_snapshot(
+    snapshot: Sequence[Dict],
+    pattern: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Flatten a snapshot into table rows for ``format_table``.
+
+    One row per series: name, labels, type, and either the scalar value
+    (counters/gauges) or count/p50/p95/p99 derived from bucket counts
+    (histograms).  ``pattern`` filters by regex over ``name{labels}``.
+    """
+    rows: List[Dict[str, object]] = []
+    for series in filter_series(snapshot, pattern):
+        labels = series.get("labels", {})
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if series["type"] in ("counter", "gauge"):
+            rows.append({
+                "metric": series["name"],
+                "labels": label_text or "-",
+                "type": series["type"],
+                "value": float(series["value"]),
+                "count": "",
+                "p50": "",
+                "p95": "",
+                "p99": "",
+            })
+        else:
+            rows.append({
+                "metric": series["name"],
+                "labels": label_text or "-",
+                "type": series["type"],
+                "value": float(series.get("sum", 0.0)),
+                "count": int(series.get("count", 0)),
+                "p50": quantile_from_series(series, 0.50),
+                "p95": quantile_from_series(series, 0.95),
+                "p99": quantile_from_series(series, 0.99),
+            })
+    return rows

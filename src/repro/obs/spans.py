@@ -1,0 +1,172 @@
+"""Hierarchical timing spans (run → wave → node → io) and the slow-op log.
+
+A :class:`Span` is a context manager that times its block into a registry
+histogram and maintains a per-thread path stack, so a node executed inside
+wave 3 of a run records under the path ``run/wave/node`` without any layer
+passing parent handles around:
+
+    with registry.span("run", metric="repro_run_seconds", tenant="alice"):
+        with registry.span("wave", metric="repro_wave_seconds"):
+            with registry.span("node", metric="repro_node_seconds",
+                               node_kind="estimator"):
+                ...
+
+On exit each span also consults the :class:`SlowOpLog`: if the elapsed time
+exceeds a configurable multiple (default 10×) of the target histogram's
+rolling p95 — and the histogram has seen enough samples for the p95 to mean
+anything — one structured warning line is emitted with the span path and
+labels.  The log is capped per run so a systemic slowdown produces a handful
+of lines, not a storm; ``reset()`` re-arms the cap at the start of each run.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "SlowOpLog"]
+
+logger = logging.getLogger("repro.obs")
+
+#: Histogram must hold at least this many samples before slow-op checks fire.
+MIN_SAMPLES_FOR_SLOW_OP = 20
+
+_local = threading.local()
+
+
+def _path_stack():
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+class SlowOpLog:
+    """Capped structured log of spans that blew past their rolling p95.
+
+    ``threshold_multiplier`` scales the histogram's current p95 into the
+    slow threshold (default 10×); ``max_lines`` caps emitted warnings per
+    run.  Every emission also increments ``repro_slow_ops_total{span=...}``
+    so the count survives after the log lines are capped.
+    """
+
+    def __init__(self, threshold_multiplier: float = 10.0, max_lines: int = 20) -> None:
+        self.threshold_multiplier = float(threshold_multiplier)
+        self.max_lines = int(max_lines)
+        self._emitted = 0
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        """Re-arm the per-run line cap (called at the start of each run)."""
+        with self._lock:
+            self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        return self._emitted
+
+    def check(
+        self,
+        registry: MetricsRegistry,
+        span_name: str,
+        path: str,
+        labels: Dict[str, object],
+        elapsed: float,
+        p95: float,
+        samples: int,
+    ) -> bool:
+        """Emit one warning line if ``elapsed`` crosses the slow threshold."""
+        if samples < MIN_SAMPLES_FOR_SLOW_OP or p95 <= 0.0:
+            return False
+        threshold = self.threshold_multiplier * p95
+        if elapsed <= threshold:
+            return False
+        registry.counter(
+            "repro_slow_ops_total",
+            help="Spans that exceeded the slow-op threshold (multiplier x rolling p95).",
+            span=span_name,
+        ).inc()
+        with self._lock:
+            if self._emitted >= self.max_lines:
+                return False
+            self._emitted += 1
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        logger.warning(
+            "slow-op path=%s span=%s seconds=%.6f p95=%.6f threshold=%.6f labels=%s",
+            path, span_name, elapsed, p95, threshold, label_text or "-",
+        )
+        return True
+
+
+def _slow_op_log(registry: MetricsRegistry) -> SlowOpLog:
+    log = registry.slow_op_log
+    if log is None:
+        log = SlowOpLog()
+        registry.slow_op_log = log
+    return log
+
+
+class Span:
+    """Context manager timing one hierarchical unit of work.
+
+    ``name`` is the path segment (``run``, ``wave``, ``node``, ``io``);
+    ``metric`` names the histogram the elapsed seconds are observed into
+    (default ``repro_span_seconds`` labeled ``span=<name>``); extra labels
+    are attached to the histogram series.  Nested spans — even across the
+    scheduler's worker threads of a single process — build slash-joined
+    paths for the slow-op log.
+    """
+
+    __slots__ = ("registry", "name", "metric", "labels", "_start", "_histogram")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        metric: Optional[str] = None,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.metric = metric
+        self.labels = labels or {}
+        self._start = 0.0
+        self._histogram = None
+
+    def __enter__(self) -> "Span":
+        if self.registry.enabled:
+            _path_stack().append(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        registry = self.registry
+        if not registry.enabled:
+            return
+        stack = _path_stack()
+        path = "/".join(stack)
+        if stack:
+            stack.pop()
+        if self.metric is not None:
+            histogram = registry.histogram(self.metric, **self.labels)
+        else:
+            histogram = registry.histogram(
+                "repro_span_seconds",
+                help="Elapsed seconds of instrumented spans by path segment.",
+                span=self.name,
+                **self.labels,
+            )
+        # rolling p95 *before* this observation, so one outlier cannot
+        # raise the threshold it is judged against
+        p95 = histogram.quantile(0.95)
+        samples = histogram.count
+        histogram.observe(elapsed)
+        _slow_op_log(registry).check(
+            registry, self.name, path, self.labels, elapsed, p95, samples,
+        )

@@ -20,11 +20,13 @@ exponential reference implementation used only in tests.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import OptimizerError, PlanError
 from repro.graph.dag import Dag, NodeState
+from repro.obs.registry import COUNT_BUCKETS, get_registry
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.project_selection import (
     SINK,
@@ -170,6 +172,7 @@ def optimal_plan_explained(
     dag: Dag,
     costs: Mapping[str, NodeCosts],
     outputs: Sequence[str],
+    registry=None,
 ) -> Tuple[Dict[str, NodeState], PlanExplanation]:
     """Optimal state assignment plus its min-cut certificate.
 
@@ -177,11 +180,33 @@ def optimal_plan_explained(
     :func:`build_selection_instance` for the reduction), additionally
     returning the :class:`PlanExplanation` that the explain/trace subsystem
     records: cut value, saturated cut edges mapped back to node items, and
-    each node's side of the cut.
+    each node's side of the cut.  ``registry`` (optional) receives the
+    max-flow solve time and cut size as ``repro_optimizer_*`` series;
+    defaults to the process-wide metrics registry.
     """
+    metrics = registry if registry is not None else get_registry()
+    solve_started = time.perf_counter()
     instance = build_selection_instance(dag, costs, outputs)
     solution = solve_project_selection(instance)
     selected = solution.selected
+    if metrics.enabled:
+        metrics.histogram(
+            "repro_optimizer_solve_seconds",
+            help="Wall-clock seconds of each project-selection/max-flow solve.",
+        ).observe(time.perf_counter() - solve_started)
+        metrics.counter(
+            "repro_optimizer_solves_total",
+            help="Project-selection solves performed.",
+        ).inc()
+        metrics.histogram(
+            "repro_optimizer_cut_edges",
+            help="Saturated edges crossing the min cut, per solve.",
+            buckets=COUNT_BUCKETS,
+        ).observe(len(solution.cut_edges))
+        metrics.gauge(
+            "repro_optimizer_last_cut_value",
+            help="Cut value (optimal plan cost) of the most recent solve.",
+        ).set(solution.cut_value if solution.cut_value != float("inf") else -1.0)
 
     states: Dict[str, NodeState] = {}
     for name in dag.nodes():

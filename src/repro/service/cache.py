@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.execution.store import ArtifactMeta, ArtifactStore, ChunkStoreOps
 from repro.graph.dag import Dag
+from repro.obs.registry import MetricsRegistry
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy
 from repro.storage.catalog import JSON_SIDECAR_FILENAME as _SIDECAR_FILENAME
@@ -118,6 +119,7 @@ class SharedArtifactCache(ArtifactStore):
         store_backend: Optional[str] = None,
         memory_tier_bytes: Optional[float] = None,
         codec: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         # The base class's hard budget would make over-quota writes raise;
         # the cache instead reclaims space by eviction, so the base budget
@@ -132,9 +134,23 @@ class SharedArtifactCache(ArtifactStore):
             backend=store_backend,
             codec=codec,
             memory_tier_bytes=memory_tier_bytes,
+            metrics=metrics,
         )
         self.config = config
         self.stats = CacheStats()
+        self._used_bytes_gauge = self.metrics.gauge(
+            "repro_cache_used_bytes", help="Bytes currently held by the shared cache."
+        )
+        self._evictions_total = self.metrics.counter(
+            "repro_cache_evictions_total", help="Artifacts evicted from the shared cache."
+        )
+        self._evicted_bytes_total = self.metrics.counter(
+            "repro_cache_evicted_bytes_total", help="Bytes reclaimed by cache eviction."
+        )
+        self._rejections_total = self.metrics.counter(
+            "repro_cache_admission_rejections_total",
+            help="Artifacts declined by cache admission control.",
+        )
         # Signature → tenant whose run first materialized the artifact (the
         # tenant whose quota the bytes are charged to), and signature →
         # measured compute seconds (the recompute cost the artifact saves).
@@ -255,6 +271,7 @@ class SharedArtifactCache(ArtifactStore):
     def count_admission_rejection(self) -> None:
         with self._lock:
             self.stats.admission_rejections += 1
+        self._rejections_total.inc()
 
     def _cost_score(self, meta: ArtifactMeta) -> float:
         """Recompute-cost-saved per byte; evicting the lowest first loses least.
@@ -335,6 +352,12 @@ class SharedArtifactCache(ArtifactStore):
             owner = self._owners.setdefault(signature, tenant)
             self.stats.puts += 1
             self._persist_owner(signature, owner)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_cache_puts_total", help="Artifacts admitted into the shared cache.",
+                tenant=tenant,
+            ).inc()
+            self._used_bytes_gauge.set(self.used_bytes())
         return meta
 
     def _reclaim_for(self, tenant: str, incoming_bytes: float) -> None:
@@ -379,6 +402,10 @@ class SharedArtifactCache(ArtifactStore):
                 self.stats.evicted_bytes += meta.size
                 self._owners.pop(meta.signature, None)
             self._persist_removed_owners([meta.signature for meta in evicted])
+        if self.metrics.enabled:
+            self._evictions_total.inc(len(evicted))
+            self._evicted_bytes_total.inc(sum(meta.size for meta in evicted))
+            self._used_bytes_gauge.set(self.used_bytes())
 
     def get_for(self, tenant: str, signature: str) -> Tuple[Any, float]:
         """Attributed load: counts the hit and the recompute seconds it saved."""
@@ -386,11 +413,18 @@ class SharedArtifactCache(ArtifactStore):
         with self._lock:
             self.stats.hits += 1
             owner = self._owners.get(signature)
-            if owner is not None and owner != tenant:
+            cross = owner is not None and owner != tenant
+            if cross:
                 self.stats.cross_tenant_hits += 1
             saved = self._compute_costs.get(signature, 0.0) - elapsed
             if saved > 0:
                 self.stats.recompute_seconds_saved += saved
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "repro_cache_hits_total",
+                help="Attributed cache loads (origin: own or cross-tenant artifact).",
+                tenant=tenant, origin="cross" if cross else "own",
+            ).inc()
         return value, elapsed
 
     # ------------------------------------------------------------------
@@ -455,6 +489,11 @@ class TenantStoreView(ChunkStoreOps):
         """The shared cache's SQLite catalog handle (``None`` on JSON roots) —
         sessions running over a tenant view index their run traces here."""
         return self.cache.catalog_db
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The cache's metrics registry — sessions over a view inherit it."""
+        return self.cache.metrics
 
     # -- queries (unattributed pass-throughs) --------------------------
     def has(self, signature: str) -> bool:

@@ -28,6 +28,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.dsl.workflow import Workflow
 from repro.errors import HelixError
+from repro.obs.registry import MetricsRegistry, get_registry
 
 
 class ServiceError(HelixError):
@@ -125,6 +126,10 @@ class FairDispatcher:
         error set, end-to-end latency known) — the service records
         telemetry here.  Its own exceptions are swallowed so bookkeeping
         can never wedge a worker.
+    metrics:
+        Destination :class:`~repro.obs.registry.MetricsRegistry` for queue
+        depth gauges, busy-worker occupancy, and queue-wait latency;
+        defaults to the process registry.
     """
 
     def __init__(
@@ -132,11 +137,17 @@ class FairDispatcher:
         execute: Callable[[RequestTicket], Any],
         n_workers: int = 2,
         on_complete: Optional[Callable[[RequestTicket], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if n_workers < 1:
             raise ServiceError(f"n_workers must be >= 1, got {n_workers}")
         self._execute = execute
         self._on_complete = on_complete
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._busy_gauge = self.metrics.gauge(
+            "repro_dispatcher_busy_workers",
+            help="Workers currently executing a request.",
+        )
         self._queues: Dict[str, Deque[RequestTicket]] = {}
         self._tenant_order: List[str] = []
         self._busy: set = set()
@@ -164,8 +175,22 @@ class FairDispatcher:
                 self._queues[request.tenant] = deque()
                 self._tenant_order.append(request.tenant)
             self._queues[request.tenant].append(ticket)
+            depth = len(self._queues[request.tenant])
             self._condition.notify()
+        self.metrics.counter(
+            "repro_dispatcher_requests_total",
+            help="Requests accepted by the dispatcher.",
+            tenant=request.tenant,
+        ).inc()
+        self._queue_gauge(request.tenant).set(depth)
         return ticket
+
+    def _queue_gauge(self, tenant: str):
+        return self.metrics.gauge(
+            "repro_dispatcher_queue_depth",
+            help="Requests waiting in a tenant's FIFO queue.",
+            tenant=tenant,
+        )
 
     def pending_counts(self) -> Dict[str, int]:
         with self._condition:
@@ -218,7 +243,10 @@ class FairDispatcher:
             # starts from its successor: one slot per tenant per cycle.
             self._rr_index = (self._rr_index + offset + 1) % n_tenants
             self._busy.add(tenant)
-            return self._queues[tenant].popleft()
+            ticket = self._queues[tenant].popleft()
+            self._queue_gauge(tenant).set(len(self._queues[tenant]))
+            self._busy_gauge.set(len(self._busy))
+            return ticket
         return None
 
     def _worker_loop(self) -> None:
@@ -235,6 +263,11 @@ class FairDispatcher:
                 if ticket is None:
                     return
             ticket._mark_started()
+            self.metrics.histogram(
+                "repro_dispatcher_queue_wait_seconds",
+                help="Submission-to-start wait per request.",
+                tenant=ticket.request.tenant,
+            ).observe(ticket.queue_latency)
             try:
                 ticket.result = self._execute(ticket)
             except BaseException as exc:  # surfaced via ticket.value()
@@ -248,4 +281,5 @@ class FairDispatcher:
                         pass
                 with self._condition:
                     self._busy.discard(ticket.request.tenant)
+                    self._busy_gauge.set(len(self._busy))
                     self._condition.notify_all()

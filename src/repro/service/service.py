@@ -40,6 +40,7 @@ from repro.service.cache import (
     CacheConfig,
     SharedArtifactCache,
 )
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY, get_registry
 from repro.service.dispatcher import FairDispatcher, RequestTicket, RunRequest, ServiceError
 from repro.service.telemetry import ServiceTelemetry
 from repro.dsl.workflow import Workflow
@@ -72,6 +73,14 @@ class ServiceConfig:
     shared_cache: bool = True
     #: Storage budget per isolated tenant store (only when not sharing).
     isolated_budget_bytes: Optional[float] = None
+    #: Runtime metrics destination (see :mod:`repro.obs`).  ``None`` (the
+    #: default) gives the service a *private* registry so two services in
+    #: one process never mix series; ``True`` uses the process-wide default
+    #: registry, ``False`` disables hot-layer instrumentation (request
+    #: telemetry still works via a private registry), and a
+    #: :class:`~repro.obs.registry.MetricsRegistry` instance is used as-is.
+    #: The resolved registry is exposed as ``WorkflowService.metrics_registry``.
+    metrics: Any = None
 
 
 class WorkflowService:
@@ -83,6 +92,16 @@ class WorkflowService:
         self.root = root
         self.config = config
         os.makedirs(root, exist_ok=True)
+        if isinstance(config.metrics, MetricsRegistry):
+            self.metrics_registry = config.metrics
+        elif config.metrics is True:
+            self.metrics_registry = get_registry()
+        elif config.metrics is False:
+            self.metrics_registry = NULL_REGISTRY
+        else:
+            # A private registry per service: two services in one process
+            # (e.g. shared-vs-isolated benchmark arms) must not mix series.
+            self.metrics_registry = MetricsRegistry()
         self.cache: Optional[SharedArtifactCache] = (
             SharedArtifactCache(
                 os.path.join(root, "cache"),
@@ -94,15 +113,24 @@ class WorkflowService:
                     else None
                 ),
                 codec=config.codec,
+                metrics=self.metrics_registry,
             )
             if config.shared_cache
             else None
         )
-        self.telemetry = ServiceTelemetry()
+        # Request bookkeeping must survive metrics=False (summary()/render()
+        # are service API, not diagnostics), so telemetry falls back to a
+        # private registry when the shared one is disabled.
+        self.telemetry = ServiceTelemetry(
+            registry=self.metrics_registry if self.metrics_registry.enabled else None
+        )
         self._sessions: Dict[str, HelixSession] = {}
         self._sessions_lock = threading.Lock()
         self._dispatcher = FairDispatcher(
-            self._execute, n_workers=config.n_workers, on_complete=self._record
+            self._execute,
+            n_workers=config.n_workers,
+            on_complete=self._record,
+            metrics=self.metrics_registry,
         )
         self._closed = False
 
@@ -134,6 +162,7 @@ class WorkflowService:
                             AdmissionControlledPolicy(policy, cache, _tenant)
                         ),
                         trace_owner=tenant,
+                        metrics=self.metrics_registry,
                     )
                 else:
                     self._sessions[tenant] = HelixSession(
@@ -147,6 +176,7 @@ class WorkflowService:
                         codec=self.config.codec,
                         storage_budget=self.config.isolated_budget_bytes,
                         trace_owner=tenant,
+                        metrics=self.metrics_registry,
                     )
             return self._sessions[tenant]
 

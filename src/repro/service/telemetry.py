@@ -1,15 +1,19 @@
-"""Per-tenant service telemetry: latency, cache hits, reuse fractions.
+"""Per-tenant service telemetry as a read-view over the metrics registry.
 
-Every finished request folds into one :class:`ServiceTelemetry` instance,
-which the service exposes for the CLI and the benchmark: per-tenant p50/p95
-latency, the fraction of plan nodes served from the shared cache, and —
-joined with the cache's own counters — the cross-tenant hit rate that is the
-whole point of a shared store.
+Every finished request folds into labeled series in a
+:class:`~repro.obs.registry.MetricsRegistry` (``repro_requests_total``,
+``repro_request_seconds``, ...); :class:`ServiceTelemetry` itself keeps no
+second bookkeeping path.  Per-tenant p50/p95 latency, cache hit rate, and
+reuse fractions are all derived from the registry snapshot, so the numbers
+`repro serve` prints, ``repro metrics`` exports, and the benchmark reads are
+one and the same.  Latency distributions live in bounded histograms (fixed
+buckets + a small reservoir), so memory stays constant no matter how many
+requests a tenant submits — the old per-tenant ``latencies`` list grew
+without bound and re-sorted on every percentile call.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -17,34 +21,53 @@ from typing import Any, Dict, List, Optional
 from repro.bench.reporting import format_table
 from repro.execution.stats import IterationReport
 from repro.graph.dag import NodeState
+from repro.obs.export import quantile_from_series
+from repro.obs.registry import (
+    FRACTION_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.service.dispatcher import RequestTicket
 
 
 def percentile(values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile (``fraction`` in [0, 1]); 0.0 for no samples."""
+    """Bounded-memory percentile estimate (``fraction`` in [0, 1]).
+
+    Routes through the :class:`~repro.obs.registry.Histogram` estimator
+    instead of sorting the full sample list: the estimate interpolates
+    inside the ``LATENCY_BUCKETS`` bucket containing the nearest-rank
+    target and is clamped to the observed ``[min, max]``, so it is always
+    within one bucket width of the exact nearest-rank percentile (and exact
+    for empty/single-sample inputs and at the extremes).  Returns 0.0 for
+    no samples.
+    """
     if not values:
         return 0.0
-    ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
-    return ordered[rank]
+    hist = Histogram("percentile", (), buckets=LATENCY_BUCKETS)
+    for value in values:
+        hist.observe(value)
+    return hist.quantile(fraction)
 
 
 @dataclass
 class TenantTelemetry:
-    """Accumulated measurements for one tenant."""
+    """Read-view of one tenant's accumulated series (built per snapshot)."""
 
     tenant: str
     runs: int = 0
     errors: int = 0
-    latencies: List[float] = field(default_factory=list)
-    queue_latencies: List[float] = field(default_factory=list)
-    reuse_fractions: List[float] = field(default_factory=list)
     loaded_nodes: int = 0
     computed_nodes: int = 0
     pruned_nodes: int = 0
     compute_seconds: float = 0.0
     load_seconds: float = 0.0
     total_runtime: float = 0.0
+    reuse_sum: float = 0.0
+    reuse_count: int = 0
+    #: Raw histogram series dicts (snapshot form) quantiles derive from.
+    latency_series: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    queue_series: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
     def cache_hit_rate(self) -> float:
         """Loads over loads + computes: how often the cache spared a recompute."""
@@ -52,18 +75,28 @@ class TenantTelemetry:
         return self.loaded_nodes / executed if executed else 0.0
 
     def mean_reuse_fraction(self) -> float:
-        if not self.reuse_fractions:
+        if not self.reuse_count:
             return 0.0
-        return sum(self.reuse_fractions) / len(self.reuse_fractions)
+        return self.reuse_sum / self.reuse_count
+
+    def latency_quantile(self, q: float) -> float:
+        if self.latency_series is None:
+            return 0.0
+        return quantile_from_series(self.latency_series, q)
+
+    def queue_quantile(self, q: float) -> float:
+        if self.queue_series is None:
+            return 0.0
+        return quantile_from_series(self.queue_series, q)
 
     def row(self) -> Dict[str, Any]:
         return {
             "tenant": self.tenant,
             "runs": self.runs,
             "errors": self.errors,
-            "p50_s": round(percentile(self.latencies, 0.50), 3),
-            "p95_s": round(percentile(self.latencies, 0.95), 3),
-            "queue_p95_s": round(percentile(self.queue_latencies, 0.95), 3),
+            "p50_s": round(self.latency_quantile(0.50), 3),
+            "p95_s": round(self.latency_quantile(0.95), 3),
+            "queue_p95_s": round(self.queue_quantile(0.95), 3),
             "hit_rate": round(self.cache_hit_rate(), 3),
             "reuse": round(self.mean_reuse_fraction(), 3),
             "compute_s": round(self.compute_seconds, 3),
@@ -72,58 +105,153 @@ class TenantTelemetry:
 
 
 class ServiceTelemetry:
-    """Thread-safe aggregation of every request the service completed."""
+    """Folds finished requests into registry series; reads them back per tenant.
 
-    def __init__(self) -> None:
+    ``registry`` is normally the service's own
+    :class:`~repro.obs.registry.MetricsRegistry` (so request series sit next
+    to scheduler/cache/storage series in one export); ``None`` creates a
+    private registry, which keeps standalone use and tests isolated.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._tenants: Dict[str, TenantTelemetry] = {}
         self._first_submitted_at: Optional[float] = None
         self._last_finished_at: Optional[float] = None
 
-    def _tenant(self, tenant: str) -> TenantTelemetry:
-        if tenant not in self._tenants:
-            self._tenants[tenant] = TenantTelemetry(tenant=tenant)
-        return self._tenants[tenant]
-
+    # ------------------------------------------------------------------
+    # Recording (write path: straight into registry instruments)
     # ------------------------------------------------------------------
     def record_run(self, ticket: RequestTicket, report: IterationReport) -> None:
-        with self._lock:
-            stats = self._tenant(ticket.request.tenant)
-            stats.runs += 1
-            stats.latencies.append(ticket.total_latency)
-            stats.queue_latencies.append(ticket.queue_latency)
-            stats.reuse_fractions.append(report.reuse_fraction())
-            stats.loaded_nodes += report.n_in_state(NodeState.LOAD)
-            stats.computed_nodes += report.n_in_state(NodeState.COMPUTE)
-            stats.pruned_nodes += report.n_in_state(NodeState.PRUNE)
-            stats.compute_seconds += report.compute_time()
-            stats.load_seconds += report.load_time()
-            stats.total_runtime += report.total_runtime
-            self._note_window(ticket)
+        tenant = ticket.request.tenant
+        reg = self.registry
+        reg.counter(
+            "repro_requests_total", help="Completed service requests by outcome.",
+            tenant=tenant, outcome="ok",
+        ).inc()
+        reg.histogram(
+            "repro_request_seconds", help="End-to-end request latency.",
+            tenant=tenant,
+        ).observe(ticket.total_latency)
+        reg.histogram(
+            "repro_request_queue_seconds", help="Time spent waiting for a worker.",
+            tenant=tenant,
+        ).observe(ticket.queue_latency)
+        reg.histogram(
+            "repro_request_reuse_fraction", help="Per-run fraction of plan nodes reused.",
+            buckets=FRACTION_BUCKETS, tenant=tenant,
+        ).observe(report.reuse_fraction())
+        nodes_help = "Plan nodes by final state across a tenant's runs."
+        for state, label in (
+            (NodeState.LOAD, "load"),
+            (NodeState.COMPUTE, "compute"),
+            (NodeState.PRUNE, "prune"),
+        ):
+            n = report.n_in_state(state)
+            if n:
+                reg.counter(
+                    "repro_request_nodes_total", help=nodes_help,
+                    tenant=tenant, state=label,
+                ).inc(n)
+        reg.counter(
+            "repro_request_compute_seconds_total",
+            help="Cumulative measured compute seconds.", tenant=tenant,
+        ).inc(report.compute_time())
+        reg.counter(
+            "repro_request_load_seconds_total",
+            help="Cumulative measured artifact-load seconds.", tenant=tenant,
+        ).inc(report.load_time())
+        reg.counter(
+            "repro_request_runtime_seconds_total",
+            help="Cumulative per-node runtime seconds.", tenant=tenant,
+        ).inc(report.total_runtime)
+        self._note_window(ticket)
 
     def record_error(self, ticket: RequestTicket) -> None:
-        with self._lock:
-            stats = self._tenant(ticket.request.tenant)
-            stats.errors += 1
-            stats.latencies.append(ticket.total_latency)
-            self._note_window(ticket)
+        tenant = ticket.request.tenant
+        self.registry.counter(
+            "repro_requests_total", help="Completed service requests by outcome.",
+            tenant=tenant, outcome="error",
+        ).inc()
+        self.registry.histogram(
+            "repro_request_seconds", help="End-to-end request latency.",
+            tenant=tenant,
+        ).observe(ticket.total_latency)
+        self._note_window(ticket)
 
     def _note_window(self, ticket: RequestTicket) -> None:
-        if self._first_submitted_at is None or ticket.submitted_at < self._first_submitted_at:
-            self._first_submitted_at = ticket.submitted_at
-        if ticket.finished_at is not None and (
-            self._last_finished_at is None or ticket.finished_at > self._last_finished_at
-        ):
-            self._last_finished_at = ticket.finished_at
+        with self._lock:
+            if self._first_submitted_at is None or ticket.submitted_at < self._first_submitted_at:
+                self._first_submitted_at = ticket.submitted_at
+            if ticket.finished_at is not None and (
+                self._last_finished_at is None or ticket.finished_at > self._last_finished_at
+            ):
+                self._last_finished_at = ticket.finished_at
 
     # ------------------------------------------------------------------
+    # Read views (all derived from one registry snapshot)
+    # ------------------------------------------------------------------
+    _REQUEST_SERIES = frozenset({
+        "repro_requests_total",
+        "repro_request_seconds",
+        "repro_request_queue_seconds",
+        "repro_request_reuse_fraction",
+        "repro_request_nodes_total",
+        "repro_request_compute_seconds_total",
+        "repro_request_load_seconds_total",
+        "repro_request_runtime_seconds_total",
+    })
+
+    def _views(self) -> Dict[str, TenantTelemetry]:
+        views: Dict[str, TenantTelemetry] = {}
+        for series in self.registry.snapshot():
+            name = series["name"]
+            labels = series["labels"]
+            # The registry is shared with scheduler/cache/storage series;
+            # only the request series define which tenants have rows here.
+            if name not in self._REQUEST_SERIES:
+                continue
+            tenant = labels.get("tenant")  # type: ignore[union-attr]
+            if tenant is None:
+                continue
+            if tenant not in views:
+                views[tenant] = TenantTelemetry(tenant=tenant)
+            stats = views[tenant]
+            if name == "repro_requests_total":
+                if labels.get("outcome") == "error":
+                    stats.errors += int(series["value"])  # type: ignore[arg-type]
+                elif labels.get("outcome") == "ok":
+                    stats.runs += int(series["value"])  # type: ignore[arg-type]
+            elif name == "repro_request_seconds":
+                stats.latency_series = series
+            elif name == "repro_request_queue_seconds":
+                stats.queue_series = series
+            elif name == "repro_request_reuse_fraction":
+                stats.reuse_sum = float(series["sum"])  # type: ignore[arg-type]
+                stats.reuse_count = int(series["count"])  # type: ignore[arg-type]
+            elif name == "repro_request_nodes_total":
+                count = int(series["value"])  # type: ignore[arg-type]
+                state = labels.get("state")
+                if state == "load":
+                    stats.loaded_nodes += count
+                elif state == "compute":
+                    stats.computed_nodes += count
+                elif state == "prune":
+                    stats.pruned_nodes += count
+            elif name == "repro_request_compute_seconds_total":
+                stats.compute_seconds = float(series["value"])  # type: ignore[arg-type]
+            elif name == "repro_request_load_seconds_total":
+                stats.load_seconds = float(series["value"])  # type: ignore[arg-type]
+            elif name == "repro_request_runtime_seconds_total":
+                stats.total_runtime = float(series["value"])  # type: ignore[arg-type]
+        return views
+
     def tenants(self) -> List[TenantTelemetry]:
-        with self._lock:
-            return [self._tenants[tenant] for tenant in sorted(self._tenants)]
+        views = self._views()
+        return [views[tenant] for tenant in sorted(views)]
 
     def total_requests(self) -> int:
-        with self._lock:
-            return sum(stats.runs + stats.errors for stats in self._tenants.values())
+        return sum(stats.runs + stats.errors for stats in self.tenants())
 
     def window_seconds(self) -> float:
         """First submission to last completion — the throughput denominator."""
@@ -137,10 +265,6 @@ class ServiceTelemetry:
         window = self.window_seconds()
         return self.total_requests() / window if window > 0 else 0.0
 
-    def latencies(self) -> List[float]:
-        with self._lock:
-            return [value for stats in self._tenants.values() for value in stats.latencies]
-
     def cache_hit_rate(self) -> float:
         tenants = self.tenants()
         loaded = sum(stats.loaded_nodes for stats in tenants)
@@ -153,16 +277,31 @@ class ServiceTelemetry:
     # ------------------------------------------------------------------
     def snapshot(self, cache_stats: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """Aggregate + per-tenant numbers, optionally joined with cache counters."""
-        all_latencies = self.latencies()
+        tenants = self.tenants()
+        # Aggregate latency quantiles merge every tenant's bounded series —
+        # same estimator, no raw sample list anywhere.
+        merged: Optional[Histogram] = None
+        for stats in tenants:
+            if stats.latency_series is None:
+                continue
+            hist = Histogram("latency", (), buckets=[b for b, _ in stats.latency_series["buckets"]])
+            hist.bucket_counts = [c for _, c in stats.latency_series["buckets"]] + [
+                stats.latency_series["overflow"]
+            ]
+            hist.sum = float(stats.latency_series["sum"])
+            hist.count = int(stats.latency_series["count"])
+            hist.min = float(stats.latency_series["min"])
+            hist.max = float(stats.latency_series["max"])
+            merged = hist if merged is None else merged.merge(hist)
         summary: Dict[str, Any] = {
-            "requests": self.total_requests(),
+            "requests": sum(stats.runs + stats.errors for stats in tenants),
             "window_s": round(self.window_seconds(), 3),
             "throughput_rps": round(self.throughput(), 3),
-            "p50_latency_s": round(percentile(all_latencies, 0.50), 3),
-            "p95_latency_s": round(percentile(all_latencies, 0.95), 3),
+            "p50_latency_s": round(merged.quantile(0.50), 3) if merged else 0.0,
+            "p95_latency_s": round(merged.quantile(0.95), 3) if merged else 0.0,
             "cache_hit_rate": round(self.cache_hit_rate(), 3),
-            "compute_seconds": round(self.compute_seconds(), 3),
-            "tenants": {stats.tenant: stats.row() for stats in self.tenants()},
+            "compute_seconds": round(sum(s.compute_seconds for s in tenants), 3),
+            "tenants": {stats.tenant: stats.row() for stats in tenants},
         }
         if cache_stats is not None:
             hits = cache_stats.get("hits", 0)

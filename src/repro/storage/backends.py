@@ -325,6 +325,7 @@ def backend_from_spec(
     root: str,
     memory_tier_bytes: Optional[float] = None,
     on_demote: Optional[Callable[[str], None]] = None,
+    registry=None,
 ) -> StorageBackend:
     """Build a backend from its CLI/config name.
 
@@ -351,7 +352,12 @@ def backend_from_spec(
         return MemoryBackend(capacity_bytes=None, on_demote=on_demote)
     if name == "tiered":
         capacity = memory_tier_bytes if memory_tier_bytes is not None else 256 * 1024 * 1024
-        return TieredStore(ShardedDiskBackend(root), memory_capacity_bytes=capacity, on_demote=on_demote)
+        return TieredStore(
+            ShardedDiskBackend(root),
+            memory_capacity_bytes=capacity,
+            on_demote=on_demote,
+            registry=registry,
+        )
     raise StorageError(
         f"unknown storage backend {name!r}; expected one of ['disk', 'memory', 'sharded', 'tiered']"
     )

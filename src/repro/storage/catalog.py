@@ -43,10 +43,12 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.obs.registry import get_registry
 
 #: Filename of the SQLite catalog, next to the artifacts in the store root.
 SQLITE_CATALOG_FILENAME = "catalog.sqlite"
@@ -242,12 +244,33 @@ class CatalogDB:
     the storage layer's one error type.
     """
 
-    def __init__(self, path: str, busy_timeout_ms: int = 30_000) -> None:
+    def __init__(self, path: str, busy_timeout_ms: int = 30_000, registry=None) -> None:
         self.path = path
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._lock = threading.RLock()
+        metrics = registry if registry is not None else get_registry()
+        self._query_count = metrics.counter(
+            "repro_catalog_ops_total",
+            help="Catalog statements executed, by kind.",
+            op="query",
+        )
+        self._txn_count = metrics.counter("repro_catalog_ops_total", op="transaction")
+        self._query_seconds = metrics.histogram(
+            "repro_catalog_op_seconds",
+            help="Latency of catalog statements, by kind.",
+            op="query",
+        )
+        self._txn_seconds = metrics.histogram("repro_catalog_op_seconds", op="transaction")
+        self._busy_count = metrics.counter(
+            "repro_catalog_busy_total",
+            help="Catalog statements that failed with the database locked/busy.",
+        )
+        self._error_count = metrics.counter(
+            "repro_catalog_errors_total",
+            help="Catalog statements that raised any SQLite error.",
+        )
         try:
             # ``timeout`` is the Python-side retry budget for locked
             # databases; ``busy_timeout`` the C-side one.  Autocommit
@@ -297,17 +320,28 @@ class CatalogDB:
     # ------------------------------------------------------------------
     # Statement plumbing
     # ------------------------------------------------------------------
+    def _note_error(self, exc: sqlite3.Error) -> None:
+        self._error_count.inc()
+        if isinstance(exc, sqlite3.OperationalError) and "lock" in str(exc).lower():
+            self._busy_count.inc()
+
     def _execute(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
+        start = time.perf_counter()
         with self._lock:
             try:
                 return self._conn.execute(sql, params)
             except sqlite3.Error as exc:
+                self._note_error(exc)
                 raise StorageError(f"catalog query failed at {self.path}: {exc}") from exc
+            finally:
+                self._query_count.inc()
+                self._query_seconds.observe(time.perf_counter() - start)
 
     def _transaction(self, work: Callable[[sqlite3.Connection], Any]) -> Any:
         """Run ``work`` inside one IMMEDIATE transaction (write lock up front,
         so a multi-statement mutation never deadlocks against another writer
         that started as a reader)."""
+        start = time.perf_counter()
         with self._lock:
             try:
                 self._conn.execute("BEGIN IMMEDIATE")
@@ -319,7 +353,11 @@ class CatalogDB:
                 self._conn.execute("COMMIT")
                 return result
             except sqlite3.Error as exc:
+                self._note_error(exc)
                 raise StorageError(f"catalog transaction failed at {self.path}: {exc}") from exc
+            finally:
+                self._txn_count.inc()
+                self._txn_seconds.observe(time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Artifacts
@@ -775,9 +813,9 @@ class SqliteCatalogState:
 
     format = "sqlite"
 
-    def __init__(self, root: str, flush_every: int = 8) -> None:
+    def __init__(self, root: str, flush_every: int = 8, registry=None) -> None:
         self.root = root
-        self.db = CatalogDB(sqlite_catalog_path(root))
+        self.db = CatalogDB(sqlite_catalog_path(root), registry=registry)
         self._flush_every = max(1, int(flush_every))
         #: signature → (last_access_at, last_load_time or None), not yet in the DB.
         self._touches: Dict[str, Tuple[float, Optional[float]]] = {}
@@ -857,7 +895,7 @@ class SqliteCatalogState:
         self.db.close()
 
 
-def open_catalog_state(root: str, catalog: str = "auto", flush_every: int = 8):
+def open_catalog_state(root: str, catalog: str = "auto", flush_every: int = 8, registry=None):
     """Pick and open the catalog format for a store root.
 
     ``"auto"`` (the default) is the dual-read rule: an existing
@@ -874,7 +912,7 @@ def open_catalog_state(root: str, catalog: str = "auto", flush_every: int = 8):
         else:
             catalog = "sqlite"
     if catalog == "sqlite":
-        return SqliteCatalogState(root, flush_every=flush_every)
+        return SqliteCatalogState(root, flush_every=flush_every, registry=registry)
     if catalog == "json":
         return JsonCatalogState(root, flush_every=flush_every)
     raise StorageError(

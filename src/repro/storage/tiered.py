@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.registry import MetricsRegistry, get_registry
 from repro.storage.backends import BackendStats, MemoryBackend, StorageBackend
 
 
@@ -38,12 +39,35 @@ class TieredStore(StorageBackend):
         disk: StorageBackend,
         memory_capacity_bytes: float = 256 * 1024 * 1024,
         on_demote: Optional[Callable[[str], None]] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.disk = disk
-        self.memory = MemoryBackend(capacity_bytes=memory_capacity_bytes, on_demote=on_demote)
+        metrics = registry if registry is not None else get_registry()
+        self._demotions_total = metrics.counter(
+            "repro_tier_demotions_total",
+            help="Payloads demoted from the memory tier (copies remain on disk).",
+        )
+        user_on_demote = on_demote
+
+        def _count_demote(key: str) -> None:
+            self._demotions_total.inc()
+            if user_on_demote is not None:
+                user_on_demote(key)
+
+        self.memory = MemoryBackend(capacity_bytes=memory_capacity_bytes, on_demote=_count_demote)
         self.promotions = 0
         self.memory_hits = 0
         self.disk_hits = 0
+        self._promotions_total = metrics.counter(
+            "repro_tier_promotions_total",
+            help="Disk-read payloads promoted into the memory tier.",
+        )
+        self._memory_hits_total = metrics.counter(
+            "repro_tier_hits_total",
+            help="Reads served by each storage tier.",
+            tier="memory",
+        )
+        self._disk_hits_total = metrics.counter("repro_tier_hits_total", tier="disk")
 
     # -- placement mirrors the durable tier ----------------------------
     def place(self, name: str) -> str:
@@ -77,11 +101,14 @@ class TieredStore(StorageBackend):
                 pass  # demoted between the check and the read: fall through
             else:
                 self.memory_hits += 1
+                self._memory_hits_total.inc()
                 return payload, "memory"
         payload = self.disk.get_bytes(key)
         self.disk_hits += 1
+        self._disk_hits_total.inc()
         if self.memory.offer(key, payload):
             self.promotions += 1
+            self._promotions_total.inc()
         return payload, "disk"
 
     def delete(self, key: str) -> bool:

@@ -411,11 +411,37 @@ class TestWorkflowService:
 
 
 class TestPercentile:
+    """The bounded estimator: within one LATENCY_BUCKETS bucket of exact."""
+
+    @staticmethod
+    def _bucket_width(value):
+        from repro.obs.registry import LATENCY_BUCKETS
+
+        previous = 0.0
+        for boundary in LATENCY_BUCKETS:
+            if value <= boundary:
+                return boundary - previous
+            previous = boundary
+        return float("inf")
+
     def test_empty_and_single(self):
         assert percentile([], 0.5) == 0.0
-        assert percentile([3.0], 0.95) == 3.0
+        assert percentile([3.0], 0.95) == 3.0, "single sample is exact (clamped)"
 
-    def test_orders_input(self):
+    def test_orders_input_within_error_bound(self):
+        import math
+
         values = [5.0, 1.0, 3.0, 2.0, 4.0]
-        assert percentile(values, 0.5) == 3.0
-        assert percentile(values, 1.0) == 5.0
+        for fraction in (0.5, 0.95):
+            exact = sorted(values)[max(0, math.ceil(fraction * len(values)) - 1)]
+            assert abs(percentile(values, fraction) - exact) <= self._bucket_width(exact)
+        assert percentile(values, 1.0) == 5.0, "max quantile clamps to observed max"
+
+    def test_bounded_memory_matches_growing_list(self):
+        """10k observations: estimate stays inside the exact value's bucket."""
+        import math
+
+        values = [0.001 * i for i in range(1, 10_001)]
+        for fraction in (0.5, 0.95, 0.99):
+            exact = values[max(0, math.ceil(fraction * len(values)) - 1)]
+            assert abs(percentile(values, fraction) - exact) <= self._bucket_width(exact)
