@@ -1,0 +1,216 @@
+"""Record benchmark results over time and fail on regressions.
+
+Every benchmark under ``benchmarks/`` writes a ``BENCH_<name>.json`` payload at
+the repo root.  Those files are point-in-time: they say what the numbers were
+*now*, not whether they got worse.  This script closes that loop:
+
+1. For each payload it extracts one primary scalar (lower is better — wall
+   seconds where the benchmark reports them), and appends a record keyed by
+   benchmark + mode + git SHA + date + host fingerprint into
+   ``benchmarks/results/trajectory.jsonl``.
+2. It compares the new value against the best previously recorded value *from
+   the same host and mode* and exits non-zero when the new value is more than
+   ``--max-regression`` (default 10%) worse.  Different hosts are never
+   compared — a laptop's wall clock says nothing about a CI runner's — so a
+   fresh host (every CI runner has a random hostname) records without gating.
+3. A payload with ``"ok": false`` always fails, history or not: the benchmark
+   itself detected a problem.
+
+Usage::
+
+    python scripts/bench_trajectory.py                   # all BENCH_*.json at the root
+    python scripts/bench_trajectory.py BENCH_observability.json
+    python scripts/bench_trajectory.py --check-only      # gate without recording
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_HISTORY = os.path.join(REPO_ROOT, "benchmarks", "results", "trajectory.jsonl")
+DEFAULT_MAX_REGRESSION = 0.10
+
+
+def host_fingerprint() -> str:
+    """A short stable ID for this machine; wall clocks only compare within it."""
+    raw = f"{platform.node()}|{platform.machine()}|{os.cpu_count()}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:12]
+
+
+def git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def extract_metric(payload: Dict[str, Any]) -> Optional[float]:
+    """The one lower-is-better scalar this payload is about, or ``None``.
+
+    Benchmarks with scenario lists contribute the sum of their per-scenario
+    wall clocks; flat payloads contribute the first wall-clock-ish key found.
+    ``None`` means "record the payload, but there is nothing to gate on".
+    """
+    scenarios = payload.get("scenarios")
+    if isinstance(scenarios, list) and scenarios:
+        for key in ("delta_wall_s", "wall_s", "total_wall_s"):
+            values = [s[key] for s in scenarios if isinstance(s, dict) and key in s]
+            if values:
+                return float(sum(values))
+    for key in ("min_enabled_s", "wall_s", "total_wall_s", "wall_clock_s", "elapsed_s"):
+        value = payload.get(key)
+        if isinstance(value, (int, float)):
+            return float(value)
+    return None
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    records = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue  # a torn line from a crashed append; skip it
+    return records
+
+
+def best_recorded(
+    history: List[Dict[str, Any]], benchmark: str, mode: str, host: str
+) -> Optional[float]:
+    values = [
+        r["metric"]
+        for r in history
+        if r.get("benchmark") == benchmark
+        and r.get("mode") == mode
+        and r.get("host") == host
+        and isinstance(r.get("metric"), (int, float))
+    ]
+    return min(values) if values else None
+
+
+def process_payload(
+    path: str,
+    history: List[Dict[str, Any]],
+    host: str,
+    sha: str,
+    max_regression: float,
+) -> Dict[str, Any]:
+    """One BENCH_*.json file → a trajectory record + pass/fail verdict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    benchmark = str(payload.get("benchmark") or os.path.basename(path))
+    mode = str(payload.get("mode") or "full")
+    metric = extract_metric(payload)
+    record = {
+        "benchmark": benchmark,
+        "mode": mode,
+        "metric": metric,
+        "ok": bool(payload.get("ok", True)),
+        "host": host,
+        "sha": sha,
+        "date": time.strftime("%Y-%m-%d"),
+        "ts": round(time.time(), 3),
+        "source": os.path.basename(path),
+    }
+    verdict = {"record": record, "failed": False, "reason": ""}
+    if not record["ok"]:
+        verdict["failed"] = True
+        verdict["reason"] = "payload reports ok=false"
+        return verdict
+    if metric is None:
+        verdict["reason"] = "no wall-clock metric; record only"
+        return verdict
+    best = best_recorded(history, benchmark, mode, host)
+    if best is None:
+        verdict["reason"] = "no prior record for this host; baseline established"
+        return verdict
+    record["best"] = best
+    if best > 0 and metric > best * (1.0 + max_regression):
+        verdict["failed"] = True
+        verdict["reason"] = (
+            f"regression: {metric:.4f}s vs best {best:.4f}s "
+            f"(+{(metric / best - 1.0):.0%} > {max_regression:.0%} allowed)"
+        )
+    else:
+        verdict["reason"] = f"within bounds vs best {best:.4f}s"
+    return verdict
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "payloads", nargs="*",
+        help="BENCH_*.json files to process (default: every BENCH_*.json at the repo root)",
+    )
+    parser.add_argument("--history", default=DEFAULT_HISTORY, help="trajectory JSONL path")
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional slowdown vs the recorded best (default: 0.10)",
+    )
+    parser.add_argument(
+        "--check-only", action="store_true",
+        help="gate against history without appending new records",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.payloads or sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    if not paths:
+        print("bench_trajectory: no BENCH_*.json payloads found; nothing to do")
+        return 0
+
+    history = load_history(args.history)
+    host = host_fingerprint()
+    sha = git_sha()
+    failures = 0
+    new_records = []
+    for path in paths:
+        try:
+            verdict = process_payload(path, history, host, sha, args.max_regression)
+        except (OSError, ValueError) as exc:
+            print(f"bench_trajectory: {path}: unreadable ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        record = verdict["record"]
+        status = "FAIL" if verdict["failed"] else "ok"
+        print(
+            f"bench_trajectory: [{status}] {record['benchmark']}/{record['mode']} "
+            f"metric={record['metric']} — {verdict['reason']}"
+        )
+        if verdict["failed"]:
+            failures += 1
+        else:
+            new_records.append(record)
+
+    if new_records and not args.check_only:
+        os.makedirs(os.path.dirname(args.history), exist_ok=True)
+        with open(args.history, "a", encoding="utf-8") as handle:
+            for record in new_records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"bench_trajectory: appended {len(new_records)} record(s) to {args.history}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

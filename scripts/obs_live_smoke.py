@@ -1,0 +1,130 @@
+"""CI smoke for the live observability plane.
+
+Starts an in-process multi-tenant service with ``obs_listen`` on an ephemeral
+port, drives a little traffic, and then acts like an operator would:
+
+* curls ``/metrics`` and checks it parses as Prometheus exposition text,
+* curls ``/healthz`` and ``/readyz`` and expects 200 with every check ok,
+* curls ``/events`` and expects the full request lifecycle event types,
+* runs ``repro doctor`` over the workspace and asserts the bundle tarball
+  contains metrics, events, and trace members.
+
+Exits non-zero on the first violated expectation.  No third-party
+dependencies — the "Prometheus parser" is the same line-shape check the unit
+tests use, and HTTP goes through ``urllib``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import sys
+import tarfile
+import tempfile
+import urllib.request
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.cli import main as cli_main
+from repro.datagen.census import CensusConfig
+from repro.service import CacheConfig, ServiceClient, ServiceConfig, WorkflowService
+from repro.workloads.census_workload import census_workload
+
+PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([0-9eE+.-]+|NaN|[+-]Inf))$"
+)
+REQUIRED_EVENT_TYPES = {
+    "service_admit", "dispatch_enqueue", "dispatch_dequeue",
+    "run_start", "wave_finish", "run_finish", "dispatch_finish",
+}
+
+
+def fetch(url: str) -> tuple:
+    try:
+        with urllib.request.urlopen(url, timeout=15) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def check(condition: bool, message: str) -> None:
+    if condition:
+        print(f"  ok: {message}")
+    else:
+        print(f"  FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def main() -> int:
+    workspace = tempfile.mkdtemp(prefix="obs_live_smoke_")
+    try:
+        config = ServiceConfig(
+            n_workers=2,
+            cache=CacheConfig(budget_bytes=None),
+            obs_listen="127.0.0.1:0",
+        )
+        spec = census_workload(CensusConfig(n_train=200, n_test=80))
+        with WorkflowService(workspace, config) as service:
+            url = service.obs_server.url
+            print(f"live endpoint: {url}")
+            clients = [ServiceClient(service, f"tenant{i}") for i in range(2)]
+            tickets = []
+            for iteration in range(2):
+                step = spec.iterations[iteration]
+                for client in clients:
+                    tickets.append(client.submit(
+                        build=step.build, description=step.description,
+                        change_category=step.category,
+                    ))
+            for ticket in tickets:
+                ticket.wait()
+                check(ticket.error is None, f"request {ticket.request.description!r} succeeded")
+
+            status, body = fetch(url + "/metrics")
+            check(status == 200, "/metrics returns 200")
+            lines = [l for l in body.splitlines() if l.strip()]
+            bad = [l for l in lines if not PROM_LINE.match(l)]
+            check(not bad, f"/metrics parses as Prometheus text ({len(lines)} lines)")
+            check("repro_run_span_seconds" in body, "/metrics includes run span histogram")
+
+            status, body = fetch(url + "/healthz")
+            payload = json.loads(body)
+            check(status == 200 and payload["status"] == "ok", "/healthz reports ok")
+            status, body = fetch(url + "/readyz")
+            check(status == 200, "/readyz reports ready")
+
+            status, body = fetch(url + "/events?limit=500")
+            events = json.loads(body)["events"]
+            seen = {e["type"] for e in events}
+            check(REQUIRED_EVENT_TYPES <= seen,
+                  f"/events covers the request lifecycle (missing: {REQUIRED_EVENT_TYPES - seen or 'none'})")
+            check(all(e.get("cid") for e in events if e["type"] == "run_start"),
+                  "every run_start event carries a correlation ID")
+
+            status, body = fetch(url + "/runs")
+            runs = json.loads(body)["runs"]
+            check(len(runs) >= 4 and all(r["status"] == "finished" for r in runs),
+                  f"/runs shows {len(runs)} finished runs")
+
+        rc = cli_main(["doctor", "--workspace", workspace])
+        check(rc == 0, "repro doctor exits 0 with no anomalies")
+        bundle = os.path.join(workspace, "repro-doctor.tar.gz")
+        check(os.path.exists(bundle), "doctor bundle written")
+        with tarfile.open(bundle, "r:gz") as tar:
+            members = tar.getnames()
+        check("metrics.json" in members, "bundle contains metrics.json")
+        check("events.jsonl" in members, "bundle contains events.jsonl")
+        check("doctor.json" in members, "bundle contains doctor.json")
+        check(any(m.startswith("traces/") for m in members), "bundle contains a trace")
+
+        print("obs live smoke: all checks passed")
+        return 0
+    finally:
+        shutil.rmtree(workspace, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,11 @@ Entry points::
     python -m repro metrics --workspace DIR --format prometheus  # exported series
     python -m repro metrics --workspace DIR --filter 'repro_cache_.*'
     python -m repro top --workspace DIR --once # queue depths, hit rates, p50/p95/p99
+    python -m repro serve --listen 127.0.0.1:8080  # live /metrics /healthz /events
+    python -m repro top --connect http://127.0.0.1:8080  # dashboard over the live endpoint
+    python -m repro events tail --workspace DIR --limit 20  # structured event journal
+    python -m repro events grep --workspace DIR 'cache_evict'
+    python -m repro doctor --workspace DIR     # triage summary + debug bundle tarball
     python -m repro explain --workspace DIR    # why each node was reused/recomputed
     python -m repro trace export --workspace DIR --out run.jsonl
     python -m repro versions --workspace DIR   # browse a persisted workspace
@@ -133,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--partitions", type=int, default=None,
         help="per-session intra-operator partition count (default: off)",
     )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve live /metrics, /healthz, /events, /runs over HTTP while running "
+             "(port 0 picks an ephemeral port; the bound URL is printed)",
+    )
     add_storage_args(serve)
 
     submit = subparsers.add_parser(
@@ -187,11 +197,49 @@ def _build_parser() -> argparse.ArgumentParser:
     top = subparsers.add_parser(
         "top", help="refreshing terminal dashboard over a workspace's metrics snapshot"
     )
-    top.add_argument("--workspace", required=True, help="workspace whose metrics.json to watch")
+    top.add_argument("--workspace", default=None, help="workspace whose metrics.json to watch")
+    top.add_argument(
+        "--connect", default=None, metavar="URL",
+        help="poll a live `repro serve --listen` endpoint instead of a metrics.json file",
+    )
     top.add_argument("--once", action="store_true", help="render a single frame and exit")
     top.add_argument(
         "--interval", type=float, default=2.0,
         help="seconds between refreshes (default: 2.0)",
+    )
+
+    events = subparsers.add_parser(
+        "events", help="render or filter the structured event journal a run/serve left behind"
+    )
+    events.add_argument("action", choices=["ls", "tail", "grep"], help="what to do")
+    events.add_argument(
+        "pattern", nargs="?", default=None,
+        help="regex over raw event lines (grep; also accepted by ls/tail)",
+    )
+    events.add_argument("--workspace", required=True, help="workspace whose events.jsonl to read")
+    events.add_argument(
+        "--limit", type=int, default=None,
+        help="show only the most recent N events (default: 20 for tail, all for ls/grep)",
+    )
+    events.add_argument("--type", default=None, dest="event_type", help="keep only this event type")
+    events.add_argument("--cid", default=None, help="keep only events with this correlation ID")
+    events.add_argument("--json", action="store_true", help="emit raw JSONL instead of a table")
+
+    doctor = subparsers.add_parser(
+        "doctor", help="triage a workspace and write a debug bundle tarball"
+    )
+    doctor.add_argument("--workspace", required=True, help="session workspace or service root to diagnose")
+    doctor.add_argument(
+        "--out", default=None,
+        help="bundle path (default: <workspace>/repro-doctor.tar.gz)",
+    )
+    doctor.add_argument(
+        "--events", type=int, default=None, dest="events_limit",
+        help="how many recent events to include in the bundle (default: 500)",
+    )
+    doctor.add_argument(
+        "--no-bundle", action="store_true",
+        help="print the triage summary only; skip writing the tarball",
     )
 
     explain = subparsers.add_parser(
@@ -370,6 +418,7 @@ def _command_serve(
     store_backend: Optional[str] = None,
     memory_tier_mb: Optional[float] = None,
     codec: str = "auto",
+    listen: Optional[str] = None,
     out=None,
 ) -> int:
     """Drive synthetic multi-tenant traffic through a WorkflowService."""
@@ -387,6 +436,7 @@ def _command_serve(
         codec=codec,
         shared_cache=not isolated,
         cache=CacheConfig(budget_bytes=budget, tenant_quota_bytes=quota, eviction=eviction),
+        obs_listen=listen,
     )
     # The workload sequences are finite; clamp rather than crash when asked
     # for more.  Every build callable constructs a fresh Workflow, so one
@@ -394,6 +444,8 @@ def _command_serve(
     spec = _workload_spec(workload, scale)
     iterations = min(iterations, len(spec.iterations))
     with WorkflowService(workspace, config) as service:
+        if service.obs_server is not None:
+            print(f"observability endpoint: {service.obs_server.url}", file=out)
         clients = [ServiceClient(service, f"tenant{index}") for index in range(tenants)]
         # Iteration-major interleaving models real traffic: every tenant is
         # live at once, each advancing through its own workflow sequence.
@@ -817,26 +869,55 @@ def _render_top_frame(workspace: str, series: list) -> str:
     return "\n".join(sections)
 
 
+def _fetch_live_snapshot(url: str) -> list:
+    """One poll of a live ``repro serve --listen`` endpoint's ``/metrics.json``."""
+    import json
+    import urllib.request
+
+    endpoint = url.rstrip("/") + "/metrics.json"
+    with urllib.request.urlopen(endpoint, timeout=10) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    return payload["series"]
+
+
 def _command_top(
-    workspace: str, once: bool = False, interval: float = 2.0, out=None
+    workspace: Optional[str],
+    once: bool = False,
+    interval: float = 2.0,
+    connect: Optional[str] = None,
+    out=None,
 ) -> int:
-    """Refreshing dashboard over ``<workspace>/metrics.json``."""
+    """Refreshing dashboard over ``<workspace>/metrics.json`` or a live endpoint."""
     out = out or sys.stdout
     import time
 
     from repro.obs import load_snapshot, metrics_path
 
-    path = metrics_path(workspace)
-    if not os.path.exists(path):
-        print(
-            f"error: no metrics snapshot at {path} "
-            "(run `repro run`, `repro serve`, or `repro submit` over this workspace first)",
-            file=sys.stderr,
-        )
+    if connect is None and workspace is None:
+        print("error: pass --workspace DIR or --connect URL", file=sys.stderr)
         return 2
+    if connect is not None:
+        source = connect
+
+        def read_snapshot():
+            return _fetch_live_snapshot(connect)
+    else:
+        path = metrics_path(workspace)
+        if not os.path.exists(path):
+            print(
+                f"error: no metrics snapshot at {path} "
+                "(run `repro run`, `repro serve`, or `repro submit` over this workspace first)",
+                file=sys.stderr,
+            )
+            return 2
+        source = workspace
+
+        def read_snapshot():
+            return load_snapshot(path)
+
     try:
         while True:
-            frame = _render_top_frame(workspace, load_snapshot(path))
+            frame = _render_top_frame(source, read_snapshot())
             if once:
                 print(frame, file=out)
                 return 0
@@ -846,6 +927,88 @@ def _command_top(
             time.sleep(interval)
     except KeyboardInterrupt:
         return 0
+    except OSError as exc:
+        # The live endpoint went away (serve finished or was killed).
+        print(f"error: lost connection to {source}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _command_events(
+    action: str,
+    workspace: str,
+    pattern: Optional[str] = None,
+    limit: Optional[int] = None,
+    event_type: Optional[str] = None,
+    cid: Optional[str] = None,
+    as_json: bool = False,
+    out=None,
+) -> int:
+    """Render or filter ``<workspace>/events.jsonl`` (``events ls|tail|grep``)."""
+    out = out or sys.stdout
+    from repro.obs import events_path, read_events
+
+    if action == "grep" and not pattern:
+        print("error: `repro events grep` needs a pattern argument", file=sys.stderr)
+        return 2
+    if limit is None and action == "tail":
+        limit = 20
+    path = events_path(workspace)
+    if not os.path.exists(path) and not os.path.exists(path + ".1"):
+        print(
+            f"error: no event journal at {path} "
+            "(run `repro run`, `repro serve`, or `repro submit` over this workspace first)",
+            file=sys.stderr,
+        )
+        return 2
+    events = read_events(path, limit=limit, pattern=pattern, type=event_type, cid=cid)
+    if not events:
+        print("no matching events", file=out)
+        return 0
+    if as_json:
+        for event in events:
+            print(event.to_line(), file=out)
+        return 0
+    rows = []
+    for event in events:
+        extras = ", ".join(f"{key}={event.data[key]}" for key in sorted(event.data))
+        rows.append(
+            {
+                "ts": round(event.ts, 3),
+                "type": event.type,
+                "tenant": event.tenant or "-",
+                "cid": event.cid or "-",
+                "detail": extras or "-",
+            }
+        )
+    print(format_table(rows), file=out)
+    print(f"{len(events)} event(s)   journal: {path}", file=out)
+    return 0
+
+
+def _command_doctor(
+    workspace: str,
+    out_path: Optional[str] = None,
+    events_limit: Optional[int] = None,
+    no_bundle: bool = False,
+    out=None,
+) -> int:
+    """Triage a workspace and (by default) write the debug bundle tarball."""
+    out = out or sys.stdout
+    from repro.obs import collect_report, render_triage, write_bundle
+
+    kwargs = {}
+    if events_limit is not None:
+        kwargs["events_limit"] = events_limit
+    if no_bundle:
+        report = collect_report(workspace, **kwargs)
+    else:
+        report = write_bundle(workspace, out_path=out_path, **kwargs)
+    print(render_triage(report), file=out)
+    if not no_bundle:
+        print(f"bundle: {report['bundle_path']} ({len(report['bundle_members'])} members)", file=out)
+    # Triggered anomalies are worth a non-zero exit so scripts can gate on it.
+    triggered = [a for a in report["anomalies"] if a["triggered"] and a["severity"] != "info"]
+    return 1 if triggered else 0
 
 
 def _command_versions(workspace: str, metric: Optional[str], out=None) -> int:
@@ -894,7 +1057,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.workers, args.budget, args.quota, args.eviction, args.isolated, args.backend,
                 parallelism=args.parallelism, partitions=args.partitions,
                 store_backend=args.store_backend, memory_tier_mb=args.memory_tier_mb,
-                codec=args.codec,
+                codec=args.codec, listen=args.listen,
             )
         if args.command == "submit":
             return _command_submit(
@@ -910,7 +1073,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "metrics":
             return _command_metrics(args.workspace, fmt=args.format, pattern=args.pattern)
         if args.command == "top":
-            return _command_top(args.workspace, once=args.once, interval=args.interval)
+            return _command_top(
+                args.workspace, once=args.once, interval=args.interval, connect=args.connect
+            )
+        if args.command == "events":
+            return _command_events(
+                args.action, args.workspace, pattern=args.pattern, limit=args.limit,
+                event_type=args.event_type, cid=args.cid, as_json=args.json,
+            )
+        if args.command == "doctor":
+            return _command_doctor(
+                args.workspace, out_path=args.out, events_limit=args.events_limit,
+                no_bundle=args.no_bundle,
+            )
         if args.command == "explain":
             return _command_explain(
                 args.workspace, run=args.run, tenant=args.tenant,

@@ -47,6 +47,14 @@ from repro.execution.simulator import RECOMPUTATION_POLICIES
 from repro.graph.dag import NodeState
 from repro.introspect.explain import ExplainRenderer
 from repro.introspect.trace import RunTrace
+from repro.obs.bridge import PeriodicRegistryFlush, install_periodic_flush
+from repro.obs.events import (
+    EventLog,
+    NULL_EVENT_LOG,
+    correlation_scope,
+    current_correlation_id,
+    events_path,
+)
 from repro.obs.registry import MetricsRegistry, get_registry, resolve_registry
 from repro.optimizer.cost_model import CostDefaults, CostEstimator, NodeCosts
 from repro.optimizer.recomputation import PlanExplanation, optimal_plan_explained, plan_cost
@@ -159,6 +167,20 @@ class HelixSession:
         everything — store, scheduler, catalog, optimizer, incremental
         planner — into that private registry.  The resolved registry is
         available as :attr:`metrics_registry`.
+    events:
+        Structured event journal destination (see :mod:`repro.obs.events`).
+        ``None`` (default) journals to ``<workspace>/events.jsonl`` — or, for
+        service-owned sessions over an injected ``store``, into the journal
+        the service already attached to the shared registry.  ``False``
+        disables journaling (implied by ``metrics=False``); an
+        :class:`~repro.obs.events.EventLog` instance is used as-is.  The
+        resolved log is available as :attr:`events`.
+    obs_listen:
+        ``"HOST:PORT"`` to serve this session's live observability plane
+        (``/metrics``, ``/healthz``, ``/events``, …) over HTTP while the
+        process runs — see :class:`~repro.obs.httpd.ObservabilityServer`.
+        Port 0 binds an ephemeral port; the server is available as
+        :attr:`obs_server` and shuts down with :meth:`close`.
     """
 
     def __init__(
@@ -179,6 +201,8 @@ class HelixSession:
         trace_owner: str = "",
         incremental: Optional[bool] = None,
         metrics: "None | bool | MetricsRegistry" = None,
+        events: "None | bool | EventLog" = None,
+        obs_listen: Optional[str] = None,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
@@ -199,6 +223,47 @@ class HelixSession:
         else:
             self.metrics_registry = resolve_registry(metrics)
         os.makedirs(workspace, exist_ok=True)
+        if isinstance(events, EventLog):
+            self.events = events
+        elif events is False or not self.metrics_registry.enabled:
+            # metrics=False means "observability off": the event log must be
+            # off too, and the shared NULL_REGISTRY must never carry state.
+            self.events = NULL_EVENT_LOG
+        elif store is not None and getattr(self.metrics_registry, "event_log", None) is not None:
+            # A service-owned session journals into the service's log (the
+            # one already riding on the shared registry), not a private one.
+            self.events = self.metrics_registry.event_log
+        else:
+            self.events = EventLog(events_path(workspace))
+        if self.metrics_registry.enabled and self.events.enabled:
+            self.metrics_registry.event_log = self.events
+        if self.metrics_registry.enabled and store is None:
+            # Long runs keep <workspace>/metrics.json fresh: the scheduler's
+            # materializer loop ticks this hook every write, rate-limited to
+            # one atomic rewrite per interval.  A flusher already installed
+            # for an enclosing root (a service flushing <root>/metrics.json
+            # while this session lives under <root>/tenants/...) keeps
+            # precedence — the broader snapshot is the operational one.
+            existing = self.metrics_registry.flush_hook
+            enclosing = (
+                isinstance(existing, PeriodicRegistryFlush)
+                and os.path.abspath(workspace).startswith(
+                    os.path.abspath(existing.workspace) + os.sep
+                )
+            )
+            if not enclosing:
+                install_periodic_flush(self.metrics_registry, workspace)
+        self.obs_server = None
+        if obs_listen:
+            from repro.obs.httpd import ObservabilityServer
+
+            self.obs_server = ObservabilityServer(
+                obs_listen,
+                registry=self.metrics_registry,
+                events=self.events,
+                health_checks={"session": lambda: (True, "session alive"),
+                               "catalog": self._catalog_health},
+            ).start()
         # Sizing a memory tier without naming a backend implies "tiered"
         # (the rule lives in backend_from_spec).
         self.store = store if store is not None else ArtifactStore(
@@ -222,6 +287,26 @@ class HelixSession:
         for signature, record in load_cost_history(workspace).items():
             self.history.record(signature, record)
             self.tracker.observe_signature(signature)
+
+    def _catalog_health(self) -> Tuple[bool, str]:
+        """/healthz check: the store's catalog (when SQLite) must answer."""
+        catalog_db = getattr(self.store, "catalog_db", None)
+        if catalog_db is None:
+            return True, "no sqlite catalog (nothing to probe)"
+        catalog_db.ping()  # raises StorageError when closed/unreachable
+        return True, "catalog answering"
+
+    def close(self) -> None:
+        """Shut down live observability (HTTP listener, journal handle).
+
+        Safe to call on sessions that never started either; the workspace
+        and its artifacts are untouched.
+        """
+        if self.obs_server is not None:
+            self.obs_server.close()
+            self.obs_server = None
+        if self.events is not NULL_EVENT_LOG:
+            self.events.close()
 
     # ------------------------------------------------------------------
     # Planning
@@ -340,11 +425,55 @@ class HelixSession:
         change_category: str = "",
     ) -> SessionRunResult:
         """Execute one iteration of ``workflow`` and record a new version."""
-        if self.metrics_registry.slow_op_log is not None:
-            self.metrics_registry.slow_op_log.reset()
+        iteration_index = len(self.versions)
+        # Standalone runs mint their own correlation ID; service-dispatched
+        # runs arrive with the request's ID already bound on this thread and
+        # keep it, so the whole request journals as one story.
+        cid = current_correlation_id()
+        scope = (
+            correlation_scope(f"run-{self.trace_owner or 'local'}-{iteration_index:04d}")
+            if cid is None
+            else correlation_scope(cid)
+        )
+        with scope:
+            self.events.emit(
+                "run_start",
+                tenant=self.trace_owner,
+                workflow=getattr(workflow, "name", ""),
+                iteration=iteration_index,
+                strategy=self.strategy.name,
+            )
+            try:
+                result = self._run_impl(
+                    workflow, description, change_category, iteration_index
+                )
+            except BaseException as exc:
+                self.events.emit(
+                    "run_error",
+                    tenant=self.trace_owner,
+                    iteration=iteration_index,
+                    error=repr(exc),
+                )
+                raise
+            self.events.emit(
+                "run_finish",
+                tenant=self.trace_owner,
+                iteration=iteration_index,
+                ok=True,
+                seconds=round(result.report.wall_clock_runtime, 6),
+                reuse_fraction=round(result.report.reuse_fraction(), 6),
+            )
+            return result
+
+    def _run_impl(
+        self,
+        workflow: Workflow,
+        description: str,
+        change_category: str,
+        iteration_index: int,
+    ) -> SessionRunResult:
         compiled_full = compile_workflow(workflow)
         compiled = slice_to_outputs(compiled_full)
-        iteration_index = len(self.versions)
         delta_plan = self._plan_deltas(compiled, iteration_index)
         costs = self._estimate_costs(compiled, delta_plan)
         if delta_plan is not None and self.metrics_registry.enabled:

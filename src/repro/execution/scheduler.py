@@ -61,6 +61,7 @@ from repro.execution.stats import IterationReport, NodeRunStats
 from repro.execution.store import ArtifactStore, chunk_signature
 from repro.graph.dag import Dag, NodeState
 from repro.introspect.trace import NodeTrace, RunTrace, WaveTrace, finite_or_none
+from repro.obs.events import correlation_scope, current_correlation_id, events_for
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import (
@@ -311,6 +312,7 @@ class AsyncMaterializer:
         self._written = 0
         self._thread: Optional[threading.Thread] = None
         registry = metrics if metrics is not None else get_registry()
+        self._registry = registry
         self._queue_gauge = registry.gauge(
             "repro_materializer_queue_depth",
             help="Encoded payloads waiting on the background writer.",
@@ -336,7 +338,11 @@ class AsyncMaterializer:
         stores with the legacy 3-argument ``put_bytes`` keep working.
         """
         self._ensure_started()
-        self._queue.put((signature, node_name, payload, stats, codec))
+        # The submitting thread's correlation ID rides along so journal
+        # entries from the writer thread (cache evictions most of all) stay
+        # attributable to the request that caused them.
+        self._queue.put((signature, node_name, payload, stats, codec,
+                         current_correlation_id()))
         self._queue_gauge.set(self._queue.qsize())
 
     def _loop(self) -> None:
@@ -345,31 +351,33 @@ class AsyncMaterializer:
             if item is self._SENTINEL:
                 self._queue.task_done()
                 return
-            signature, node_name, payload, stats, codec = item
+            signature, node_name, payload, stats, codec, cid = item
             try:
-                started = time.perf_counter()
-                if codec is None:
-                    meta = self.store.put_bytes(signature, node_name, payload)
-                else:
-                    meta = self.store.put_bytes(signature, node_name, payload, codec=codec)
-                stats.materialize_time += time.perf_counter() - started
-                # A store may decline a write (the shared service cache
-                # enforces size limits against exact payload sizes here);
-                # the node's value stays in memory, it just isn't durable.
-                # Sizes accumulate because a partitioned node submits one
-                # payload per chunk against the same stats record.
-                if meta is not None:
-                    stats.output_size += meta.size
-                    stats.materialized = True
-                    self._written += 1
-                    self._writes_total.inc()
-                else:
-                    stats.output_size += float(len(payload))
+                with correlation_scope(cid):
+                    started = time.perf_counter()
+                    if codec is None:
+                        meta = self.store.put_bytes(signature, node_name, payload)
+                    else:
+                        meta = self.store.put_bytes(signature, node_name, payload, codec=codec)
+                    stats.materialize_time += time.perf_counter() - started
+                    # A store may decline a write (the shared service cache
+                    # enforces size limits against exact payload sizes here);
+                    # the node's value stays in memory, it just isn't durable.
+                    # Sizes accumulate because a partitioned node submits one
+                    # payload per chunk against the same stats record.
+                    if meta is not None:
+                        stats.output_size += meta.size
+                        stats.materialized = True
+                        self._written += 1
+                        self._writes_total.inc()
+                    else:
+                        stats.output_size += float(len(payload))
             except BaseException as exc:  # surfaced by drain()
                 self._errors.append(exc)
             finally:
                 self._queue.task_done()
                 self._queue_gauge.set(self._queue.qsize())
+                self._registry.maybe_flush()
 
     def drain(self) -> int:
         """Block until every queued write has landed; re-raise the first failure.
@@ -650,6 +658,14 @@ class WavefrontScheduler:
                         index=wave_index, nodes=list(wave), n_tasks=n_wave_tasks,
                         wall_seconds=wave_wall,
                     ))
+                events_for(self.metrics).emit(
+                    "wave_finish",
+                    wave=wave_index,
+                    nodes=len(wave),
+                    tasks=n_wave_tasks,
+                    seconds=round(wave_wall, 6),
+                )
+                self.metrics.maybe_flush()
             writer.drain()
         except BaseException:
             # Never leave the writer thread running behind an exception; a

@@ -1,4 +1,4 @@
-"""Unified runtime metrics plane: labeled registry, spans, and exporters.
+"""Unified runtime observability plane: metrics, spans, events, and HTTP.
 
 Every hot layer of the reproduction — the wavefront scheduler, the tiered
 storage backends, the SQLite catalog, the shared multi-tenant cache and
@@ -8,13 +8,44 @@ labeled counters, gauges, and fixed-bucket + reservoir histograms.  A
 lightweight hierarchical span layer (run → wave → node → io) wraps the same
 registry with context-manager instrumentation and a structured slow-op log.
 
+The live half rides on the same registry: a bounded JSONL :class:`EventLog`
+journals every lifecycle transition with correlation IDs
+(:mod:`repro.obs.events`), an :class:`ObservabilityServer` exposes
+``/metrics``, ``/healthz``, ``/events``, and friends over stdlib HTTP
+(:mod:`repro.obs.httpd`), and ``repro doctor`` packs it all into a debug
+bundle with triage heuristics (:mod:`repro.obs.doctor`).
+
 Snapshots export as Prometheus text exposition or JSON (``repro metrics``,
 ``repro top`` on the CLI); ``ServiceTelemetry`` renders its per-tenant table
 as a read-view over the same registry, so no layer keeps a second,
 disagreeing set of books.
 """
 
-from repro.obs.bridge import metrics_path, registry_from_storage_info, save_registry
+from repro.obs.bridge import (
+    PeriodicRegistryFlush,
+    install_periodic_flush,
+    metrics_path,
+    registry_from_storage_info,
+    save_registry,
+)
+from repro.obs.doctor import (
+    collect_report,
+    detect_anomalies,
+    render_triage,
+    write_bundle,
+)
+from repro.obs.events import (
+    EVENT_TYPES,
+    Event,
+    EventLog,
+    NULL_EVENT_LOG,
+    correlation_scope,
+    current_correlation_id,
+    events_for,
+    events_path,
+    read_events,
+    runs_from_events,
+)
 from repro.obs.export import (
     filter_series,
     load_helps,
@@ -25,6 +56,7 @@ from repro.obs.export import (
     rows_from_snapshot,
     save_snapshot,
 )
+from repro.obs.httpd import ObservabilityServer, parse_listen
 from repro.obs.registry import (
     BYTES_BUCKETS,
     COUNT_BUCKETS,
@@ -39,7 +71,7 @@ from repro.obs.registry import (
     resolve_registry,
     set_registry,
 )
-from repro.obs.spans import Span, SlowOpLog
+from repro.obs.spans import Span, SlowOpLog, current_span_path
 
 __all__ = [
     "MetricsRegistry",
@@ -48,6 +80,7 @@ __all__ = [
     "Histogram",
     "Span",
     "SlowOpLog",
+    "current_span_path",
     "get_registry",
     "set_registry",
     "resolve_registry",
@@ -56,6 +89,22 @@ __all__ = [
     "BYTES_BUCKETS",
     "COUNT_BUCKETS",
     "FRACTION_BUCKETS",
+    "Event",
+    "EventLog",
+    "NULL_EVENT_LOG",
+    "EVENT_TYPES",
+    "correlation_scope",
+    "current_correlation_id",
+    "events_for",
+    "events_path",
+    "read_events",
+    "runs_from_events",
+    "ObservabilityServer",
+    "parse_listen",
+    "collect_report",
+    "detect_anomalies",
+    "render_triage",
+    "write_bundle",
     "render_prometheus",
     "render_json",
     "rows_from_snapshot",
@@ -67,4 +116,6 @@ __all__ = [
     "metrics_path",
     "save_registry",
     "registry_from_storage_info",
+    "PeriodicRegistryFlush",
+    "install_periodic_flush",
 ]

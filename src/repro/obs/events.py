@@ -1,0 +1,399 @@
+"""Structured event journal: the narrative half of the observability plane.
+
+Where the metrics registry answers "how much / how fast", the event log
+answers "what happened, in what order, to which request".  Every lifecycle
+transition — service admission, dispatcher enqueue/dequeue, run start/finish,
+wave completion, cache eviction, catalog busy-retry, slow op, error — emits
+one typed JSONL line into ``<workspace>/events.jsonl``:
+
+    {"ts": 1754650000.12, "seq": 41, "type": "dispatch_dequeue",
+     "cid": "req-000007-alice", "tenant": "alice", "span": "",
+     "wait_s": 0.004}
+
+The journal is bounded: when the active file exceeds ``max_bytes`` it is
+rotated to ``events.jsonl.1`` with ``os.replace`` (one generation kept), so a
+long-lived service never grows it without bound.  Writes happen under a lock
+as a single buffered write + flush per line, so concurrent emitters never
+tear a line and a reader tailing the file sees only whole records (the last
+line may be mid-write; readers skip unparsable trailing data).
+
+Correlation IDs tie the story together.  The dispatcher stamps each admitted
+request with a fresh ID and wraps its execution in :func:`correlation_scope`;
+everything emitted on that thread (and on the materializer thread, which
+inherits the ID through the write queue) carries the same ``cid``, so one
+``grep`` over the journal reconstructs a request end-to-end across scheduler,
+cache, and catalog.  The current span path from :mod:`repro.obs.spans` is
+attached automatically.
+
+An :class:`EventLog` rides on the metrics registry (``registry.event_log``,
+mirroring ``registry.slow_op_log``) so every layer that already holds a
+registry gains event emission without new plumbing; layers call
+:func:`events_for`, which returns the shared :data:`NULL_EVENT_LOG` no-op
+when no journal is attached — disabled observability stays a branch, which
+is how the event log lives under the same <2% overhead bar as the metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "NULL_EVENT_LOG",
+    "EVENT_TYPES",
+    "RESERVED_EVENT_KEYS",
+    "correlation_scope",
+    "current_correlation_id",
+    "events_for",
+    "events_path",
+    "read_events",
+    "runs_from_events",
+]
+
+EVENTS_FILENAME = "events.jsonl"
+
+#: Default size cap before the journal rotates (bytes).
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+#: Keys owned by the envelope; ``emit(**fields)`` may not reuse them.
+RESERVED_EVENT_KEYS = frozenset({"ts", "seq", "type", "cid", "tenant", "span"})
+
+#: The typed vocabulary.  Emitters are not restricted to this set, but every
+#: type the runtime produces is listed here so tooling (and the docs table)
+#: has one source of truth.
+EVENT_TYPES = (
+    "run_start",        # a session run began (workflow, iteration)
+    "run_finish",       # ... and completed (seconds, nodes run/reused)
+    "run_error",        # ... or raised (error repr)
+    "wave_finish",      # one scheduler wave drained (wave index, tasks, seconds)
+    "service_admit",    # dispatcher accepted a request for a tenant
+    "service_reject",   # dispatcher refused a request (reason)
+    "dispatch_enqueue", # request queued (queue depth after enqueue)
+    "dispatch_dequeue", # worker picked the request up (queue wait seconds)
+    "dispatch_finish",  # request finished (ok flag, total seconds)
+    "cache_evict",      # shared cache evicted an artifact (signature, bytes)
+    "cache_admission_reject",  # admission controller refused an oversized artifact
+    "catalog_busy",     # catalog hit a locked database and retried
+    "slow_op",          # a span blew past its rolling-p95 slow threshold
+    "error",            # any other recorded failure
+)
+
+_local = threading.local()
+
+
+def current_correlation_id() -> Optional[str]:
+    """The correlation ID bound to this thread, or ``None`` outside a scope."""
+    return getattr(_local, "cid", None)
+
+
+class correlation_scope:
+    """Bind ``cid`` to the current thread for the duration of a block.
+
+    Scopes nest: the previous ID (usually ``None``) is restored on exit.
+    Events emitted without an explicit ``cid`` pick up the bound one, which
+    is how worker- and materializer-thread events join their request's story.
+    """
+
+    __slots__ = ("cid", "_previous")
+
+    def __init__(self, cid: Optional[str]) -> None:
+        self.cid = cid
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "correlation_scope":
+        self._previous = getattr(_local, "cid", None)
+        _local.cid = self.cid
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _local.cid = self._previous
+
+
+def _current_span_path() -> str:
+    # Lazy import: spans imports events at module load for slow-op emission,
+    # so the reverse edge must resolve at call time.
+    from repro.obs.spans import current_span_path
+
+    return current_span_path()
+
+
+@dataclass(frozen=True)
+class Event:
+    """One journal record: a typed envelope plus free-form payload fields."""
+
+    type: str
+    ts: float = 0.0
+    seq: int = 0
+    cid: str = ""
+    tenant: str = ""
+    span: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON object: envelope keys first, payload fields merged in."""
+        record: Dict[str, Any] = {
+            "ts": self.ts,
+            "seq": self.seq,
+            "type": self.type,
+            "cid": self.cid,
+            "tenant": self.tenant,
+            "span": self.span,
+        }
+        for key, value in self.data.items():
+            if key not in RESERVED_EVENT_KEYS:
+                record[key] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Event":
+        data = {k: v for k, v in record.items() if k not in RESERVED_EVENT_KEYS}
+        return cls(
+            type=str(record.get("type", "")),
+            ts=float(record.get("ts", 0.0)),
+            seq=int(record.get("seq", 0)),
+            cid=str(record.get("cid", "")),
+            tenant=str(record.get("tenant", "")),
+            span=str(record.get("span", "")),
+            data=data,
+        )
+
+    def to_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_line(cls, line: str) -> Optional["Event"]:
+        """Parse one journal line; ``None`` for blank or torn lines."""
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except (ValueError, TypeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        return cls.from_dict(record)
+
+
+class EventLog:
+    """Bounded, thread-safe JSONL journal with single-generation rotation.
+
+    ``emit`` appends one line under a lock and flushes it, then rotates the
+    file to ``<path>.1`` once it exceeds ``max_bytes`` — so the on-disk
+    footprint is at most ~2x the cap and an acked event survives exactly one
+    rotation before the next one may drop it.  ``seq`` increases monotonically
+    per log, so readers can both order events and detect what rotation
+    discarded.  A disabled log (:data:`NULL_EVENT_LOG`) makes ``emit`` a
+    branch and nothing else.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str],
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        enabled: bool = True,
+    ) -> None:
+        self.path = path
+        self.max_bytes = int(max_bytes)
+        self.enabled = bool(enabled) and path is not None
+        self._lock = threading.Lock()
+        self._handle = None
+        self._seq = 0
+
+    # -- writing --------------------------------------------------------------
+
+    def emit(
+        self,
+        type: str,
+        tenant: str = "",
+        cid: Optional[str] = None,
+        **fields: Any,
+    ) -> Optional[Event]:
+        """Append one event; returns it, or ``None`` when the log is off.
+
+        ``cid`` defaults to the thread's bound correlation ID and ``span``
+        to the current span path.  ``fields`` become payload keys and must
+        not collide with the envelope (:data:`RESERVED_EVENT_KEYS`).
+        """
+        if not self.enabled:
+            return None
+        clash = RESERVED_EVENT_KEYS.intersection(fields)
+        if clash:
+            raise ValueError(f"event fields shadow envelope keys: {sorted(clash)}")
+        if cid is None:
+            cid = current_correlation_id() or ""
+        with self._lock:
+            self._seq += 1
+            event = Event(
+                type=type,
+                ts=time.time(),
+                seq=self._seq,
+                cid=cid,
+                tenant=str(tenant or ""),
+                span=_current_span_path(),
+                data=dict(fields),
+            )
+            self._write_locked(event.to_line())
+        return event
+
+    def _write_locked(self, line: str) -> None:
+        handle = self._handle
+        if handle is None:
+            handle = open(self.path, "a", encoding="utf-8")
+            self._handle = handle
+        handle.write(line + "\n")
+        handle.flush()
+        if handle.tell() >= self.max_bytes:
+            self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        handle = self._handle
+        if handle is not None:
+            handle.close()
+            self._handle = None
+        try:
+            os.replace(self.path, self.path + ".1")
+        except OSError:
+            pass  # rotation is best-effort; keep appending to the live file
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    # -- reading --------------------------------------------------------------
+
+    def tail(
+        self,
+        limit: Optional[int] = None,
+        pattern: Optional[str] = None,
+        type: Optional[str] = None,
+        cid: Optional[str] = None,
+    ) -> List[Event]:
+        """The last ``limit`` events (rotated generation included), filtered."""
+        if self.path is None:
+            return []
+        return read_events(
+            self.path, limit=limit, pattern=pattern, type=type, cid=cid
+        )
+
+    @property
+    def emitted(self) -> int:
+        """Events acked by this process (not what survives rotation)."""
+        return self._seq
+
+
+#: Shared always-disabled log: ``emit`` is a branch, readers see nothing.
+NULL_EVENT_LOG = EventLog(path=None, enabled=False)
+
+
+def events_path(workspace: str) -> str:
+    """Journal location for a workspace/service root."""
+    return os.path.join(workspace, EVENTS_FILENAME)
+
+
+def events_for(registry) -> EventLog:
+    """The event log riding on ``registry``, or the shared no-op log.
+
+    The registry is the carrier (``registry.event_log``, installed by the
+    session or service that owns the journal) so scheduler, cache, catalog,
+    and dispatcher emit events through the registry handle they already hold.
+    """
+    log = getattr(registry, "event_log", None)
+    return log if log is not None else NULL_EVENT_LOG
+
+
+def _journal_files(path: str) -> List[str]:
+    return [p for p in (path + ".1", path) if os.path.exists(p)]
+
+
+def read_events(
+    path: str,
+    limit: Optional[int] = None,
+    pattern: Optional[str] = None,
+    type: Optional[str] = None,
+    cid: Optional[str] = None,
+) -> List[Event]:
+    """Read the journal at ``path`` (rotated generation first), filtered.
+
+    ``pattern`` is a regex matched against the raw JSON line; torn or
+    non-JSON lines (a reader can catch the writer mid-line) are skipped.
+    """
+    matcher = re.compile(pattern) if pattern else None
+    events: List[Event] = []
+    for file_path in _journal_files(path):
+        try:
+            with open(file_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    if matcher is not None and not matcher.search(line):
+                        continue
+                    event = Event.from_line(line)
+                    if event is None:
+                        continue
+                    if type is not None and event.type != type:
+                        continue
+                    if cid is not None and event.cid != cid:
+                        continue
+                    events.append(event)
+        except OSError:
+            continue
+    events.sort(key=lambda e: (e.ts, e.seq))
+    if limit is not None and limit >= 0:
+        events = events[-limit:]
+    return events
+
+
+def runs_from_events(events: Iterable[Event]) -> List[Dict[str, Any]]:
+    """Per-correlation-ID run summaries derived from lifecycle events.
+
+    Groups ``run_start``/``run_finish``/``run_error`` (and the dispatcher
+    lifecycle around them) by ``cid`` — the data behind the ``/runs``
+    endpoint and the doctor's triage.
+    """
+    runs: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for event in events:
+        key = event.cid or f"(uncorrelated-{event.seq})"
+        summary = runs.get(key)
+        if summary is None:
+            summary = {
+                "cid": event.cid,
+                "tenant": event.tenant,
+                "status": "pending",
+                "started_ts": None,
+                "finished_ts": None,
+                "seconds": None,
+                "events": 0,
+                "types": {},
+            }
+            runs[key] = summary
+            order.append(key)
+        summary["events"] += 1
+        summary["types"][event.type] = summary["types"].get(event.type, 0) + 1
+        if event.tenant and not summary["tenant"]:
+            summary["tenant"] = event.tenant
+        if event.type in ("run_start", "dispatch_dequeue"):
+            summary["status"] = "running"
+            if summary["started_ts"] is None:
+                summary["started_ts"] = event.ts
+        elif event.type in ("run_finish", "dispatch_finish"):
+            ok = event.data.get("ok", True)
+            summary["status"] = "finished" if ok else "failed"
+            summary["finished_ts"] = event.ts
+            seconds = event.data.get("seconds")
+            if isinstance(seconds, (int, float)):
+                summary["seconds"] = float(seconds)
+        elif event.type in ("run_error", "service_reject"):
+            summary["status"] = "failed"
+            summary["finished_ts"] = event.ts
+            if "error" in event.data:
+                summary["error"] = event.data["error"]
+    return [runs[key] for key in order]

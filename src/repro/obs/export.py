@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 from typing import Dict, List, Optional, Sequence
 
@@ -102,11 +103,17 @@ def save_snapshot(
     ``helps`` (metric name → help text, usually
     :meth:`~repro.obs.registry.MetricsRegistry.helps`) rides along so a
     later ``repro metrics --format prometheus`` can emit ``# HELP`` lines.
+
+    The write is atomic (temp file + ``os.replace``): the periodic flusher
+    rewrites this file mid-run, and a concurrent ``repro metrics`` must
+    never read a half-written document.
     """
     document = {"series": list(snapshot), "helps": dict(helps or {})}
-    with open(path, "w", encoding="utf-8") as handle:
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(tmp_path, path)
 
 
 def load_snapshot(path: str) -> List[Dict]:

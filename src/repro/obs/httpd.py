@@ -1,0 +1,268 @@
+"""Live HTTP exposition for a running session or service.
+
+A tiny stdlib-only server (``http.server.ThreadingHTTPServer`` on a daemon
+thread) that makes a long-lived ``repro serve`` process scrapeable and
+debuggable while it runs:
+
+    ====================  ====================================================
+    ``GET /``             endpoint catalog (JSON)
+    ``GET /metrics``      Prometheus text exposition of the live registry
+    ``GET /metrics.json`` the ``metrics.json`` document (series + helps) —
+                          what ``repro top --connect URL`` consumes
+    ``GET /healthz``      liveness: every registered health check must pass
+                          (200 with per-check detail, else 503)
+    ``GET /readyz``       readiness: is the process accepting new work
+    ``GET /events``       JSON tail of the event journal
+                          (``?limit=N&grep=RE&type=T&cid=ID``)
+    ``GET /runs``         per-correlation-ID run summaries derived from the
+                          journal's lifecycle events
+    ====================  ====================================================
+
+Health and readiness checks are real callables supplied by the owner
+(dispatcher worker liveness, catalog ping) — not constants — so ``/healthz``
+flips to 503 the moment the dispatcher loses its workers or the catalog
+stops answering.  Checks that raise count as failed with the exception text
+as detail.
+
+``listen`` is ``"HOST:PORT"``; port 0 binds an ephemeral port (the bound
+address is available as :attr:`ObservabilityServer.address` / ``url``),
+which is what the tests and CI smoke use to avoid port collisions.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.events import EventLog, NULL_EVENT_LOG, runs_from_events
+from repro.obs.export import render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ObservabilityServer", "parse_listen"]
+
+#: A health/readiness check: () -> (ok, human detail).
+HealthCheck = Callable[[], Tuple[bool, str]]
+
+DEFAULT_EVENTS_LIMIT = 100
+MAX_EVENTS_LIMIT = 10_000
+
+
+def parse_listen(listen: str) -> Tuple[str, int]:
+    """Split ``"HOST:PORT"`` (port may be 0 for ephemeral) into a pair."""
+    text = str(listen).strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"invalid --listen address {listen!r}: expected HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"invalid --listen port {port_text!r}: expected an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"invalid --listen port {port}: out of range")
+    return host, port
+
+
+def _run_checks(checks: Dict[str, HealthCheck]) -> Tuple[bool, Dict[str, Dict[str, object]]]:
+    results: Dict[str, Dict[str, object]] = {}
+    all_ok = True
+    for name in sorted(checks):
+        try:
+            ok, detail = checks[name]()
+        except Exception as exc:  # a crashing check is a failing check
+            ok, detail = False, f"{type(exc).__name__}: {exc}"
+        ok = bool(ok)
+        all_ok = all_ok and ok
+        results[name] = {"ok": ok, "detail": str(detail)}
+    return all_ok, results
+
+
+class ObservabilityServer:
+    """Serve the observability plane of one registry + event log over HTTP.
+
+    ``health_checks`` gate ``/healthz`` and ``ready_checks`` gate
+    ``/readyz`` (defaulting to the health checks); both dicts are read live
+    on every request, so owners may add checks after :meth:`start`.
+    ``close()`` shuts the listener down and joins the serving thread.
+    """
+
+    def __init__(
+        self,
+        listen: str,
+        registry: MetricsRegistry,
+        events: Optional[EventLog] = None,
+        health_checks: Optional[Dict[str, HealthCheck]] = None,
+        ready_checks: Optional[Dict[str, HealthCheck]] = None,
+    ) -> None:
+        self._listen = listen
+        self.registry = registry
+        self.events = events if events is not None else NULL_EVENT_LOG
+        self.health_checks: Dict[str, HealthCheck] = dict(health_checks or {})
+        self.ready_checks: Optional[Dict[str, HealthCheck]] = (
+            dict(ready_checks) if ready_checks is not None else None
+        )
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ObservabilityServer":
+        if self._server is not None:
+            return self
+        host, port = parse_listen(self._listen)
+        owner = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                owner._handle(self)
+
+            def log_message(self, format: str, *args) -> None:
+                pass  # scrapes happen every few seconds; stay quiet
+
+        server = ThreadingHTTPServer((host, port), _Handler)
+        server.daemon_threads = True
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-obs-httpd",
+            daemon=True,
+        )
+        self._server = server
+        self._thread = thread
+        thread.start()
+        return self
+
+    def close(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        self._server = None
+        server.shutdown()
+        server.server_close()
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves port 0 to the real port."""
+        if self._server is None:
+            raise RuntimeError("observability server is not running")
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- request handling -----------------------------------------------------
+
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        try:
+            parsed = urlparse(request.path)
+            route = parsed.path.rstrip("/") or "/"
+            query = parse_qs(parsed.query)
+            if route == "/metrics":
+                body = render_prometheus(
+                    self.registry.snapshot(), helps=self.registry.helps()
+                )
+                self._respond(request, 200, body, "text/plain; version=0.0.4")
+            elif route == "/metrics.json":
+                document = {
+                    "series": self.registry.snapshot(),
+                    "helps": self.registry.helps(),
+                }
+                self._respond_json(request, 200, document)
+            elif route == "/healthz":
+                ok, checks = _run_checks(self.health_checks)
+                status = 200 if ok else 503
+                self._respond_json(
+                    request, status,
+                    {"status": "ok" if ok else "unhealthy", "checks": checks},
+                )
+            elif route == "/readyz":
+                ready_checks = (
+                    self.ready_checks
+                    if self.ready_checks is not None
+                    else self.health_checks
+                )
+                ok, checks = _run_checks(ready_checks)
+                status = 200 if ok else 503
+                self._respond_json(
+                    request, status,
+                    {"status": "ready" if ok else "not-ready", "checks": checks},
+                )
+            elif route == "/events":
+                self._respond_json(request, 200, self._events_view(query))
+            elif route == "/runs":
+                events = self.events.tail(limit=MAX_EVENTS_LIMIT)
+                self._respond_json(request, 200, {"runs": runs_from_events(events)})
+            elif route == "/":
+                self._respond_json(request, 200, {
+                    "endpoints": [
+                        "/metrics", "/metrics.json", "/healthz", "/readyz",
+                        "/events", "/runs",
+                    ],
+                })
+            else:
+                self._respond_json(request, 404, {"error": f"no route {route}"})
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:
+            try:
+                self._respond_json(
+                    request, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except Exception:
+                pass
+
+    def _events_view(self, query: Dict[str, List[str]]) -> Dict[str, object]:
+        def first(key: str) -> Optional[str]:
+            values = query.get(key)
+            return values[0] if values else None
+
+        limit_text = first("limit")
+        try:
+            limit = int(limit_text) if limit_text else DEFAULT_EVENTS_LIMIT
+        except ValueError:
+            limit = DEFAULT_EVENTS_LIMIT
+        limit = max(0, min(limit, MAX_EVENTS_LIMIT))
+        events = self.events.tail(
+            limit=limit,
+            pattern=first("grep"),
+            type=first("type"),
+            cid=first("cid"),
+        )
+        return {"events": [event.to_dict() for event in events]}
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler,
+        status: int,
+        body: str,
+        content_type: str,
+    ) -> None:
+        payload = body.encode("utf-8")
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(payload)))
+        request.end_headers()
+        request.wfile.write(payload)
+
+    @classmethod
+    def _respond_json(
+        cls, request: BaseHTTPRequestHandler, status: int, document: object
+    ) -> None:
+        cls._respond(
+            request, status,
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            "application/json",
+        )

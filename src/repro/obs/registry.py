@@ -400,6 +400,8 @@ class MetricsRegistry:
         self._helps: Dict[str, str] = {}
         self._collectors: List[Callable[["MetricsRegistry"], None]] = []
         self.slow_op_log = None  # installed lazily by repro.obs.spans
+        self.event_log = None  # installed by the session/service that owns a journal
+        self.flush_hook: Optional[Callable[[], object]] = None  # periodic snapshot writer
 
     # -- instrument accessors -------------------------------------------------
 
@@ -484,6 +486,22 @@ class MetricsRegistry:
         states = [inst.state() for inst in instruments]  # type: ignore[attr-defined]
         states.sort(key=lambda s: (s["name"], sorted(s["labels"].items())))  # type: ignore[arg-type]
         return states
+
+    def maybe_flush(self) -> None:
+        """Run the installed flush hook, if any (rate limiting is the hook's).
+
+        Long-running loops (the materializer, the dispatcher workers) tick
+        this so a crashed or hung run still leaves a recent ``metrics.json``
+        behind.  Flushing is advisory: a failing hook never breaks the loop
+        that ticked it.
+        """
+        hook = self.flush_hook
+        if hook is None:
+            return
+        try:
+            hook()
+        except Exception:
+            pass
 
     def help_for(self, name: str) -> str:
         return self._helps.get(name, "")

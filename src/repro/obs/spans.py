@@ -15,8 +15,10 @@ On exit each span also consults the :class:`SlowOpLog`: if the elapsed time
 exceeds a configurable multiple (default 10×) of the target histogram's
 rolling p95 — and the histogram has seen enough samples for the p95 to mean
 anything — one structured warning line is emitted with the span path and
-labels.  The log is capped per run so a systemic slowdown produces a handful
-of lines, not a storm; ``reset()`` re-arms the cap at the start of each run.
+labels, plus one ``slow_op`` event into the journal when one is attached.
+The log is capped per run so a systemic slowdown produces a handful of
+lines, not a storm; opening a ``run`` span re-arms the cap automatically,
+so a long-lived service keeps reporting run after run.
 """
 
 from __future__ import annotations
@@ -26,9 +28,10 @@ import threading
 import time
 from typing import Dict, Optional
 
+from repro.obs.events import events_for
 from repro.obs.registry import MetricsRegistry
 
-__all__ = ["Span", "SlowOpLog"]
+__all__ = ["Span", "SlowOpLog", "current_span_path"]
 
 logger = logging.getLogger("repro.obs")
 
@@ -44,6 +47,11 @@ def _path_stack():
         stack = []
         _local.stack = stack
     return stack
+
+
+def current_span_path() -> str:
+    """Slash-joined path of the spans open on this thread (may be empty)."""
+    return "/".join(_path_stack())
 
 
 class SlowOpLog:
@@ -62,7 +70,7 @@ class SlowOpLog:
         self._lock = threading.Lock()
 
     def reset(self) -> None:
-        """Re-arm the per-run line cap (called at the start of each run)."""
+        """Re-arm the per-run line cap (run-span entry calls this)."""
         with self._lock:
             self._emitted = 0
 
@@ -91,6 +99,15 @@ class SlowOpLog:
             help="Spans that exceeded the slow-op threshold (multiplier x rolling p95).",
             span=span_name,
         ).inc()
+        events_for(registry).emit(
+            "slow_op",
+            tenant=str(labels.get("tenant", "")),
+            path=path,
+            span_name=span_name,
+            seconds=round(elapsed, 6),
+            p95=round(p95, 6),
+            threshold=round(threshold, 6),
+        )
         with self._lock:
             if self._emitted >= self.max_lines:
                 return False
@@ -140,6 +157,10 @@ class Span:
 
     def __enter__(self) -> "Span":
         if self.registry.enabled:
+            if self.name == "run":
+                # Each run re-arms the slow-op line cap, so a long-lived
+                # service reports slow ops for every run, not just the first.
+                _slow_op_log(self.registry).reset()
             _path_stack().append(self.name)
         self._start = time.perf_counter()
         return self

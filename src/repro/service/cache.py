@@ -39,6 +39,7 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.execution.store import ArtifactMeta, ArtifactStore, ChunkStoreOps
 from repro.graph.dag import Dag
+from repro.obs.events import events_for
 from repro.obs.registry import MetricsRegistry
 from repro.optimizer.cost_model import NodeCosts
 from repro.optimizer.materialization import MaterializationDecision, MaterializationPolicy
@@ -272,6 +273,7 @@ class SharedArtifactCache(ArtifactStore):
         with self._lock:
             self.stats.admission_rejections += 1
         self._rejections_total.inc()
+        events_for(self.metrics).emit("cache_admission_reject")
 
     def _cost_score(self, meta: ArtifactMeta) -> float:
         """Recompute-cost-saved per byte; evicting the lowest first loses least.
@@ -406,6 +408,15 @@ class SharedArtifactCache(ArtifactStore):
             self._evictions_total.inc(len(evicted))
             self._evicted_bytes_total.inc(sum(meta.size for meta in evicted))
             self._used_bytes_gauge.set(self.used_bytes())
+        events = events_for(self.metrics)
+        if events.enabled:
+            for meta in evicted:
+                events.emit(
+                    "cache_evict",
+                    signature=meta.signature,
+                    node=meta.node_name,
+                    bytes=meta.size,
+                )
 
     def get_for(self, tenant: str, signature: str) -> Tuple[Any, float]:
         """Attributed load: counts the hit and the recompute seconds it saved."""

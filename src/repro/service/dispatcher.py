@@ -24,10 +24,11 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.dsl.workflow import Workflow
 from repro.errors import HelixError
+from repro.obs.events import correlation_scope, events_for
 from repro.obs.registry import MetricsRegistry, get_registry
 
 
@@ -61,8 +62,9 @@ class RunRequest:
 class RequestTicket:
     """Handle returned by ``submit``: await completion, read timing and result."""
 
-    def __init__(self, request: RunRequest) -> None:
+    def __init__(self, request: RunRequest, correlation_id: str = "") -> None:
         self.request = request
+        self.correlation_id = correlation_id
         self.submitted_at = time.perf_counter()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -152,6 +154,7 @@ class FairDispatcher:
         self._tenant_order: List[str] = []
         self._busy: set = set()
         self._rr_index = 0
+        self._submitted = 0
         self._closing = False
         self._condition = threading.Condition()
         self._workers = [
@@ -165,12 +168,35 @@ class FairDispatcher:
     def n_workers(self) -> int:
         return len(self._workers)
 
+    # -- liveness (the /healthz and /readyz checks) ---------------------
+    def health(self) -> Tuple[bool, str]:
+        """Liveness: every worker thread must still be running."""
+        alive = sum(1 for worker in self._workers if worker.is_alive())
+        if self._closing:
+            return False, f"closing ({alive}/{len(self._workers)} workers alive)"
+        ok = alive == len(self._workers)
+        return ok, f"{alive}/{len(self._workers)} workers alive"
+
+    def accepting(self) -> Tuple[bool, str]:
+        """Readiness: is ``submit`` currently accepted?"""
+        if self._closing:
+            return False, "closed to new requests"
+        return True, "accepting requests"
+
     # ------------------------------------------------------------------
     def submit(self, request: RunRequest) -> RequestTicket:
-        ticket = RequestTicket(request)
+        events = events_for(self.metrics)
         with self._condition:
             if self._closing:
+                events.emit(
+                    "service_reject", tenant=request.tenant, reason="dispatcher closed",
+                )
                 raise ServiceError("dispatcher is closed")
+            # The correlation ID minted here follows the request through
+            # every thread that touches it: worker, scheduler, materializer.
+            self._submitted += 1
+            cid = f"req-{self._submitted:06d}-{request.tenant}"
+            ticket = RequestTicket(request, correlation_id=cid)
             if request.tenant not in self._queues:
                 self._queues[request.tenant] = deque()
                 self._tenant_order.append(request.tenant)
@@ -183,6 +209,8 @@ class FairDispatcher:
             tenant=request.tenant,
         ).inc()
         self._queue_gauge(request.tenant).set(depth)
+        events.emit("service_admit", tenant=request.tenant, cid=cid)
+        events.emit("dispatch_enqueue", tenant=request.tenant, cid=cid, depth=depth)
         return ticket
 
     def _queue_gauge(self, tenant: str):
@@ -268,18 +296,40 @@ class FairDispatcher:
                 help="Submission-to-start wait per request.",
                 tenant=ticket.request.tenant,
             ).observe(ticket.queue_latency)
-            try:
-                ticket.result = self._execute(ticket)
-            except BaseException as exc:  # surfaced via ticket.value()
-                ticket.error = exc
-            finally:
-                ticket._mark_finished()
-                if self._on_complete is not None:
-                    try:
-                        self._on_complete(ticket)
-                    except BaseException:
-                        pass
-                with self._condition:
-                    self._busy.discard(ticket.request.tenant)
-                    self._busy_gauge.set(len(self._busy))
-                    self._condition.notify_all()
+            tenant = ticket.request.tenant
+            events = events_for(self.metrics)
+            # Everything the request does on this thread (and on the
+            # materializer thread, which inherits through the write queue)
+            # journals under the ticket's correlation ID.
+            with correlation_scope(ticket.correlation_id):
+                events.emit(
+                    "dispatch_dequeue", tenant=tenant,
+                    wait_s=round(ticket.queue_latency, 6),
+                )
+                try:
+                    ticket.result = self._execute(ticket)
+                except BaseException as exc:  # surfaced via ticket.value()
+                    ticket.error = exc
+                finally:
+                    # Keep _mark_finished and on_complete adjacent: callers
+                    # unblock on the former, telemetry records in the latter,
+                    # and anything slow in between (like a journal write)
+                    # widens the window where a woken caller reads telemetry
+                    # that does not yet include its own request.
+                    ticket._mark_finished()
+                    if self._on_complete is not None:
+                        try:
+                            self._on_complete(ticket)
+                        except BaseException:
+                            pass
+                    events.emit(
+                        "dispatch_finish", tenant=tenant,
+                        ok=ticket.error is None,
+                        seconds=round(ticket.total_latency, 6),
+                        error=repr(ticket.error) if ticket.error is not None else "",
+                    )
+                    self.metrics.maybe_flush()
+                    with self._condition:
+                        self._busy.discard(tenant)
+                        self._busy_gauge.set(len(self._busy))
+                        self._condition.notify_all()

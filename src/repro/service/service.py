@@ -40,6 +40,8 @@ from repro.service.cache import (
     CacheConfig,
     SharedArtifactCache,
 )
+from repro.obs.bridge import install_periodic_flush
+from repro.obs.events import EventLog, NULL_EVENT_LOG, events_path
 from repro.obs.registry import MetricsRegistry, NULL_REGISTRY, get_registry
 from repro.service.dispatcher import FairDispatcher, RequestTicket, RunRequest, ServiceError
 from repro.service.telemetry import ServiceTelemetry
@@ -81,6 +83,16 @@ class ServiceConfig:
     #: :class:`~repro.obs.registry.MetricsRegistry` instance is used as-is.
     #: The resolved registry is exposed as ``WorkflowService.metrics_registry``.
     metrics: Any = None
+    #: Structured event journal (see :mod:`repro.obs.events`).  ``None``
+    #: journals to ``<root>/events.jsonl`` (unless metrics are disabled),
+    #: ``False`` disables journaling, an :class:`~repro.obs.events.EventLog`
+    #: instance is used as-is.  Exposed as ``WorkflowService.events``.
+    events: Any = None
+    #: ``"HOST:PORT"`` to serve the live observability plane (``/metrics``,
+    #: ``/healthz``, ``/readyz``, ``/events``, ``/runs``) over HTTP for the
+    #: service's lifetime — the ``repro serve --listen`` knob.  Port 0 binds
+    #: an ephemeral port; the bound server is ``WorkflowService.obs_server``.
+    obs_listen: Optional[str] = None
 
 
 class WorkflowService:
@@ -102,6 +114,20 @@ class WorkflowService:
             # A private registry per service: two services in one process
             # (e.g. shared-vs-isolated benchmark arms) must not mix series.
             self.metrics_registry = MetricsRegistry()
+        if isinstance(config.events, EventLog):
+            self.events = config.events
+        elif config.events is False or not self.metrics_registry.enabled:
+            self.events = NULL_EVENT_LOG
+        else:
+            self.events = EventLog(events_path(root))
+        if self.metrics_registry.enabled and self.events.enabled:
+            # Ride the registry (the slow-op-log idiom): dispatcher, cache,
+            # catalog, scheduler, and tenant sessions all emit through the
+            # registry handle they already hold.
+            self.metrics_registry.event_log = self.events
+        # Keep <root>/metrics.json fresh while requests flow; dispatcher
+        # workers and the materializer tick this (rate-limited, atomic).
+        install_periodic_flush(self.metrics_registry, root)
         self.cache: Optional[SharedArtifactCache] = (
             SharedArtifactCache(
                 os.path.join(root, "cache"),
@@ -133,6 +159,30 @@ class WorkflowService:
             metrics=self.metrics_registry,
         )
         self._closed = False
+        self.obs_server = None
+        if config.obs_listen:
+            from repro.obs.httpd import ObservabilityServer
+
+            self.obs_server = ObservabilityServer(
+                config.obs_listen,
+                registry=self.metrics_registry,
+                events=self.events,
+                health_checks={
+                    "dispatcher": self._dispatcher.health,
+                    "catalog": self._catalog_health,
+                },
+                ready_checks={"dispatcher": self._dispatcher.accepting},
+            ).start()
+
+    def _catalog_health(self):
+        """/healthz check: the shared cache's catalog (when SQLite) answers."""
+        if self.cache is None:
+            return True, "no shared cache (isolated stores)"
+        catalog_db = getattr(self.cache, "catalog_db", None)
+        if catalog_db is None:
+            return True, "no sqlite catalog (nothing to probe)"
+        catalog_db.ping()  # raises StorageError when closed/unreachable
+        return True, "catalog answering"
 
     # ------------------------------------------------------------------
     # Sessions
@@ -197,6 +247,7 @@ class WorkflowService:
     ) -> RequestTicket:
         """Queue one run for ``tenant``; returns immediately with a ticket."""
         if self._closed:
+            self.events.emit("service_reject", tenant=tenant, reason="service closed")
             raise ServiceError("service is closed")
         if workflow is None and build is None:
             raise ServiceError("submit() needs a workflow or a build callable")
@@ -289,6 +340,19 @@ class WorkflowService:
         if self.cache is not None:
             # Flush deferred access metadata and release the catalog handle.
             self.cache.close()
+        hook = self.metrics_registry.flush_hook
+        if hook is not None:
+            try:
+                hook(force=True)  # final metrics.json, bypassing the rate limit
+            except TypeError:
+                hook()
+            except Exception:
+                pass
+        if self.obs_server is not None:
+            self.obs_server.close()
+            self.obs_server = None
+        if self.events is not NULL_EVENT_LOG:
+            self.events.close()
 
     def __enter__(self) -> "WorkflowService":
         return self

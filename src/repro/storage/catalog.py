@@ -48,6 +48,7 @@ from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import StorageError
+from repro.obs.events import events_for
 from repro.obs.registry import get_registry
 
 #: Filename of the SQLite catalog, next to the artifacts in the store root.
@@ -251,6 +252,7 @@ class CatalogDB:
             os.makedirs(directory, exist_ok=True)
         self._lock = threading.RLock()
         metrics = registry if registry is not None else get_registry()
+        self._registry = metrics
         self._query_count = metrics.counter(
             "repro_catalog_ops_total",
             help="Catalog statements executed, by kind.",
@@ -324,6 +326,7 @@ class CatalogDB:
         self._error_count.inc()
         if isinstance(exc, sqlite3.OperationalError) and "lock" in str(exc).lower():
             self._busy_count.inc()
+            events_for(self._registry).emit("catalog_busy", error=str(exc))
 
     def _execute(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
         start = time.perf_counter()
@@ -673,6 +676,16 @@ class CatalogDB:
             "bytes_after": after,
             "bytes_reclaimed": max(0, before - after),
         }
+
+    def ping(self) -> bool:
+        """Liveness probe: does the connection still answer a trivial query?
+
+        Raises :class:`~repro.errors.StorageError` (via ``_execute``) when the
+        connection is closed or the database is unreachable — the /healthz
+        endpoint turns that into a failing check.
+        """
+        row = self._execute("SELECT 1 AS one").fetchone()
+        return row is not None and int(row["one"]) == 1
 
     def integrity_ok(self) -> bool:
         """SQLite's own structural check — the crash-injection harness's

@@ -273,6 +273,36 @@ class TestSlowOpLog:
                     raise RuntimeError("boom")
         assert _path_stack() == []
 
+    def test_cap_resets_when_a_new_run_span_opens(self, caplog):
+        """The per-run line cap is per *run*: a second run span in the same
+        process gets a fresh warning budget instead of inheriting a spent one."""
+        registry = MetricsRegistry()
+        log = SlowOpLog(max_lines=2)
+        registry.slow_op_log = log
+        for _ in range(5):
+            log.check(
+                registry, "op", "run/op", {}, elapsed=1.0, p95=0.01,
+                samples=MIN_SAMPLES_FOR_SLOW_OP,
+            )
+        assert log.emitted == 2  # budget spent
+        with registry.span("run"):
+            assert log.emitted == 0  # a new run span resets the cap
+            with caplog.at_level(logging.WARNING, logger="repro.obs"):
+                emitted = log.check(
+                    registry, "op", "run/op", {}, elapsed=1.0, p95=0.01,
+                    samples=MIN_SAMPLES_FOR_SLOW_OP,
+                )
+        assert emitted and log.emitted == 1
+        # Non-run spans never reset the budget mid-run.
+        with registry.span("run"):
+            log.check(
+                registry, "op", "run/op", {}, elapsed=1.0, p95=0.01,
+                samples=MIN_SAMPLES_FOR_SLOW_OP,
+            )
+            with registry.span("wave"):
+                pass
+            assert log.emitted == 1
+
 
 # ---------------------------------------------------------------------------
 # Prometheus exposition
@@ -322,6 +352,125 @@ class TestPrometheusRendering:
         registry.counter("repro_odd_total", tenant='a"b\\c').inc()
         text = render_prometheus(registry.snapshot())
         assert 'tenant="a\\"b\\\\c"' in text
+
+
+# ---------------------------------------------------------------------------
+# Periodic metrics.json flush during long runs
+# ---------------------------------------------------------------------------
+class TestPeriodicFlush:
+    def test_rate_limit_and_force(self, tmp_path):
+        from repro.obs.bridge import PeriodicRegistryFlush
+
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total").inc()
+        flusher = PeriodicRegistryFlush(registry, str(tmp_path), interval_s=3600.0)
+        assert flusher() is False  # inside the interval: no write
+        assert not (tmp_path / "metrics.json").exists()
+        assert flusher(force=True) is True
+        assert load_snapshot(str(tmp_path / "metrics.json"))
+        flusher.interval_s = 0.0
+        registry.counter("repro_hits_total").inc()
+        assert flusher() is True  # interval elapsed: snapshot refreshed
+        snapshot = load_snapshot(str(tmp_path / "metrics.json"))
+        assert snapshot[0]["value"] == 2.0
+
+    def test_install_skips_disabled_registries(self, tmp_path):
+        from repro.obs.bridge import install_periodic_flush
+
+        assert install_periodic_flush(NULL_REGISTRY, str(tmp_path)) is None
+        assert NULL_REGISTRY.flush_hook is None
+        registry = MetricsRegistry()
+        flusher = install_periodic_flush(registry, str(tmp_path))
+        assert registry.flush_hook is flusher
+        registry.counter("repro_hits_total").inc()
+        registry.maybe_flush()  # the tick long loops call; must not raise
+
+    def test_session_run_leaves_fresh_snapshot(self, tmp_path):
+        """A session run flushes metrics.json mid-run via the scheduler tick —
+        the file exists even though nothing called save_registry explicitly."""
+        from repro.core.session import HelixSession
+        from repro.datagen.census import CensusConfig
+        from repro.obs.bridge import DEFAULT_FLUSH_INTERVAL_S
+        from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+        workspace = str(tmp_path / "ws")
+        session = HelixSession(
+            workspace=workspace, metrics=MetricsRegistry(enabled=True)
+        )
+        assert session.metrics_registry.flush_hook is not None
+        # Shrink the interval so the wave ticks actually write during the run.
+        session.metrics_registry.flush_hook.interval_s = 0.0
+        workflow = build_census_workflow(
+            CensusVariant(data_config=CensusConfig(n_train=150, n_test=60))
+        )
+        session.run(workflow, description="flush smoke")
+        session.close()
+        assert load_snapshot(metrics_path(workspace))
+
+
+# ---------------------------------------------------------------------------
+# Live HTTP exposition: a scrape of /metrics must be valid Prometheus text
+# ---------------------------------------------------------------------------
+#: One line of Prometheus text exposition: a HELP/TYPE comment or a sample.
+PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? ([0-9eE+.-]+|NaN|[+-]Inf))$"
+)
+
+
+class TestLiveMetricsScrape:
+    def _scrape(self, url):
+        import urllib.request
+
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, dict(response.headers), response.read().decode("utf-8")
+
+    def test_live_metrics_endpoint_is_prometheus_scrapeable(self):
+        from repro.obs.httpd import ObservabilityServer
+
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", help="Hits.", tenant="a").inc(3)
+        registry.gauge("repro_depth", help="Depth.").set(7)
+        hist = registry.histogram("repro_wait_seconds", help="Wait.", buckets=LATENCY_BUCKETS)
+        for value in (0.001, 0.2, 3.0):
+            hist.observe(value)
+        server = ObservabilityServer("127.0.0.1:0", registry).start()
+        try:
+            status, headers, body = self._scrape(server.url + "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            lines = [line for line in body.splitlines() if line.strip()]
+            assert lines
+            bad = [line for line in lines if not PROM_LINE.match(line)]
+            assert not bad, f"unparsable exposition lines: {bad[:3]}"
+            assert "# TYPE repro_wait_seconds histogram" in body
+            # A second scrape sees counter updates — the registry is live,
+            # not a point-in-time snapshot.
+            registry.counter("repro_hits_total", tenant="a").inc()
+            _, _, body = self._scrape(server.url + "/metrics")
+            assert 'repro_hits_total{tenant="a"} 4' in body
+        finally:
+            server.close()
+
+    def test_metrics_json_feeds_remote_top(self):
+        import json as json_module
+
+        from repro.obs.httpd import ObservabilityServer
+
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", help="Hits.").inc(2)
+        server = ObservabilityServer("127.0.0.1:0", registry).start()
+        try:
+            status, _, body = self._scrape(server.url + "/metrics.json")
+            assert status == 200
+            document = json_module.loads(body)
+            assert {s["name"] for s in document["series"]} == {"repro_hits_total"}
+            from repro.cli import _fetch_live_snapshot
+
+            series = _fetch_live_snapshot(server.url)
+            assert series == document["series"]
+        finally:
+            server.close()
 
 
 # ---------------------------------------------------------------------------
