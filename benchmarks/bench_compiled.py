@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Compiled hot path benchmark: fusion + plan caching + warm-started min-cut.
+
+The paper's loop re-optimizes and re-executes a near-identical workflow every
+iteration, so per-iteration fixed costs dominate once storage and scheduling
+are fast.  This benchmark drives the file-backed dense census pipeline
+(FileSource → CsvScanner → DenseFeaturizer → LabelExtractor →
+FeatureAssembler → Learner → Predictor → Evaluator — the same pipeline
+``bench_incremental.py`` uses) through an iteration trajectory twice — once
+in a plain session, once with ``compiled=True`` — and measures the tail
+iterations where the compiled machinery is warm:
+
+* iteration 0 is the cold start (both sessions compute everything);
+* iterations 1..K are **data-prep edits** (the DenseFeaturizer's
+  ``embed_dim`` moves, the paper's purple edit): the partition-wise
+  dense→assemble chain recomputes every time, which is where operator fusion
+  pays — one fused task instead of ``2 × n_partitions`` chunk tasks, one
+  weight-matrix generation instead of one per chunk per split, and one
+  batched matmul chain instead of 32 small ones;
+* the final iteration is a **model edit** (``reg_param``, the orange edit):
+  the fused chain is reused from the store and the savings shift to the plan
+  cache (structural hit regrafts the compiled DAG) and the warm-started
+  min-cut solver.
+
+The speedup bar is checked on iterations N≥2 (cold start and first edit
+excluded), matching the acceptance criterion.  Correctness is asserted, not
+assumed: per iteration, model metrics and per-node reuse verdicts must be
+**bit-identical** between the two sessions, and on the data-prep iterations
+the min-cut boundary must cross the same edges.  (Cut-edge *capacities* are
+measured costs — cross-session wall-clock noise moves them, so capacity
+bit-identity is proven with pinned costs by
+``tests/test_compiled_differential.py``, not here; on the model-edit
+iteration even edge membership can shift with measured costs, so the cut
+comparison covers the data-prep iterations.)
+
+The file-backed pipeline and the dataset size matter for determinism: CSV
+parsing at this row count is clearly more expensive than loading pickled
+chunk artifacts, so the optimizer's load-vs-recompute margins are wide and
+the two sessions' measured-cost noise cannot flip a verdict.  (The synthetic
+in-process source sits near that tie and flips between runs.)
+
+Run from the repo root::
+
+    python benchmarks/bench_compiled.py            # full trajectory
+    python benchmarks/bench_compiled.py --smoke    # CI: short + tiny data
+
+Emits ``BENCH_compiled.json`` at the repo root unless ``--no-write``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.session import HelixSession  # noqa: E402
+from repro.datagen.census import CENSUS_FIELDS, CensusConfig, generate_census_dataset  # noqa: E402
+from repro.dsl.operators import (  # noqa: E402
+    CsvScanner,
+    DenseFeaturizer,
+    Evaluator,
+    FeatureAssembler,
+    FileSource,
+    LabelExtractor,
+    Learner,
+    Predictor,
+)
+from repro.dsl.workflow import Workflow  # noqa: E402
+from repro.workloads.census_workload import NUMERIC_FIELDS  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_compiled.json")
+
+#: Required tail speedup (iterations N≥2, compiled vs plain).  The CI smoke
+#: run keeps every correctness assertion but relaxes the wall-clock bar —
+#: shared runners make sub-second timings too noisy for the full bar.
+MIN_SPEEDUP = 1.5
+MIN_SPEEDUP_SMOKE = 1.1
+
+DENSE_FIELDS = ["age", "education_num", "capital_gain", "capital_loss", "hours_per_week"]
+
+
+def build_trajectory(smoke: bool) -> Tuple[CensusConfig, int, int, int, List[Dict[str, object]]]:
+    """(data config, partitions, passes, max_iter, iteration specs)."""
+    if smoke:
+        config = CensusConfig(n_train=600, n_test=80, seed=7)
+        partitions, passes, max_iter = 16, 3, 10
+        embeds = [256, 264, 272]
+    else:
+        config = CensusConfig(n_train=1600, n_test=160, seed=7)
+        partitions, passes, max_iter = 32, 3, 15
+        embeds = [384, 392, 400, 408, 416, 424, 432]
+    iterations: List[Dict[str, object]] = []
+    for index, embed_dim in enumerate(embeds):
+        iterations.append({
+            "kind": "cold-start" if index == 0 else "data-prep edit",
+            "embed_dim": embed_dim,
+            "reg_param": 0.1,
+        })
+    iterations.append({
+        "kind": "model edit",
+        "embed_dim": embeds[-1],
+        "reg_param": 0.05,
+    })
+    return config, partitions, passes, max_iter, iterations
+
+
+def write_feed(root: str, config: CensusConfig) -> Tuple[str, str]:
+    """Generate the census dataset once and write it as CSV feed files."""
+    dataset = generate_census_dataset(config)
+    paths = []
+    for name, collection in (("train", dataset.train), ("test", dataset.test)):
+        path = os.path.join(root, f"{name}.csv")
+        with open(path, "w") as handle:
+            for record in collection.records():
+                handle.write(",".join(str(record[field]) for field in CENSUS_FIELDS) + "\n")
+        paths.append(path)
+    return paths[0], paths[1]
+
+
+def build_workflow(
+    train_path: str, test_path: str,
+    embed_dim: int, passes: int, reg_param: float, max_iter: int,
+) -> Workflow:
+    """The file-backed dense census pipeline at one iteration's parameters."""
+    wf = Workflow("census_dense")
+    data = wf.add("data", FileSource(train=train_path, test=test_path, version="v1"))
+    rows = wf.add("rows", CsvScanner(data, fields=CENSUS_FIELDS, numeric_fields=NUMERIC_FIELDS))
+    dense = wf.add(
+        "dense",
+        DenseFeaturizer(rows, fields=DENSE_FIELDS, embed_dim=embed_dim,
+                        passes=passes, out_features=6),
+    )
+    target = wf.add("target", LabelExtractor(rows, field="target"))
+    examples = wf.add("examples", FeatureAssembler(extractors=[dense], label=target))
+    model = wf.add("model", Learner(examples, model_type="logistic_regression",
+                                    reg_param=reg_param, max_iter=max_iter))
+    predictions = wf.add("predictions", Predictor(model, examples))
+    checked = wf.add("checked", Evaluator(predictions, metrics=("accuracy", "f1")))
+    wf.mark_output(predictions, checked)
+    return wf
+
+
+def run_trajectory(
+    compiled: bool,
+    root: str,
+    train_path: str,
+    test_path: str,
+    partitions: int,
+    passes: int,
+    max_iter: int,
+    iterations: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """One session through the whole trajectory; per-iteration observations."""
+    session = HelixSession(
+        os.path.join(root, "ws_compiled" if compiled else "ws_plain"),
+        partitions=partitions, compiled=compiled, store_backend="tiered",
+    )
+    observed: List[Dict[str, object]] = []
+    for index, spec in enumerate(iterations):
+        workflow = build_workflow(
+            train_path, test_path, spec["embed_dim"], passes, spec["reg_param"], max_iter
+        )
+        started = time.perf_counter()
+        result = session.run(workflow, description=f"it{index}: {spec['kind']}")
+        wall = time.perf_counter() - started
+        trace = result.trace
+        observed.append({
+            "wall_s": wall,
+            "metrics": dict(result.report.metrics),
+            "states": {name: entry.state for name, entry in trace.nodes.items()},
+            "cut_pairs": sorted(
+                (edge.source, edge.target) for edge in trace.cut_edges
+            ),
+            "fused_members": sum(
+                1 for entry in trace.nodes.values() if entry.fused_group >= 0
+            ),
+            "plan_cache": trace.plan_cache,
+            "solver_mode": trace.solver_mode,
+        })
+    return observed
+
+
+def check(
+    iterations: List[Dict[str, object]],
+    plain: List[Dict[str, object]],
+    compiled: List[Dict[str, object]],
+    min_speedup: float,
+    failures: List[str],
+) -> Dict[str, object]:
+    """Equivalence + speedup verdicts; returns the JSON summary."""
+    rows: List[Dict[str, object]] = []
+    for index, (spec, p, c) in enumerate(zip(iterations, plain, compiled)):
+        if p["metrics"] != c["metrics"]:
+            failures.append(f"it{index}: metrics diverge ({p['metrics']} vs {c['metrics']})")
+        if p["states"] != c["states"]:
+            failures.append(f"it{index}: reuse verdicts diverge ({p['states']} vs {c['states']})")
+        if spec["kind"] != "model edit" and p["cut_pairs"] != c["cut_pairs"]:
+            failures.append(
+                f"it{index}: min-cut boundary diverges ({p['cut_pairs']} vs {c['cut_pairs']})"
+            )
+        if p["plan_cache"] or p["solver_mode"] or p["fused_members"]:
+            failures.append(f"it{index}: plain session carries compiled-path annotations")
+        rows.append({
+            "iteration": index,
+            "kind": spec["kind"],
+            "embed_dim": spec["embed_dim"],
+            "reg_param": spec["reg_param"],
+            "plain_wall_s": round(p["wall_s"], 4),
+            "compiled_wall_s": round(c["wall_s"], 4),
+            "fused_members": c["fused_members"],
+            "plan_cache": c["plan_cache"],
+            "solver_mode": c["solver_mode"],
+            "metrics": c["metrics"],
+        })
+
+    # The compiled machinery must actually engage, not just not-crash.
+    if compiled[0]["plan_cache"] != "miss" or compiled[0]["solver_mode"] != "cold":
+        failures.append("it0: expected a cold start (plan-cache miss, cold solve)")
+    for index, (spec, c) in enumerate(list(zip(iterations, compiled))[1:], start=1):
+        if c["plan_cache"] not in ("structural", "exact"):
+            failures.append(f"it{index}: expected a plan-cache hit, got {c['plan_cache']!r}")
+        if c["solver_mode"] != "warm":
+            failures.append(f"it{index}: expected a warm-started solve, got {c['solver_mode']!r}")
+        if spec["kind"] == "data-prep edit" and c["fused_members"] < 2:
+            failures.append(f"it{index}: data-prep edit fused {c['fused_members']} nodes (< 2)")
+
+    plain_tail = sum(p["wall_s"] for p in plain[2:])
+    compiled_tail = sum(c["wall_s"] for c in compiled[2:])
+    speedup = plain_tail / compiled_tail if compiled_tail > 0 else float("inf")
+    if speedup < min_speedup:
+        failures.append(
+            f"tail speedup {speedup:.2f}x below the {min_speedup:.2f}x bar "
+            f"(plain {plain_tail:.3f}s vs compiled {compiled_tail:.3f}s on iterations N>=2)"
+        )
+    return {
+        "iterations": rows,
+        "plain_tail_s": round(plain_tail, 4),
+        "compiled_tail_s": round(compiled_tail, 4),
+        # scripts/bench_trajectory.py gates on a lower-is-better wall clock;
+        # the compiled tail is the number this benchmark exists to shrink.
+        "wall_s": round(compiled_tail, 4),
+        "tail_speedup": round(speedup, 3),
+        "min_speedup": min_speedup,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="compiled hot path benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: short trajectory, tiny data, relaxed speedup bar")
+    parser.add_argument("--no-write", action="store_true",
+                        help="skip writing BENCH_compiled.json and benchmarks/results/")
+    args = parser.parse_args(argv)
+
+    config, partitions, passes, max_iter, iterations = build_trajectory(args.smoke)
+    min_speedup = MIN_SPEEDUP_SMOKE if args.smoke else MIN_SPEEDUP
+
+    root = tempfile.mkdtemp(prefix="bench_compiled_")
+    try:
+        train_path, test_path = write_feed(root, config)
+        plain = run_trajectory(
+            False, root, train_path, test_path, partitions, passes, max_iter, iterations
+        )
+        compiled = run_trajectory(
+            True, root, train_path, test_path, partitions, passes, max_iter, iterations
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    failures: List[str] = []
+    summary = check(iterations, plain, compiled, min_speedup, failures)
+    payload = {
+        "benchmark": "compiled",
+        "mode": "smoke" if args.smoke else "full",
+        "n_train": config.n_train,
+        "partitions": partitions,
+        "passes": passes,
+        "max_iter": max_iter,
+        **summary,
+        "ok": not failures,
+    }
+    report = json.dumps(payload, indent=2, sort_keys=True)
+    print(report)
+    if not args.no_write:
+        try:
+            with open(BENCH_JSON, "w") as handle:
+                handle.write(report + "\n")
+            os.makedirs(RESULTS_DIR, exist_ok=True)
+            name = "compiled_smoke" if args.smoke else "compiled_comparison"
+            with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+                handle.write(report + "\n")
+        except OSError:
+            pass
+
+    if failures:
+        print("\nFAIL:\n" + "\n".join(f"  - {failure}" for failure in failures), file=sys.stderr)
+        return 1
+    print("\nOK: compiled hot path benchmark passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

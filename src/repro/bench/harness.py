@@ -136,6 +136,7 @@ def run_real_comparison(
     store_backend: Optional[str] = None,
     memory_tier_mb: Optional[float] = None,
     codec: str = "auto",
+    compiled: bool = False,
 ) -> ComparisonResult:
     """Execute a real workload end to end, once per strategy, in isolated workspaces.
 
@@ -145,6 +146,8 @@ def run_real_comparison(
     only wall-clock time changes.  ``store_backend`` / ``memory_tier_mb`` /
     ``codec`` configure the storage layer under every session's artifact
     store (see :mod:`repro.storage`); results are storage-independent too.
+    ``compiled`` turns on every session's compiled hot path (operator fusion,
+    plan caching, warm-started min-cut; see :mod:`repro.compile`).
     """
     if workspace_root is None:
         workspace_root = tempfile.mkdtemp(prefix="helix_bench_")
@@ -165,6 +168,7 @@ def run_real_comparison(
             store_backend=store_backend,
             memory_tier_mb=memory_tier_mb,
             codec=codec,
+            compiled=compiled,
         )
         reports: List[IterationReport] = []
         for spec in workload.iterations:

@@ -108,6 +108,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="intra-operator partition count: split collections into N chunks and run "
              "data-parallel operators once per chunk (default: off)",
     )
+    run.add_argument(
+        "--compiled", action="store_true",
+        help="compiled hot path: fuse partition-wise operator chains, cache compiled "
+             "plans across iterations, warm-start the min-cut solver (bit-identical results)",
+    )
     add_storage_args(run)
 
     serve = subparsers.add_parser(
@@ -358,6 +363,7 @@ def _command_run(
     store_backend: Optional[str] = None,
     memory_tier_mb: Optional[float] = None,
     codec: str = "auto",
+    compiled: bool = False,
     out=None,
 ) -> int:
     out = out or sys.stdout
@@ -368,7 +374,7 @@ def _command_run(
     result = run_real_comparison(
         spec, [strategy], workspace_root=workspace, backend=backend, parallelism=parallelism,
         partitions=partitions, store_backend=store_backend, memory_tier_mb=memory_tier_mb,
-        codec=codec,
+        codec=codec, compiled=compiled,
     )
     reports = result.reports_by_system[strategy.name]
     rows = [
@@ -1049,7 +1055,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.workload, args.strategy, args.iterations, args.scale, args.workspace,
                 backend=args.backend, parallelism=args.parallelism, partitions=args.partitions,
                 store_backend=args.store_backend, memory_tier_mb=args.memory_tier_mb,
-                codec=args.codec,
+                codec=args.codec, compiled=args.compiled,
             )
         if args.command == "serve":
             return _command_serve(

@@ -1,0 +1,522 @@
+"""Operator fusion: run a convex group of partition-wise operators as one task.
+
+Under the wavefront scheduler every COMPUTE node costs a task dispatch, a
+result fold, and (partitioned) a per-node chunk-input alignment pass.  For the
+partition-wise data-prep chains that dominate the paper's workloads
+(scan → featurize → label → assemble) those fixed costs are pure overhead:
+each member is a row-wise function whose chunks flow straight into the next
+member's chunks.  Fusion collapses such a group into a *single* compute task
+— a "mini-scheduler" that replays the exact per-member split / broadcast /
+merge semantics of the unfused path inside one function call, so values,
+partitioned-vs-plain shapes, and therefore every downstream materialization
+decision are bit-identical by construction (proven by
+``tests/test_compiled_differential.py``).
+
+Two layers:
+
+* :func:`plan_fusion` — the static planner.  Groups are *convex* sets of
+  eligible nodes (state COMPUTE, PARTITIONWISE mode, no reusable artifacts,
+  no delta strategy) whose external parents are all *available* when the
+  single fused task runs: in a wave strictly before the group's first wave,
+  or — for a ``deferred`` group — sharing that wave with a value guaranteed
+  folded before its finalize round.  Either way the group's inputs exist
+  when the task is dispatched and cycles through external nodes are ruled
+  out.
+* :class:`FusedGroupTask` — the runtime.  A picklable callable the scheduler
+  dispatches like any operator; it evaluates the members in topological
+  order, chunk-aligning external inputs with the same type-directed protocol
+  the scheduler uses (:mod:`repro.partition.chunks`), and falls back to a
+  plain single evaluation per member exactly where the scheduler would.  The
+  :class:`~repro.dsl.operators.DenseFeaturizer` member evaluation is
+  vectorized: one batched NumPy matmul chain across all chunks (row-blocked
+  GEMM is bit-stable, which the differential suite verifies empirically) and
+  feature-dict emission with precomputed keys instead of per-cell f-strings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dataflow.features import ExampleCollection, FeatureBlock, LabelBlock
+from repro.dsl.operators import DenseFeaturizer, FeatureAssembler
+from repro.errors import ExecutionError
+from repro.graph.dag import NodeState
+from repro.partition.chunks import (
+    PartitionedValue,
+    is_splittable,
+    merge_value,
+    shape_of_chunks,
+    split_value,
+)
+from repro.partition.planner import PartitionMode
+
+__all__ = ["FusedGroup", "FusedGroupOutput", "FusedGroupTask", "FusionPlan", "plan_fusion"]
+
+
+@dataclass
+class FusedGroup:
+    """One fused group: members in topological order, dispatched as one task."""
+
+    index: int
+    members: List[str]
+    head: str
+    head_wave: int
+    #: External parents (outside the group) in first-use order; the fused
+    #: task's only inputs.
+    external_parents: List[str] = field(default_factory=list)
+    #: True when an external parent shares the head wave: the fused task is
+    #: then dispatched in the head wave's *finalize* round — after the wave's
+    #: regular results (including that parent's) have folded — instead of
+    #: with the wave's regular tasks.
+    deferred: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.head
+
+
+@dataclass
+class FusionPlan:
+    """The fusion planner's verdict for one run."""
+
+    groups: List[FusedGroup] = field(default_factory=list)
+    #: member node name → its group (nodes outside any group are absent).
+    member_of: Dict[str, FusedGroup] = field(default_factory=dict)
+
+    def group_for(self, name: str) -> Optional[FusedGroup]:
+        return self.member_of.get(name)
+
+    def __bool__(self) -> bool:
+        return bool(self.groups)
+
+
+def plan_fusion(
+    compiled: Any,
+    states: Mapping[str, NodeState],
+    costs: Mapping[str, Any],
+    levels: Mapping[str, int],
+    mode_for: Callable[[str, Any], PartitionMode],
+    delta_plan: Optional[Any] = None,
+) -> FusionPlan:
+    """Partition the plan's eligible COMPUTE nodes into fused groups.
+
+    A node is *eligible* when the fused task can own its execution without
+    changing any observable of the unfused run:
+
+    * state is COMPUTE (LOAD and PRUNE nodes never enter a task);
+    * its partition mode is PARTITIONWISE (combiners, shuffles, and barrier
+      nodes keep their specialized scheduler paths);
+    * it has no reusable same-signature chunks in the store
+      (``chunks_present == 0``) — partial-hit recovery must stay outside;
+    * the incremental planner neither seeded it nor priced it as ``"delta"``.
+
+    Eligible nodes merge greedily along dependency edges into convex groups;
+    a merge is legal only while every external parent of every member is
+    *available* when the single fused task runs in the group's first wave
+    (``head_wave``): either the parent lives in a strictly earlier wave, or
+    it shares the head wave but its value is guaranteed to have folded before
+    the wave's finalize round (a LOAD node, or an unfusable PARTITIONWISE
+    compute such as a partial-chunk-reuse node) — the group is then marked
+    ``deferred`` and the scheduler dispatches its task in that finalize round.
+    Groups that end up with one member are discarded — there is nothing to
+    fuse.
+    """
+    dag = compiled.dag
+    seeds = set(getattr(delta_plan, "seeds", None) or ())
+
+    def eligible(name: str) -> bool:
+        if states.get(name) is not NodeState.COMPUTE:
+            return False
+        if mode_for(name, compiled.operator(name)) is not PartitionMode.PARTITIONWISE:
+            return False
+        node_costs = costs.get(name)
+        if node_costs is not None:
+            if getattr(node_costs, "materialized", False):
+                return False
+            if getattr(node_costs, "chunks_present", 0) > 0:
+                return False
+            if getattr(node_costs, "delta_strategy", "") == "delta":
+                return False
+        return name not in seeds
+
+    member_sets: Dict[int, Set[str]] = {}
+    group_of: Dict[str, int] = {}
+    next_index = 0
+
+    def available_at_finalize(name: str) -> bool:
+        """Can a head-wave external parent's value be relied on by the
+        finalize round?  True for LOAD nodes (folded inline before any task
+        dispatch) and for COMPUTE nodes that run as regular partition-wise
+        tasks of the wave (folded before finalize).  Nodes already placed in
+        a fused group are excluded — their own group might be deferred too,
+        which would leave two fused tasks racing in one finalize round."""
+        if name in group_of:
+            return False
+        state = states.get(name)
+        if state is NodeState.LOAD:
+            return True
+        return (
+            state is NodeState.COMPUTE
+            and not eligible(name)
+            and mode_for(name, compiled.operator(name)) is PartitionMode.PARTITIONWISE
+        )
+
+    def legal(members: Set[str]) -> bool:
+        head_wave = min(levels[m] for m in members)
+        for member in members:
+            for parent in dag.parents(member):
+                if parent in members or levels[parent] < head_wave:
+                    continue
+                if levels[parent] > head_wave:
+                    return False
+                if not available_at_finalize(parent):
+                    return False
+        return True
+
+    for name in dag.topological_order():
+        if not eligible(name):
+            continue
+        parent_groups = sorted({group_of[p] for p in dag.parents(name) if p in group_of})
+        placed = False
+        if parent_groups:
+            # Try the union of all adjacent groups first, then each singly.
+            candidates = [parent_groups] if len(parent_groups) == 1 else [parent_groups] + [
+                [g] for g in parent_groups
+            ]
+            for groups_to_merge in candidates:
+                merged = set().union(*(member_sets[g] for g in groups_to_merge)) | {name}
+                if legal(merged):
+                    target = groups_to_merge[0]
+                    member_sets[target] = merged
+                    for g in groups_to_merge[1:]:
+                        del member_sets[g]
+                    for member in merged:
+                        group_of[member] = target
+                    placed = True
+                    break
+        if not placed:
+            member_sets[next_index] = {name}
+            group_of[name] = next_index
+            next_index += 1
+
+    topo_position = {name: i for i, name in enumerate(dag.topological_order())}
+    plan = FusionPlan()
+    for raw_index in sorted(member_sets, key=lambda g: min(topo_position[m] for m in member_sets[g])):
+        members = sorted(member_sets[raw_index], key=topo_position.get)
+        if len(members) < 2:
+            continue
+        head_wave = min(levels[m] for m in members)
+        head = min(
+            (m for m in members if levels[m] == head_wave), key=topo_position.get
+        )
+        member_set = set(members)
+        external: List[str] = []
+        seen: Set[str] = set()
+        for member in members:
+            for parent in dag.parents(member):
+                if parent not in member_set and parent not in seen:
+                    seen.add(parent)
+                    external.append(parent)
+        group = FusedGroup(
+            index=len(plan.groups),
+            members=members,
+            head=head,
+            head_wave=head_wave,
+            external_parents=external,
+            deferred=any(levels[parent] == head_wave for parent in external),
+        )
+        plan.groups.append(group)
+        for member in members:
+            plan.member_of[member] = group
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Runtime: the fused task
+# ----------------------------------------------------------------------
+@dataclass
+class FusedGroupOutput:
+    """Per-member results of one fused task.
+
+    ``values[name]`` is exactly what the unfused scheduler would have folded
+    for that node: a :class:`~repro.partition.chunks.PartitionedValue` when
+    the member ran partition-wise, a plain value when it fell back to a
+    single evaluation.
+    """
+
+    values: Dict[str, Any] = field(default_factory=dict)
+    times: Dict[str, float] = field(default_factory=dict)
+    chunks_computed: Dict[str, int] = field(default_factory=dict)
+
+
+class FusedGroupTask:
+    """One compute task evaluating a whole fused group (picklable).
+
+    ``inputs`` to :meth:`apply` is ``{"values": ..., "plain": ...,
+    "merge_hooks": ...}`` — the group's external parents as the scheduler
+    holds them (plain values or ``n_partitions``-chunk
+    :class:`PartitionedValue`\\ s), any plain variants the scheduler had
+    *already* coalesced (never computed eagerly just for the task), and the
+    parent operators' ``merge_chunks`` hooks so the task can coalesce lazily
+    exactly like the scheduler's ``_plain_value`` when a member needs a
+    broadcast or a fallback evaluation.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Tuple[str, Any]],
+        n_partitions: int,
+        label: str = "",
+    ) -> None:
+        self.members = list(members)
+        self.n_partitions = max(1, int(n_partitions))
+        self.label = label or (self.members[0][0] if self.members else "fused")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FusedGroupTask({self.label!r}, members={[m for m, _ in self.members]})"
+
+    def dependencies(self) -> List[str]:
+        """External parents (scheduler parity hook; unused inside the task)."""
+        internal = {name for name, _ in self.members}
+        seen: List[str] = []
+        for _name, operator in self.members:
+            for parent in operator.dependencies():
+                if parent not in internal and parent not in seen:
+                    seen.append(parent)
+        return seen
+
+    # ------------------------------------------------------------------
+    def apply(self, inputs: Dict[str, Any]) -> FusedGroupOutput:
+        values: Dict[str, Any] = dict(inputs.get("values", {}))
+        plain_cache: Dict[str, Any] = dict(inputs.get("plain", {}))
+        merge_hooks: Dict[str, Any] = dict(inputs.get("merge_hooks", {}))
+        for name, operator in self.members:
+            hook = getattr(operator, "merge_chunks", None)
+            if callable(hook):
+                merge_hooks[name] = hook
+        split_cache: Dict[str, List[Any]] = {}
+        output = FusedGroupOutput()
+        key_memo: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]] = {}
+
+        def plain(name: str) -> Any:
+            value = values[name]
+            if not isinstance(value, PartitionedValue):
+                return value
+            if name not in plain_cache:
+                merge = merge_hooks.get(name)
+                plain_cache[name] = (
+                    merge(value.chunks) if callable(merge) else merge_value(value.chunks)
+                )
+            return plain_cache[name]
+
+        for name, operator in self.members:
+            started = time.perf_counter()
+            chunk_inputs = (
+                self._chunk_inputs(operator, values, plain, split_cache)
+                if self.n_partitions > 1
+                else None
+            )
+            if chunk_inputs is None:
+                # Fallback-to-single, exactly like the unfused scheduler: the
+                # member runs once on coalesced inputs and stays plain.
+                task_inputs = {parent: plain(parent) for parent in operator.dependencies()}
+                values[name] = self._apply_member(operator, task_inputs)
+                output.chunks_computed[name] = 0
+            else:
+                chunks = self._apply_chunks(operator, chunk_inputs, key_memo)
+                values[name] = PartitionedValue(chunks)
+                output.chunks_computed[name] = len(chunks)
+            output.times[name] = time.perf_counter() - started
+            output.values[name] = values[name]
+        return output
+
+    def _apply_member(self, operator: Any, task_inputs: Dict[str, Any]) -> Any:
+        try:
+            return operator.apply(task_inputs)
+        except ExecutionError:
+            raise
+        except Exception as exc:
+            raise ExecutionError(
+                f"operator for fused node ({type(operator).__name__}) failed: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Chunk-input alignment — mirrors WavefrontScheduler._chunk_inputs so a
+    # fused member sees exactly the per-chunk inputs the unfused path builds.
+    # ------------------------------------------------------------------
+    def _chunk_inputs(
+        self,
+        operator: Any,
+        values: Dict[str, Any],
+        plain: Callable[[str], Any],
+        split_cache: Dict[str, List[Any]],
+    ) -> Optional[List[Dict[str, Any]]]:
+        n = self.n_partitions
+        parents = operator.dependencies()
+        chunked: Dict[str, List[Any]] = {}
+        shape = None
+        opaque = False
+        for parent in parents:
+            value = values[parent]
+            if isinstance(value, PartitionedValue) and value.n_partitions == n:
+                chunk_shape = shape_of_chunks(value.chunks)
+                if chunk_shape is None:
+                    opaque = True
+                elif shape is None:
+                    shape = chunk_shape
+                elif shape != chunk_shape:
+                    return None
+                chunked[parent] = value.chunks
+        for parent in parents:
+            if parent in chunked:
+                continue
+            plain_value = plain(parent)
+            if not is_splittable(plain_value):
+                continue
+            if opaque:
+                return None
+            if shape is None and parent in split_cache:
+                chunked[parent] = split_cache[parent]
+                continue
+            parts = split_value(plain_value, n, shape=shape)
+            if parts is None:
+                return None
+            if shape is None:
+                split_cache[parent] = parts
+            chunked[parent] = parts
+        return [
+            {
+                parent: (chunked[parent][index] if parent in chunked else plain(parent))
+                for parent in parents
+            }
+            for index in range(n)
+        ]
+
+    # ------------------------------------------------------------------
+    # Member evaluation, with vectorized fast paths
+    # ------------------------------------------------------------------
+    def _apply_chunks(
+        self,
+        operator: Any,
+        chunk_inputs: List[Dict[str, Any]],
+        key_memo: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]],
+    ) -> List[Any]:
+        if type(operator) is DenseFeaturizer:
+            fast = self._dense_chunks(operator, chunk_inputs)
+            if fast is not None:
+                return fast
+        if type(operator) is FeatureAssembler:
+            fast = self._assembler_chunks(operator, chunk_inputs, key_memo)
+            if fast is not None:
+                return fast
+        return [self._apply_member(operator, inputs) for inputs in chunk_inputs]
+
+    def _dense_chunks(
+        self, operator: DenseFeaturizer, chunk_inputs: List[Dict[str, Any]]
+    ) -> Optional[List[Any]]:
+        """All chunks of a DenseFeaturizer in one batched matmul chain.
+
+        Row-wise transforms over a row-blocked matrix equal the per-block
+        results bit-for-bit (each output row is a function of its input row
+        alone), so batching across chunks reproduces per-chunk ``apply``
+        exactly while paying the NumPy dispatch overhead once instead of
+        ``n_partitions`` times — and emitting feature dicts from precomputed
+        key lists instead of formatting ``f"emb{j}"`` once per cell.
+        """
+        import numpy as np
+
+        from repro.dataflow.collection import Dataset
+
+        datasets = [inputs.get(operator.rows) for inputs in chunk_inputs]
+        if any(not isinstance(dataset, Dataset) for dataset in datasets):
+            return None
+        projection, hidden = operator._weights()
+        fields = operator.fields
+        out = operator.out_features
+        keys = [f"emb{j}" for j in range(out)]
+
+        def embed_all(collections: List[Any]) -> List[List[Dict[str, float]]]:
+            counts = [len(collection) for collection in collections]
+            try:
+                matrix = np.array(
+                    [
+                        [float(record[field]) for field in fields]
+                        for collection in collections
+                        for record in collection
+                    ],
+                    dtype=np.float64,
+                ).reshape(sum(counts), len(fields))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ExecutionError(
+                    f"operator for fused node (DenseFeaturizer) failed: {exc}"
+                ) from exc
+            state = np.tanh(matrix @ projection)
+            for _ in range(operator.passes):
+                state = np.tanh(state @ hidden)
+            rows = [dict(zip(keys, row)) for row in state[:, :out].tolist()]
+            per_chunk: List[List[Dict[str, float]]] = []
+            start = 0
+            for count in counts:
+                per_chunk.append(rows[start:start + count])
+                start += count
+            return per_chunk
+
+        trains = embed_all([dataset.train for dataset in datasets])
+        tests = embed_all([dataset.test for dataset in datasets])
+        name = f"dense{operator.embed_dim}"
+        return [
+            FeatureBlock(name=name, train=trains[i], test=tests[i])
+            for i in range(len(datasets))
+        ]
+
+    def _assembler_chunks(
+        self,
+        operator: FeatureAssembler,
+        chunk_inputs: List[Dict[str, Any]],
+        key_memo: Dict[Tuple[str, Tuple[str, ...]], Tuple[str, ...]],
+    ) -> Optional[List[Any]]:
+        """FeatureAssembler chunks with per-key-tuple prefix memoization.
+
+        ``merge_feature_blocks`` formats ``f"{block}.{key}"`` for every cell;
+        feature rows of one block overwhelmingly share a key tuple (dense
+        embeddings most of all), so the prefixed keys are computed once per
+        distinct ``(block, keys)`` pair and reused across rows *and* chunks.
+        Falls back to the real merge on any shape surprise so error behavior
+        stays identical.
+        """
+        results: List[Any] = []
+        for inputs in chunk_inputs:
+            blocks = [inputs.get(name) for name in operator.extractors]
+            labels = inputs.get(operator.label)
+            if any(not isinstance(block, FeatureBlock) for block in blocks) or not isinstance(
+                labels, LabelBlock
+            ):
+                return None
+            n_train = len(blocks[0].train)
+            n_test = len(blocks[0].test)
+            if any(len(b.train) != n_train or len(b.test) != n_test for b in blocks):
+                return None  # let the real merge raise its DataError
+            merged_train: List[Dict[str, float]] = [{} for _ in range(n_train)]
+            merged_test: List[Dict[str, float]] = [{} for _ in range(n_test)]
+            for block in blocks:
+                for target, rows in ((merged_train, block.train), (merged_test, block.test)):
+                    for out_row, in_row in zip(target, rows):
+                        raw_keys = tuple(in_row)
+                        memo_key = (block.name, raw_keys)
+                        prefixed = key_memo.get(memo_key)
+                        if prefixed is None:
+                            prefixed = tuple(f"{block.name}.{key}" for key in raw_keys)
+                            key_memo[memo_key] = prefixed
+                        out_row.update(zip(prefixed, in_row.values()))
+            merged = FeatureBlock(
+                name="+".join(b.name for b in blocks), train=merged_train, test=merged_test
+            )
+            try:
+                results.append(ExampleCollection(features=merged, labels=labels, name="examples"))
+            except Exception as exc:
+                raise ExecutionError(
+                    f"operator for fused node (FeatureAssembler) failed: {exc}"
+                ) from exc
+        return results

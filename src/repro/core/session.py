@@ -181,6 +181,14 @@ class HelixSession:
         process runs — see :class:`~repro.obs.httpd.ObservabilityServer`.
         Port 0 binds an ephemeral port; the server is available as
         :attr:`obs_server` and shuts down with :meth:`close`.
+    compiled:
+        The compiled hot path (off by default; see :mod:`repro.compile`):
+        cache compiled plans across iterations so parameter-only edits skip
+        recompilation, warm-start the recomputation min-cut from the previous
+        iteration's flow, and fuse convex chains of partition-wise COMPUTE
+        operators into single tasks (partitioned runs).  Every shortcut is
+        exact — results, metrics, reuse verdicts, and cut certificates are
+        bit-identical to the uncompiled path (``docs/compiled.md``).
     """
 
     def __init__(
@@ -203,12 +211,14 @@ class HelixSession:
         metrics: "None | bool | MetricsRegistry" = None,
         events: "None | bool | EventLog" = None,
         obs_listen: Optional[str] = None,
+        compiled: bool = False,
     ) -> None:
         self.workspace = workspace
         self.strategy = strategy
         self.backend = backend if isinstance(backend, WorkerBackend) else backend_by_name(backend, parallelism)
         self.partitions = max(1, int(partitions)) if partitions else 1
         self.incremental = incremental
+        self.compiled = bool(compiled)
         self.trace_runs = trace_runs
         self.trace_owner = trace_owner
         self.last_trace: Optional[RunTrace] = None
@@ -279,6 +289,21 @@ class HelixSession:
         self.tracker = ChangeTracker()
         self.estimator = CostEstimator(cost_defaults)
         self._previous_compiled: Optional[CompiledWorkflow] = None
+        # The compiled hot path's per-session state: the plan cache, the
+        # warm-startable min-cut solver, and one partition planner shared
+        # across runs (its type→mode memo then persists between iterations).
+        self._plan_cache = None
+        self._warm_solver = None
+        if self.compiled:
+            from repro.compile import PlanCache, WarmCutSolver
+
+            self._plan_cache = PlanCache(registry=self.metrics_registry)
+            self._warm_solver = WarmCutSolver(registry=self.metrics_registry)
+        self._partition_planner = None
+        if self.partitions > 1:
+            from repro.partition.planner import PartitionPlanner
+
+            self._partition_planner = PartitionPlanner(self.partitions)
         # Restore persisted state from previous sessions over this workspace:
         # version records (browsing/diffing) and the measured cost database.
         from repro.versioning.persistence import load_cost_history, load_version_store
@@ -399,10 +424,18 @@ class HelixSession:
         """
         if self.strategy.recomputation == "optimal":
             return optimal_plan_explained(
-                compiled.dag, costs, compiled.outputs, registry=self.metrics_registry
+                compiled.dag, costs, compiled.outputs,
+                registry=self.metrics_registry,
+                solver=self._warm_solver,
             )
         planner = RECOMPUTATION_POLICIES[self.strategy.recomputation]
         return planner(compiled.dag, costs, compiled.outputs), None
+
+    def _compile(self, workflow: Workflow) -> CompiledWorkflow:
+        """Compile and slice ``workflow``, through the plan cache when enabled."""
+        if self._plan_cache is not None:
+            return self._plan_cache.compile_sliced(workflow)
+        return slice_to_outputs(compile_workflow(workflow))
 
     def plan(self, workflow: Workflow) -> PhysicalPlan:
         """Compile, slice, and optimize a workflow without executing it.
@@ -410,7 +443,7 @@ class HelixSession:
         Useful for inspecting the optimized execution plan (Figure 1b) or for
         what-if analysis in the versioning UI.
         """
-        compiled = slice_to_outputs(compile_workflow(workflow))
+        compiled = self._compile(workflow)
         costs = self._estimate_costs(compiled)
         states, _explanation = self._plan_states(compiled, costs)
         return PhysicalPlan(compiled=compiled, states=states, estimated_cost=plan_cost(states, costs))
@@ -472,8 +505,7 @@ class HelixSession:
         change_category: str,
         iteration_index: int,
     ) -> SessionRunResult:
-        compiled_full = compile_workflow(workflow)
-        compiled = slice_to_outputs(compiled_full)
+        compiled = self._compile(workflow)
         delta_plan = self._plan_deltas(compiled, iteration_index)
         costs = self._estimate_costs(compiled, delta_plan)
         if delta_plan is not None and self.metrics_registry.enabled:
@@ -486,12 +518,20 @@ class HelixSession:
         )
         if self.materialization_wrapper is not None:
             policy = self.materialization_wrapper(policy)
+        partition_modes = None
+        if self._plan_cache is not None and self._partition_planner is not None:
+            partition_modes = self._plan_cache.partition_modes(
+                compiled, self._partition_planner
+            )
         engine = ExecutionEngine(
             self.store,
             policy,
             backend=self.backend,
             partitions=self.partitions,
+            partition_planner=self._partition_planner,
             metrics=self.metrics_registry,
+            fusion=self.compiled,
+            partition_modes=partition_modes,
         )
 
         diff = diff_workflows(self._previous_compiled, compiled) if self._previous_compiled else None
@@ -507,6 +547,10 @@ class HelixSession:
             if self.trace_runs
             else None
         )
+        if trace is not None and self.compiled:
+            trace.plan_cache = self._plan_cache.last_result
+            if self._warm_solver is not None and self.strategy.recomputation == "optimal":
+                trace.solver_mode = self._warm_solver.last_mode
         # Pin every artifact the plan LOADs so a concurrent tenant's eviction
         # (shared-cache deployments) cannot invalidate this plan mid-run.
         # Chunked artifacts pin every present chunk of the signature's family.

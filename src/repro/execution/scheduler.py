@@ -422,6 +422,15 @@ class _PendingNode:
     combiner: Any = None
     chunk_inputs: Optional[List[Dict[str, Any]]] = None
     finalize_indices: List[int] = field(default_factory=list)
+    #: ``kind == "fused"``: index of the fused group this member belongs to.
+    #: The group's single task is carried by the first member entry of the
+    #: dispatch wave (the one with a ``task_indices`` entry, or the
+    #: ``carrier`` of a deferred group); later members read their values from
+    #: the harvested group output.
+    fused_group: int = -1
+    #: ``kind == "fused"``, deferred group: this entry dispatches the group's
+    #: task in the head wave's finalize round (after same-wave parents fold).
+    carrier: bool = False
 
 
 class WavefrontScheduler:
@@ -448,6 +457,8 @@ class WavefrontScheduler:
         n_partitions: int = 1,
         partition_planner: Optional[PartitionPlanner] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fusion: bool = False,
+        partition_modes: Optional[Mapping[str, PartitionMode]] = None,
     ) -> None:
         self.store = store
         self.materialization_policy = materialization_policy or MaterializeNone()
@@ -457,11 +468,28 @@ class WavefrontScheduler:
         if partition_planner is None and self.n_partitions > 1:
             partition_planner = PartitionPlanner(self.n_partitions)
         self.partition_planner = partition_planner
+        #: Operator fusion (compiled hot path): collapse convex chains of
+        #: partition-wise COMPUTE nodes into one task each.  Opt-in, and only
+        #: meaningful on partitioned runs — the fused task trades per-member
+        #: dispatch for one task per group, which also serializes the group
+        #: on multi-worker backends.
+        self.fusion = bool(fusion)
+        #: Precomputed node → PartitionMode (the plan cache's partition plan);
+        #: nodes absent from the mapping fall back to the planner.
+        self.partition_modes = partition_modes
         if metrics is None:
             metrics = getattr(store, "metrics", None)
             if not isinstance(metrics, MetricsRegistry):
                 metrics = get_registry()
         self.metrics = metrics
+
+    def _mode_of(self, name: str, operator: Any) -> PartitionMode:
+        """This node's partition mode: cached partition plan first, then planner."""
+        if self.partition_modes is not None:
+            mode = self.partition_modes.get(name)
+            if mode is not None:
+                return mode
+        return self.partition_planner.mode_for(operator)
 
     # ------------------------------------------------------------------
     def run(
@@ -508,6 +536,32 @@ class WavefrontScheduler:
         logical_budget = self.store.remaining_budget()
         pending_signatures: set = set()
         partitioned = self.n_partitions > 1 and self.partition_planner is not None
+
+        fusion_plan = None
+        if self.fusion and partitioned:
+            from repro.compile.fusion import plan_fusion
+
+            fusion_plan = plan_fusion(
+                compiled,
+                plan.states,
+                costs,
+                wave_levels(dag),
+                self._mode_of,
+                delta_plan,
+            )
+            if fusion_plan and self.metrics.enabled:
+                self.metrics.counter(
+                    "repro_fusion_groups_total",
+                    help="Fused operator groups dispatched as single tasks.",
+                ).inc(len(fusion_plan.groups))
+                self.metrics.counter(
+                    "repro_fusion_members_total",
+                    help="Plan nodes executed inside a fused group.",
+                ).inc(len(fusion_plan.member_of))
+        #: group index → harvested FusedGroupOutput (filled at fold time in
+        #: the group's dispatch wave, read by members in later waves).
+        fused_outputs: Dict[int, Any] = {}
+        fused_dispatched: set = set()
 
         wall_started = time.perf_counter()
         try:
@@ -576,6 +630,34 @@ class WavefrontScheduler:
                             n_chunks=self.n_partitions,
                         ))
                         continue
+                    group = fusion_plan.group_for(name) if fusion_plan is not None else None
+                    if group is not None:
+                        entry = _PendingNode(
+                            name=name, operator=operator, stats=stats, kind="fused",
+                            n_chunks=self.n_partitions, fused_group=group.index,
+                        )
+                        if group.index not in fused_dispatched:
+                            # First member encountered: this wave is the
+                            # group's head wave, so this entry carries the one
+                            # fused task.  With every external parent in a
+                            # strictly earlier wave it joins the wave's
+                            # regular tasks; a deferred group (same-wave
+                            # external parent) dispatches in the finalize
+                            # round instead, after that parent has folded.
+                            fused_dispatched.add(group.index)
+                            if group.deferred:
+                                entry.carrier = True
+                            else:
+                                entry.task_indices.append(len(tasks))
+                                tasks.append((
+                                    f"fused:{group.label}",
+                                    self._fused_task(group, compiled),
+                                    self._fused_inputs(group, values, plain_cache, compiled),
+                                ))
+                        if node_trace is not None:
+                            node_trace.fused_group = group.index
+                        pending.append(entry)
+                        continue
                     entry = None
                     if partitioned:
                         entry = self._plan_partitioned_node(
@@ -600,19 +682,52 @@ class WavefrontScheduler:
                 # topological order); combiner merges run here, and their
                 # finalize phases fan back out in a second dispatch round.
                 finalize_tasks: List[ComputeTask] = []
+                deferred_fused: List[_PendingNode] = []
                 for entry in pending:
-                    self._fold(entry, results, values, finalize_tasks)
+                    if (
+                        entry.kind == "fused"
+                        and entry.fused_group not in fused_outputs
+                        and not entry.task_indices
+                    ):
+                        # Head-wave member of a deferred group: the group
+                        # output does not exist yet; it folds after the
+                        # finalize round.
+                        deferred_fused.append(entry)
+                        continue
+                    self._fold(entry, results, values, finalize_tasks, fused_outputs)
+                for entry in deferred_fused:
+                    # Carriers dispatch only now, after the whole wave folded
+                    # — a same-wave external parent may sit *after* the
+                    # carrier in wave order.
+                    if entry.carrier:
+                        group = fusion_plan.groups[entry.fused_group]
+                        entry.finalize_indices.append(len(finalize_tasks))
+                        finalize_tasks.append((
+                            f"fused:{group.label}",
+                            self._fused_task(group, compiled),
+                            self._fused_inputs(group, values, plain_cache, compiled),
+                        ))
                 if finalize_tasks:
                     n_wave_tasks += len(finalize_tasks)
                     finalize_results = self.backend.run_wave(finalize_tasks)
                     for entry in pending:
-                        if entry.finalize_indices:
-                            chunks = []
-                            for task_index in entry.finalize_indices:
-                                value, elapsed = finalize_results[task_index]
-                                entry.stats.compute_time += elapsed
-                                chunks.append(value)
-                            values[entry.name] = PartitionedValue(chunks)
+                        if not entry.finalize_indices:
+                            continue
+                        if entry.kind == "fused":
+                            group_output, _task_wall = finalize_results[entry.finalize_indices[0]]
+                            fused_outputs[entry.fused_group] = group_output
+                            continue  # members fold below, carrier included
+                        chunks = []
+                        for task_index in entry.finalize_indices:
+                            value, elapsed = finalize_results[task_index]
+                            entry.stats.compute_time += elapsed
+                            chunks.append(value)
+                        values[entry.name] = PartitionedValue(chunks)
+                for entry in deferred_fused:
+                    group_output = fused_outputs[entry.fused_group]
+                    entry.stats.compute_time += group_output.times[entry.name]
+                    entry.stats.chunks_computed += group_output.chunks_computed[entry.name]
+                    values[entry.name] = group_output.values[entry.name]
                 # Online materialization decisions, in wave (= topological)
                 # node order, per chunk for partitioned values.
                 for entry in pending:
@@ -919,7 +1034,7 @@ class WavefrontScheduler:
         delta_plan: Optional[Any] = None,
     ) -> Optional[_PendingNode]:
         """Emit this node's partitioned tasks; ``None`` falls back to a single task."""
-        mode = self.partition_planner.mode_for(operator)
+        mode = self._mode_of(name, operator)
         if mode is PartitionMode.SINGLE:
             return None
         n = self.n_partitions
@@ -993,6 +1108,43 @@ class WavefrontScheduler:
             entry.task_indices.append(len(tasks))
             tasks.append((f"{name}[{index}]", operator, chunk_inputs[index]))
         return entry
+
+    # ------------------------------------------------------------------
+    # Fused groups (compiled hot path)
+    # ------------------------------------------------------------------
+    def _fused_task(self, group, compiled):
+        """The single compute task evaluating all of ``group``'s members."""
+        from repro.compile.fusion import FusedGroupTask
+
+        return FusedGroupTask(
+            [(member, compiled.operator(member)) for member in group.members],
+            self.n_partitions,
+            label=group.label,
+        )
+
+    def _fused_inputs(
+        self, group, values: Dict[str, Any], plain_cache: Dict[str, Any], compiled
+    ) -> Dict[str, Any]:
+        """Input bundle for a fused task: external parent values as held.
+
+        Already-coalesced plain variants ride along (never computed eagerly
+        just for the task), plus the parents' ``merge_chunks`` hooks so the
+        task coalesces lazily exactly like :meth:`_plain_value` would.
+        """
+        merge_hooks = {}
+        for parent in group.external_parents:
+            hook = getattr(compiled.operator(parent), "merge_chunks", None)
+            if callable(hook):
+                merge_hooks[parent] = hook
+        return {
+            "values": {parent: values[parent] for parent in group.external_parents},
+            "plain": {
+                parent: plain_cache[parent]
+                for parent in group.external_parents
+                if parent in plain_cache
+            },
+            "merge_hooks": merge_hooks,
+        }
 
     def _chunk_inputs(
         self,
@@ -1081,11 +1233,21 @@ class WavefrontScheduler:
         results: List[Tuple[Any, float]],
         values: Dict[str, Any],
         finalize_tasks: List[ComputeTask],
+        fused_outputs: Optional[Dict[int, Any]] = None,
     ) -> None:
         """Fold one node's wave results into the value map (scheduling thread)."""
         stats = entry.stats
         if entry.kind == "seeded":
             return  # value pre-set from the delta planner's eager compute
+        if entry.kind == "fused":
+            if entry.task_indices:  # the carrier entry harvests the group output
+                group_output, _task_wall = results[entry.task_indices[0]]
+                fused_outputs[entry.fused_group] = group_output
+            group_output = fused_outputs[entry.fused_group]
+            stats.compute_time += group_output.times[entry.name]
+            stats.chunks_computed += group_output.chunks_computed[entry.name]
+            values[entry.name] = group_output.values[entry.name]
+            return
         if entry.kind == "single":
             value, elapsed = results[entry.task_indices[0]]
             stats.compute_time += elapsed

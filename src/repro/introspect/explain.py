@@ -101,6 +101,19 @@ class ExplainRenderer:
                 f"policies: recomputation={trace.recomputation_policy or '?'}  "
                 f"materialization={trace.materialization_policy or '?'}"
             )
+        if trace.plan_cache or trace.solver_mode:
+            compiled = "compiled:"
+            if trace.plan_cache:
+                compiled += f"  plan-cache={trace.plan_cache}"
+            if trace.solver_mode:
+                compiled += f"  min-cut-solver={trace.solver_mode}"
+            fused_members = sum(1 for entry in trace.nodes.values() if entry.fused_group >= 0)
+            if fused_members:
+                fused_groups = len({
+                    entry.fused_group for entry in trace.nodes.values() if entry.fused_group >= 0
+                })
+                compiled += f"  fused={fused_members} nodes in {fused_groups} group(s)"
+            lines.append(compiled)
 
         n_compute = len(trace.nodes_in_state("compute"))
         n_load = len(trace.nodes_in_state("load"))
@@ -228,6 +241,8 @@ class ExplainRenderer:
             elif entry.mat_reason:
                 mat += f" ({entry.mat_reason})"
             parts.append(mat)
+        if entry.fused_group >= 0:
+            parts.append(f"fused#{entry.fused_group}")
         if entry.on_cut_boundary:
             parts.append("✂")
         line = "  ".join(parts)

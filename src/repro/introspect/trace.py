@@ -117,6 +117,9 @@ class NodeTrace:
     output_size: float = 0.0
     chunks_loaded: int = 0
     chunks_computed: int = 0
+    #: Index of the fused group that executed this node (compiled hot path);
+    #: ``-1`` when the node ran as its own task(s).
+    fused_group: int = -1
     #: Storage tier(s) and codec(s) that served the node's LOAD (``+``-joined
     #: when chunks came from several).
     read_tier: str = ""
@@ -200,6 +203,12 @@ class RunTrace:
     created_at: float = 0.0
     #: Whether delta-driven incremental recomputation was active this run.
     incremental: bool = False
+    #: How the recomputation min-cut was solved (compiled hot path):
+    #: ``"warm"`` / ``"cold"`` / ``"fallback"``; ``""`` = plain solver.
+    solver_mode: str = ""
+    #: Plan-cache outcome for this run's compilation (compiled hot path):
+    #: ``"exact"`` / ``"structural"`` / ``"miss"``; ``""`` = cache off.
+    plan_cache: str = ""
 
     nodes: Dict[str, NodeTrace] = field(default_factory=dict)
     cut_edges: List[CutEdgeTrace] = field(default_factory=list)

@@ -100,19 +100,35 @@ class PartitionPlanner:
             raise ExecutionError(f"need at least one partition, got {n_partitions}")
         self.n_partitions = n_partitions
         self.combiners: Dict[type, Combiner] = dict(DEFAULT_COMBINERS if combiners is None else combiners)
+        # Classification is a pure function of the operator *type* unless the
+        # instance itself carries partition hints, so the per-node isinstance
+        # scans of a hot planning loop collapse to one dict probe per type.
+        self._mode_memo: Dict[type, PartitionMode] = {}
 
     # ------------------------------------------------------------------
     def mode_for(self, operator: Any) -> PartitionMode:
         """The execution shape for ``operator`` (declaration wins over registry)."""
+        instance_hinted = (
+            "partition_mode" in getattr(operator, "__dict__", {})
+            or "partition_combiner" in getattr(operator, "__dict__", {})
+        )
+        if not instance_hinted:
+            cached = self._mode_memo.get(type(operator))
+            if cached is not None:
+                return cached
         hint = getattr(operator, "partition_mode", None)
         if hint is not None:
             mode = PartitionMode(hint) if not isinstance(hint, PartitionMode) else hint
-            return self._validated(operator, mode)
-        if self.combiner_for(operator) is not None:
-            return PartitionMode.COMBINE
-        if isinstance(operator, PARTITIONWISE_TYPES):
-            return PartitionMode.PARTITIONWISE
-        return PartitionMode.SINGLE
+            mode = self._validated(operator, mode)
+        elif self.combiner_for(operator) is not None:
+            mode = PartitionMode.COMBINE
+        elif isinstance(operator, PARTITIONWISE_TYPES):
+            mode = PartitionMode.PARTITIONWISE
+        else:
+            mode = PartitionMode.SINGLE
+        if not instance_hinted:
+            self._mode_memo[type(operator)] = mode
+        return mode
 
     def _validated(self, operator: Any, mode: PartitionMode) -> PartitionMode:
         if mode is PartitionMode.SHUFFLE and not callable(getattr(operator, "shuffle_key", None)):

@@ -1,0 +1,386 @@
+"""Differential fuzzing of the compiled hot path (`repro.compile`).
+
+Every compiled-path shortcut claims *bit-identical results* — not approximate,
+not "close enough".  This suite proves it by running generated inputs through
+both implementations and demanding equality:
+
+* warm-started min-cut vs. an independent cold solve (solver level and
+  reduction level);
+* plan-cache compiles (exact hit, structural regraft) vs. a from-scratch
+  ``slice_to_outputs(compile_workflow(...))``;
+* fused partitioned execution vs. the plain wavefront scheduler, on real
+  census pipelines with deterministic synthetic costs;
+* compiled sessions vs. plain sessions over full iteration sequences
+  (metrics equality — planner *decisions* at iteration N>=1 depend on
+  measured timings, which differ between separately timed sessions, so
+  decision-level identity is asserted at the engine/optimizer layers where
+  costs are held fixed).
+
+Inputs come from :mod:`tests.generators`; profits and costs sit on the
+dyadic ``k/64`` grid so sums are exact and ``==`` is the right assertion.
+"""
+
+import pickle
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from generators import (
+    DIFFERENTIAL_CENSUS,
+    build_variant,
+    census_variants,
+    census_workflow_pairs,
+    cost_sequences,
+    project_instance_sequences,
+)
+from repro.compile import PlanCache, WarmCutSolver
+from repro.compiler.codegen import compile_workflow
+from repro.compiler.plan import PhysicalPlan
+from repro.compiler.slicing import slice_to_outputs
+from repro.core.session import HelixSession
+from repro.execution.engine import ExecutionEngine
+from repro.execution.store import ArtifactStore
+from repro.graph.dag import NodeState
+from repro.introspect.trace import RunTrace
+from repro.optimizer.cost_model import NodeCosts
+from repro.optimizer.materialization import HelixOnlineMaterializer
+from repro.optimizer.project_selection import solve_project_selection
+from repro.optimizer.recomputation import optimal_plan_explained
+from repro.partition.planner import PartitionPlanner
+from repro.workloads.census_workload import CensusVariant, build_census_workflow
+
+
+def canonical(value):
+    """Aliasing-free structural rendering for value equality.
+
+    Fused and unfused execution build equal values along different object
+    graphs (the fused path shares fewer sub-objects), so raw ``pickle``
+    bytes differ by memo references while the data is identical.  This
+    flattens any value into plain containers keyed by type name.
+    """
+    if isinstance(value, dict):
+        return {key: canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if hasattr(value, "tolist"):  # numpy arrays / scalars, exact per element
+        return ["ndarray", value.tolist()]
+    if hasattr(value, "__dict__") and not isinstance(value, type):
+        return {"__type__": type(value).__name__, **canonical(vars(value))}
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Warm-started min-cut vs. cold solve
+# ---------------------------------------------------------------------------
+class TestWarmCutDifferential:
+    @given(project_instance_sequences())
+    @settings(max_examples=100, deadline=None)
+    def test_warm_solver_equals_cold_solve_bit_for_bit(self, instances):
+        """Across a profit-perturbation sequence, every warm solve must equal
+        an independent cold solve: same selected set, same cut value, same
+        profit, same cut-edge certificate."""
+        solver = WarmCutSolver()
+        saw_warm = False
+        for instance in instances:
+            warm = solver(instance)
+            cold = solve_project_selection(instance)
+            assert warm.selected == cold.selected
+            assert warm.cut_value == cold.cut_value
+            assert warm.profit == cold.profit
+            assert sorted(warm.cut_edges) == sorted(cold.cut_edges)
+            assert solver.last_mode in ("cold", "warm", "fallback")
+            saw_warm = saw_warm or solver.last_mode == "warm"
+        # The first solve is cold by definition; all structure-preserving
+        # repeats must actually take the warm path (drains included).
+        if len(instances) > 1:
+            assert saw_warm, "structure-preserving resolves never went warm"
+
+    @given(project_instance_sequences(max_items=8, n_steps=3))
+    @settings(max_examples=40, deadline=None)
+    def test_warm_solver_is_deterministic_across_replays(self, instances):
+        """Two solver instances fed the same sequence agree exactly."""
+        first, second = WarmCutSolver(), WarmCutSolver()
+        for instance in instances:
+            a, b = first(instance), second(instance)
+            assert a.selected == b.selected
+            assert a.cut_value == b.cut_value
+            assert sorted(a.cut_edges) == sorted(b.cut_edges)
+
+    @given(cost_sequences())
+    @settings(max_examples=50, deadline=None)
+    def test_reduction_with_warm_solver_equals_plain_planner(self, case):
+        """`optimal_plan_explained` with a warm solver hooked in must produce
+        the exact states and cut certificate of the unhooked planner, at
+        every step of a cost-perturbation sequence."""
+        dag, steps, outputs = case
+        solver = WarmCutSolver()
+        for costs in steps:
+            warm_states, warm_explained = optimal_plan_explained(
+                dag, costs, outputs, solver=solver
+            )
+            cold_states, cold_explained = optimal_plan_explained(dag, costs, outputs)
+            assert warm_states == cold_states
+            assert warm_explained.cut_value == cold_explained.cut_value
+            assert sorted(
+                (edge.source, edge.target, edge.capacity)
+                for edge in warm_explained.cut_edges
+            ) == sorted(
+                (edge.source, edge.target, edge.capacity)
+                for edge in cold_explained.cut_edges
+            )
+
+
+# ---------------------------------------------------------------------------
+# Plan cache vs. from-scratch compilation
+# ---------------------------------------------------------------------------
+def assert_compiled_equal(cached, fresh):
+    assert sorted(cached.nodes()) == sorted(fresh.nodes())
+    assert cached.outputs == fresh.outputs
+    assert cached.categories == fresh.categories
+    for name in fresh.nodes():
+        assert cached.signature_of(name) == fresh.signature_of(name), name
+        assert type(cached.operator(name)) is type(fresh.operator(name))
+        assert list(cached.operator(name).dependencies()) == list(
+            fresh.operator(name).dependencies()
+        )
+
+
+class TestPlanCacheDifferential:
+    @given(census_workflow_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_cached_compiles_equal_fresh_compiles(self, pair):
+        """Whatever mix of hits and misses a workflow sequence produces, the
+        cached plan must equal a from-scratch compile of the same source."""
+        variant_a, variant_b = pair
+        cache = PlanCache()
+        for variant in (variant_a, variant_b, variant_a):
+            cached = cache.compile_sliced(build_variant(variant))
+            fresh = slice_to_outputs(compile_workflow(build_variant(variant)))
+            assert cache.last_result in ("exact", "structural", "miss")
+            assert_compiled_equal(cached, fresh)
+
+    @given(census_variants())
+    @settings(max_examples=15, deadline=None)
+    def test_exact_resubmission_hits_exactly(self, variant):
+        cache = PlanCache()
+        first = cache.compile_sliced(build_variant(variant))
+        assert cache.last_result == "miss"
+        second = cache.compile_sliced(build_variant(variant))
+        assert cache.last_result == "exact"
+        assert second is first, "an exact hit returns the cached plan object"
+
+    @given(census_variants())
+    @settings(max_examples=15, deadline=None)
+    def test_partition_modes_match_uncached_planner(self, variant):
+        cache = PlanCache()
+        compiled = cache.compile_sliced(build_variant(variant))
+        planner = PartitionPlanner(4)
+        cached_modes = cache.partition_modes(compiled, planner)
+        fresh_modes = {
+            name: PartitionPlanner(4).mode_for(compiled.operator(name))
+            for name in compiled.nodes()
+        }
+        assert cached_modes == fresh_modes
+        # Second request serves from the mode cache and still agrees.
+        assert cache.partition_modes(compiled, planner) == fresh_modes
+
+
+# ---------------------------------------------------------------------------
+# Fused execution vs. plain wavefront scheduling
+# ---------------------------------------------------------------------------
+def execute(compiled, fusion):
+    states = {name: NodeState.COMPUTE for name in compiled.dag.nodes()}
+    costs = {
+        name: NodeCosts(
+            compute_cost=1.0, load_cost=1.0, output_size=128.0, materialized=False
+        )
+        for name in compiled.dag.nodes()
+    }
+    trace = RunTrace()
+    with tempfile.TemporaryDirectory() as root:
+        engine = ExecutionEngine(
+            ArtifactStore(root),
+            HelixOnlineMaterializer(),
+            partitions=4,
+            fusion=fusion,
+        )
+        result = engine.execute(
+            PhysicalPlan(compiled=compiled, states=states), costs, trace=trace
+        )
+    return result, trace
+
+
+class TestFusedExecutionDifferential:
+    @given(census_variants())
+    @settings(max_examples=10, deadline=None)
+    def test_fused_run_equals_unfused_run(self, variant):
+        """Same compiled plan, same synthetic costs, fusion on vs. off:
+        outputs bit-identical, every node value structurally identical,
+        every materialization verdict identical, chunk accounting identical."""
+        compiled = slice_to_outputs(compile_workflow(build_variant(variant)))
+        plain, _ = execute(compiled, fusion=False)
+        fused, fused_trace = execute(compiled, fusion=True)
+
+        assert pickle.dumps(plain.outputs) == pickle.dumps(fused.outputs)
+        assert sorted(plain.values) == sorted(fused.values)
+        for name in plain.values:
+            assert canonical(plain.values[name]) == canonical(fused.values[name]), name
+        assert {
+            name: (decision.materialize, decision.score)
+            for name, decision in plain.decisions.items()
+        } == {
+            name: (decision.materialize, decision.score)
+            for name, decision in fused.decisions.items()
+        }
+        assert {
+            name: stats.chunks_computed
+            for name, stats in plain.report.node_stats.items()
+        } == {
+            name: stats.chunks_computed
+            for name, stats in fused.report.node_stats.items()
+        }
+        # Not vacuous: every census pipeline carries a fusable extractor
+        # chain, so the fused run must actually have fused something.
+        fused_members = [
+            name for name, entry in fused_trace.nodes.items() if entry.fused_group >= 0
+        ]
+        assert len(fused_members) >= 2, "fusion never engaged"
+
+
+# ---------------------------------------------------------------------------
+# Plan-cache invalidation edges (satellite: invalidation semantics)
+# ---------------------------------------------------------------------------
+class TestPlanCacheInvalidation:
+    def variant(self, **overrides):
+        return CensusVariant(data_config=DIFFERENTIAL_CENSUS, **overrides)
+
+    def test_param_only_edit_is_a_structural_hit(self):
+        cache = PlanCache()
+        base = cache.compile_sliced(build_variant(self.variant(reg_param=0.1)))
+        assert cache.last_result == "miss"
+        edited = cache.compile_sliced(build_variant(self.variant(reg_param=0.01)))
+        assert cache.last_result == "structural"
+        # Same structure, re-hashed signatures: the edited node and its
+        # descendants change, untouched subtrees keep their signatures.
+        assert edited.plan_cache_key == base.plan_cache_key
+        assert edited.signature_of("incPred") != base.signature_of("incPred")
+        assert edited.signature_of("rows") == base.signature_of("rows")
+        assert edited.signature_of("income") == base.signature_of("income")
+
+    def test_operator_graph_change_misses(self):
+        cache = PlanCache()
+        cache.compile_sliced(build_variant(self.variant()))
+        cache.compile_sliced(build_variant(self.variant(use_marital_status=True)))
+        assert cache.last_result == "miss"
+        # And a UDF-bearing node (the error-report reducer) misses too.
+        cache.compile_sliced(build_variant(self.variant(include_error_report=True)))
+        assert cache.last_result == "miss"
+
+    def test_instance_partition_hints_bypass_the_mode_cache(self):
+        """Instance-level partition hints are invisible to the structural
+        key, so plans carrying them must be classified fresh every time."""
+        cache = PlanCache()
+        planner = PartitionPlanner(4)
+        compiled = cache.compile_sliced(build_variant(self.variant()))
+        cache.partition_modes(compiled, planner)
+        assert cache.stats()["mode_entries"] == 1
+
+        hinted = cache.compile_sliced(build_variant(self.variant()))
+        operator = hinted.operator("rows")
+        operator.partition_mode = "single"  # instance hint, not a class hint
+        modes = cache.partition_modes(hinted, PartitionPlanner(4))
+        # The hinted plan must not be served from (or stored into) the cache:
+        # its classification differs from the cached unhinted plan's.
+        assert cache.stats()["mode_entries"] == 1
+        fresh = {
+            name: PartitionPlanner(4).mode_for(hinted.operator(name))
+            for name in hinted.nodes()
+        }
+        assert modes == fresh
+
+    def test_sessions_do_not_share_plan_caches(self, tmp_path):
+        """Cross-session isolation: one session's cache never serves another
+        (cached plans hold live operator instances; sharing would leak them
+        across tenants)."""
+        a = HelixSession(str(tmp_path / "a"), compiled=True, metrics=False)
+        b = HelixSession(str(tmp_path / "b"), compiled=True, metrics=False)
+        assert a._plan_cache is not b._plan_cache
+        workflow = build_variant(self.variant())
+        a._compile(workflow)
+        assert a._plan_cache.last_result == "miss"
+        a._compile(build_variant(self.variant()))
+        assert a._plan_cache.last_result == "exact"
+        # Session B has never compiled anything: same workflow, fresh miss.
+        b._compile(build_variant(self.variant()))
+        assert b._plan_cache.last_result == "miss"
+        assert b._plan_cache.stats()["exact_entries"] == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        for bins in (4, 5, 6):
+            cache.compile_sliced(build_variant(self.variant(age_bins=bins)))
+        stats = cache.stats()
+        assert stats["exact_entries"] == 2
+        # The oldest plan (bins=4) was evicted; recompiling it misses exact
+        # but the shared structure is still a structural hit.
+        cache.compile_sliced(build_variant(self.variant(age_bins=4)))
+        assert cache.last_result == "structural"
+
+
+# ---------------------------------------------------------------------------
+# Whole sessions: compiled vs. plain over an iteration sequence
+# ---------------------------------------------------------------------------
+class TestSessionDifferential:
+    def test_compiled_session_metrics_equal_plain_session(self, tmp_path):
+        """Four census iterations (graph edits and param edits mixed), one
+        plain session vs. one fully compiled session: reported model metrics
+        must be equal, and the compiled session must observably exercise the
+        cache, the warm solver, and fusion along the way."""
+        from repro.workloads.census_workload import census_workload
+
+        spec = census_workload(data_config=DIFFERENTIAL_CENSUS, n_iterations=4)
+        outcomes = {}
+        for compiled in (False, True):
+            session = HelixSession(
+                str(tmp_path / ("compiled" if compiled else "plain")),
+                partitions=4,
+                compiled=compiled,
+                metrics=False,
+            )
+            rows = []
+            for iteration in spec.iterations:
+                result = session.run(
+                    iteration.build(),
+                    description=iteration.description,
+                    change_category=iteration.category,
+                )
+                rows.append((dict(result.report.metrics), result.trace))
+            outcomes[compiled] = rows
+
+        cache_results, solver_modes, fused_total = [], [], 0
+        for (plain_metrics, _), (compiled_metrics, trace) in zip(
+            outcomes[False], outcomes[True]
+        ):
+            assert plain_metrics == compiled_metrics
+            cache_results.append(trace.plan_cache)
+            solver_modes.append(trace.solver_mode)
+            fused_total += sum(
+                1 for entry in trace.nodes.values() if entry.fused_group >= 0
+            )
+        assert cache_results[0] == "miss"
+        assert "structural" in cache_results, cache_results
+        assert solver_modes[0] == "cold"
+        assert "warm" in solver_modes, solver_modes
+        assert fused_total > 0, "fusion never engaged across the sequence"
+
+    def test_plain_session_traces_carry_no_compiled_annotations(self, tmp_path):
+        session = HelixSession(str(tmp_path), metrics=False)
+        result = session.run(
+            build_census_workflow(CensusVariant(data_config=DIFFERENTIAL_CENSUS)),
+            description="plain",
+        )
+        assert result.trace.plan_cache == ""
+        assert result.trace.solver_mode == ""
+        assert all(entry.fused_group == -1 for entry in result.trace.nodes.values())
